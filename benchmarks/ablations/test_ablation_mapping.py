@@ -1,0 +1,56 @@
+"""Ablation: data-locality tie-break in the mapping phase.
+
+The mapping phase picks, among equally-early host sets, those already
+holding the task's input data.  This bench disables that tie-break and
+measures the experimental makespan inflation caused by the extra
+redistributions — a design choice the paper's TGrid runtime makes
+expensive (every redistribution pays the subnet-manager overhead).
+"""
+
+import numpy as np
+
+from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.driver import ALGORITHMS
+from repro.scheduling.mapping import map_allocations
+from repro.util.text import format_table
+
+
+def test_ablation_mapping_locality(benchmark, ctx, emit):
+    suite = ctx.profile_suite
+    dags = [d for d in ctx.dags if d[0].sample == 0]
+
+    def run():
+        inflations = []
+        for params, graph in dags:
+            costs = SchedulingCosts(
+                graph,
+                ctx.platform,
+                suite.task_model,
+                startup_model=suite.startup_model,
+                redistribution_model=suite.redistribution_model,
+            )
+            alloc = ALGORITHMS["mcpa"](graph, costs)
+            local = map_allocations(
+                graph, costs, alloc, algorithm="mcpa", locality_tiebreak=True
+            )
+            blind = map_allocations(
+                graph, costs, alloc, algorithm="mcpa", locality_tiebreak=False
+            )
+            m_local = ctx.emulator.makespan(graph, local)
+            m_blind = ctx.emulator.makespan(graph, blind)
+            inflations.append((graph.name, m_local, m_blind))
+        return inflations
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["dag", "locality-aware [s]", "locality-blind [s]", "blind/aware"],
+        [[n, a, b, b / a] for n, a, b in rows],
+        float_fmt="{:.2f}",
+    )
+    emit("ablation_mapping_locality", "Mapping locality ablation\n" + table)
+
+    ratios = np.array([b / a for _n, a, b in rows])
+    # On average the locality-aware mapping is at least as good, and on
+    # some DAGs clearly better.
+    assert ratios.mean() > 0.98
+    assert ratios.max() > 1.01

@@ -1,0 +1,78 @@
+"""Ablation: which refinement carries the profile simulator's accuracy?
+
+The refined simulator of Section VI adds three corrections on top of
+the analytical one: measured kernel profiles, startup overheads and
+redistribution overheads.  This bench knocks each overhead out of the
+profile suite and measures the accuracy lost — quantifying the paper's
+claim that "to be meaningful a simulator must account for specifics of
+the environment".
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_study
+from repro.models.overheads import (
+    ZeroRedistributionOverheadModel,
+    ZeroStartupModel,
+)
+from repro.profiling.calibration import SimulatorSuite
+from repro.util.text import format_table
+
+
+def _mean_error(study, simulator):
+    return float(np.mean([r.error_pct for r in study.select(simulator=simulator)]))
+
+
+@pytest.fixture(scope="module")
+def subset(ctx):
+    """A 12-DAG slice (both sizes) to keep the ablation quick."""
+    return [d for d in ctx.dags if d[0].sample == 0][:12]
+
+
+def test_ablation_overheads(benchmark, ctx, emit, subset):
+    full = ctx.profile_suite
+    variants = {
+        "full profile suite": full,
+        "no startup overhead": SimulatorSuite(
+            name="no-startup",
+            task_model=full.task_model,
+            startup_model=ZeroStartupModel(),
+            redistribution_model=full.redistribution_model,
+        ),
+        "no redistribution overhead": SimulatorSuite(
+            name="no-redist",
+            task_model=full.task_model,
+            startup_model=full.startup_model,
+            redistribution_model=ZeroRedistributionOverheadModel(),
+        ),
+        "no overheads at all": SimulatorSuite(
+            name="no-overheads",
+            task_model=full.task_model,
+            startup_model=ZeroStartupModel(),
+            redistribution_model=ZeroRedistributionOverheadModel(),
+        ),
+    }
+
+    def run():
+        return {
+            label: _mean_error(
+                run_study(subset, [suite], ctx.emulator), suite.name
+            )
+            for label, suite in variants.items()
+        }
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["variant", "mean makespan error [%]"],
+        [[k, v] for k, v in errors.items()],
+        float_fmt="{:.2f}",
+    )
+    emit("ablation_overheads", "Overhead-model ablation (profile suite)\n" + table)
+
+    # Removing a correction can only hurt; startup is the dominant one.
+    assert errors["full profile suite"] < errors["no overheads at all"]
+    assert errors["no startup overhead"] > errors["full profile suite"]
+    assert (
+        errors["no startup overhead"] >= errors["no redistribution overhead"]
+    )

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures, prints the
+rows/series in text form and writes them under ``benchmarks/output/``.
+The study context is session-scoped so the (deliberately expensive)
+calibration and study sweeps are shared across benches.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.context import StudyContext
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """The fully-wired study (seed 0, 32 nodes, paper trial counts)."""
+    return StudyContext(seed=0)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a rendered figure to benchmarks/output/ and echo it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} ({path}) =====")
+        print(text)
+
+    return _emit

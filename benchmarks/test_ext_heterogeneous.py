@@ -1,0 +1,73 @@
+"""Extension bench: scheduling on a heterogeneous cluster.
+
+HCPA exists because of heterogeneous platforms (N'takpé, Suter &
+Casanova 2007); the paper's case study only exercised its homogeneous
+specialisation.  This bench runs the algorithm suite on a half-upgraded
+cluster (16 full-speed + 16 half-speed nodes) and checks the simulator
+and testbed stay consistent there too — plus that schedulers actually
+route work to the fast half.
+"""
+
+import numpy as np
+
+from repro.dag.generator import DagParameters, generate_dag
+from repro.models.analytical import AnalyticalTaskModel
+from repro.platform.personalities import heterogeneous_cluster
+from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.driver import schedule_dag
+from repro.simgrid.simulator import ApplicationSimulator
+from repro.testbed.tgrid import TGridEmulator
+from repro.util.text import format_table
+
+
+def test_ext_heterogeneous_cluster(benchmark, ctx, emit):
+    plat = heterogeneous_cluster(
+        (1.0,) * 16 + (0.5,) * 16, name="bayreuth"
+    )
+    emulator = TGridEmulator(plat, seed=ctx.seed)
+    model = AnalyticalTaskModel(plat)
+    dag_specs = [
+        DagParameters(num_input_matrices=v, add_ratio=0.75, n=2000,
+                      sample=s, seed=17)
+        for v in (2, 4, 8)
+        for s in range(2)
+    ]
+
+    def run():
+        rows = []
+        for params in dag_specs:
+            graph = generate_dag(params)
+            costs = SchedulingCosts(graph, plat, model)
+            per_alg = {}
+            for alg in ("cpa", "hcpa", "mcpa"):
+                sched = schedule_dag(graph, costs, alg)
+                sim = ApplicationSimulator(plat, model).run(graph, sched)
+                exp = emulator.makespan(graph, sched)
+                fast = sum(
+                    1 for t in graph.task_ids for h in sched.hosts(t) if h < 16
+                )
+                total = sum(len(sched.hosts(t)) for t in graph.task_ids)
+                per_alg[alg] = (sim.makespan, exp, fast / total)
+            rows.append((graph.name, per_alg))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    flat = []
+    for name, per_alg in rows:
+        for alg, (sim, exp, fast_frac) in per_alg.items():
+            flat.append([name, alg, sim, exp, fast_frac])
+    table = format_table(
+        ["dag", "algorithm", "sim [s]", "exp [s]", "fast-host fraction"],
+        flat,
+        float_fmt="{:.2f}",
+    )
+    emit("ext_heterogeneous", "Heterogeneous cluster (16 fast + 16 half-speed)\n"
+         + table)
+
+    fast_fracs = [f for _n, _a, _s, _e, f in flat]
+    # Fast nodes hold >16/32 = 50% of the machine's slots; schedulers
+    # must use them disproportionately.
+    assert np.mean(fast_fracs) > 0.6
+    # Analytic sim still underestimates reality on the het platform too.
+    for _n, _a, sim, exp, _f in flat:
+        assert exp > sim

@@ -1,0 +1,51 @@
+"""Extension bench: M-HEFT joins the HCPA/MCPA comparison.
+
+A three-way comparison over the n = 2000 workload under the profile
+simulator, with testbed validation — extending the paper's two-way
+study with the one-phase contender from the same literature.
+"""
+
+import numpy as np
+
+from repro.experiments.runner import run_study
+from repro.util.text import format_table
+
+
+def test_ext_mheft_comparison(benchmark, ctx, emit):
+    dags = [(p, g) for p, g in ctx.dags if p.n == 2000]
+    suite = ctx.profile_suite
+
+    def run():
+        return run_study(
+            dags, [suite], ctx.emulator, algorithms=("hcpa", "mcpa", "mheft")
+        )
+
+    study = benchmark.pedantic(run, rounds=1, iterations=1)
+    wins = {alg: 0 for alg in ("hcpa", "mcpa", "mheft")}
+    rows = []
+    for label in study.dag_labels():
+        exp = {
+            alg: study.record(label, alg, "profile").exp_makespan
+            for alg in wins
+        }
+        best = min(exp, key=exp.get)
+        wins[best] += 1
+        rows.append([label, exp["hcpa"], exp["mcpa"], exp["mheft"], best])
+    table = format_table(
+        ["dag", "HCPA [s]", "MCPA [s]", "M-HEFT [s]", "winner"],
+        rows,
+        float_fmt="{:.1f}",
+    )
+    summary = "\nexperimental wins: " + ", ".join(
+        f"{a} {w}" for a, w in wins.items()
+    )
+    errors = [r.error_pct for r in study.select(algorithm="mheft")]
+    summary += f"\nM-HEFT profile-sim error: mean {np.mean(errors):.1f} %"
+    emit("ext_mheft_comparison",
+         "Three-way comparison under the profile simulator (n = 2000)\n"
+         + table + summary)
+
+    # The simulator stays accurate for the new algorithm too...
+    assert np.mean(errors) < 10.0
+    # ...and every algorithm wins somewhere (no strict dominance).
+    assert all(w > 0 for w in wins.values())

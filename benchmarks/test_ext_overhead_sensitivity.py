@@ -1,0 +1,42 @@
+"""Extension bench: causal check — failure tracks overhead magnitude.
+
+The paper *attributes* the analytical simulator's failure to unmodelled
+environment specifics.  The emulated testbed lets us test that claim
+causally: scale the startup and redistribution overheads down (0.25x)
+and up (4x) and watch the analytical simulator's error and sign-flip
+rate respond.  If the paper's attribution is right, the failure rate
+must track the dial — and it does.
+"""
+
+from repro.experiments.sensitivity import overhead_sensitivity
+from repro.util.text import format_table
+
+
+def test_ext_overhead_sensitivity(benchmark, ctx, emit):
+    dags = [d for d in ctx.dags if d[0].n == 2000]
+
+    def run():
+        return overhead_sensitivity(
+            ctx.platform, dags, scales=(0.25, 0.5, 1.0, 2.0, 4.0),
+            seed=ctx.seed,
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["overhead scale", "wrong comparisons", "mean error [%]"],
+        [
+            [p.scale, f"{p.num_wrong} / {p.num_dags}", p.mean_error_pct]
+            for p in sweep.points
+        ],
+        float_fmt="{:.2f}",
+    )
+    emit(
+        "ext_overhead_sensitivity",
+        "Analytic-simulator failure vs environment overhead magnitude "
+        "(n = 2000)\n" + table,
+    )
+
+    assert sweep.errors_increase_with_scale()
+    # More unmodelled overhead => at least as many wrong comparisons at
+    # the heavy end as at the light end.
+    assert sweep.point(4.0).num_wrong >= sweep.point(0.25).num_wrong

@@ -1,0 +1,64 @@
+"""Extension bench: scaling calibrated models to a hypothetical machine.
+
+The paper's conclusion: empirical models "could be instantiated for an
+existing execution environment and scaled to simulate an hypothetical
+execution environment".  Here the profile suite calibrated on the
+(emulated) Bayreuth cluster is scaled to a machine with 2x faster nodes
+and a 2x snappier runtime, and its predictions are validated against a
+testbed configured the same way — including whether it still picks the
+right algorithm.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.experiments.comparison import compare_algorithms
+from repro.experiments.runner import run_study
+from repro.models.scaled import scale_suite
+from repro.testbed.tgrid import TGridEmulator
+from repro.util.text import format_table
+
+
+def test_ext_scaled_platform(benchmark, ctx, emit):
+    dags = [(p, g) for p, g in ctx.dags if p.n == 2000]
+
+    def run():
+        scaled_suite = dataclasses.replace(
+            scale_suite(
+                ctx.profile_suite,
+                compute_speedup=2.0,
+                startup_factor=0.5,
+                redistribution_factor=0.5,
+            ),
+            name="profile-scaled",
+        )
+        hypothetical = TGridEmulator(
+            ctx.platform,
+            seed=ctx.seed,
+            kernel_time_scale=0.5,
+            startup_scale=0.5,
+            redistribution_scale=0.5,
+        )
+        study = run_study(dags, [scaled_suite], hypothetical)
+        cmp = compare_algorithms(study, simulator="profile-scaled", n=2000)
+        err = float(np.mean([r.error_pct for r in study.records]))
+        return cmp, err
+
+    cmp, err = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["metric", "value"],
+        [
+            ["mean makespan error on hypothetical machine [%]", err],
+            ["wrong HCPA-vs-MCPA comparisons", f"{cmp.num_wrong} / {cmp.num_dags}"],
+        ],
+        float_fmt="{:.2f}",
+    )
+    emit(
+        "ext_scaled_platform",
+        "Scaled-suite prediction of a 2x-faster hypothetical machine\n" + table,
+    )
+    # The scaled suite must stay in the refined-simulator accuracy class
+    # and keep ranking the algorithms correctly most of the time.
+    assert err < 10.0
+    assert cmp.num_wrong <= 5

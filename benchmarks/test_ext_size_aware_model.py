@@ -1,0 +1,60 @@
+"""Extension bench: matrix size as an independent model variable.
+
+The paper stops short of this ("for practical uses one would have to
+include the matrix size into the model as an independent variable,
+which we did not do").  Here the size-aware empirical suite — calibrated
+only at n = 2000 and n = 3000 — simulates workloads at the *unmeasured*
+size n = 2500, and its makespan predictions are scored against the
+testbed.  An oracle suite calibrated directly at 2500 gives the
+attainable floor.
+"""
+
+import numpy as np
+
+from repro.dag.generator import DagParameters, generate_dag
+from repro.experiments.runner import run_study
+from repro.profiling.calibration import build_empirical_suite, build_size_aware_suite
+from repro.util.text import format_table
+
+
+def _dags(seed, n, count=9):
+    out = []
+    for v in (2, 4, 8):
+        for sample in range(count // 3):
+            params = DagParameters(
+                num_input_matrices=v, add_ratio=0.75, n=n, sample=sample,
+                seed=seed,
+            )
+            out.append((params, generate_dag(params)))
+    return out
+
+
+def test_ext_size_aware_model(benchmark, ctx, emit):
+    dags = _dags(seed=11, n=2500)
+
+    def run():
+        size_aware = build_size_aware_suite(ctx.emulator)  # 2000 & 3000 only
+        oracle = build_empirical_suite(ctx.emulator, sizes=(2500,))
+        out = {}
+        for label, suite in (
+            ("size-aware (never measured 2500)", size_aware),
+            ("oracle (calibrated at 2500)", oracle),
+        ):
+            study = run_study(dags, [suite], ctx.emulator)
+            out[label] = float(np.mean([r.error_pct for r in study.records]))
+        return out
+
+    errors = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["suite", "mean makespan error [%] at n = 2500"],
+        [[k, v] for k, v in errors.items()],
+        float_fmt="{:.2f}",
+    )
+    emit("ext_size_aware_model", "Size-aware empirical model (extension)\n" + table)
+
+    size_aware_err = errors["size-aware (never measured 2500)"]
+    oracle_err = errors["oracle (calibrated at 2500)"]
+    # The interpolated model must stay usable — within the refined-
+    # simulator accuracy class, not the analytical one.
+    assert size_aware_err < 25.0
+    assert size_aware_err < 3.0 * oracle_err + 10.0

@@ -1,0 +1,19 @@
+"""Fig 2 bench: relative error of the analytical task-time model.
+
+Paper result: the Java 1D multiplication's error "fluctuates without
+clear patterns up to 60 %"; even tuned PDGEMM on a Cray XT4 averages
+~10 % error (up to 20 %).
+"""
+
+from repro.experiments import figures
+from repro.experiments.reporting import render_figure2
+
+
+def test_fig2_analytical_error(benchmark, ctx, emit):
+    f2 = benchmark.pedantic(
+        figures.figure2, args=(ctx,), rounds=1, iterations=1
+    )
+    emit("fig2_analytical_error", render_figure2(f2))
+    assert f2.max_java_error() > 0.4
+    assert 0.05 < f2.mean_cray_error() < 0.15
+    assert f2.max_cray_error() <= 0.25

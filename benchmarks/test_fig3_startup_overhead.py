@@ -1,0 +1,18 @@
+"""Fig 3 bench: task startup overhead measurement.
+
+Paper result: 0.8-1.6 s over p = 1..32, averaged over 20 trials, and
+"surprisingly, the average startup time is not monotonically increasing
+with the number of processors".
+"""
+
+from repro.experiments import figures
+from repro.experiments.reporting import render_figure3
+
+
+def test_fig3_startup_overhead(benchmark, ctx, emit):
+    f3 = benchmark(figures.figure3, ctx, trials=20)
+    emit("fig3_startup_overhead", render_figure3(f3))
+    lo, hi = f3.bounds()
+    assert 0.5 < lo < 1.0
+    assert 1.2 < hi < 2.0
+    assert not f3.is_monotone

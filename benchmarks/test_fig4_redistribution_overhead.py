@@ -1,0 +1,19 @@
+"""Fig 4 bench: redistribution-overhead grid measurement.
+
+Paper result: the subnet-manager overhead grows with the number of
+participating processes and "depends mostly on p(dst)".
+"""
+
+from repro.experiments import figures
+from repro.experiments.reporting import render_figure4
+
+
+def test_fig4_redistribution_overhead(benchmark, ctx, emit):
+    f4 = benchmark.pedantic(
+        figures.figure4, args=(ctx,), kwargs={"trials": 3}, rounds=1,
+        iterations=1,
+    )
+    emit("fig4_redistribution_overhead", render_figure4(f4))
+    assert len(f4.grid) == 32 * 32
+    dst_slope, src_slope = f4.dst_slope_vs_src_slope()
+    assert dst_slope > 3 * abs(src_slope)

@@ -1,0 +1,21 @@
+"""Fig 6 bench: regression fits with and without the outlier points.
+
+Paper result: fitting through p = {1, 2, 4, 8, 16} is wrecked by the
+p = 8 / p = 16 outliers of the n = 3000 multiplication; replacing them
+with p = 7 / p = 15 yields a usable model from only 6 measurements.
+"""
+
+from repro.experiments import figures
+from repro.experiments.reporting import render_figure6
+
+
+def test_fig6_regression_fit(benchmark, ctx, emit):
+    f6 = benchmark.pedantic(
+        figures.figure6, args=(ctx,), kwargs={"n": 3000}, rounds=1,
+        iterations=1,
+    )
+    emit("fig6_regression_fit", render_figure6(f6))
+    assert f6.final_rmse < f6.naive_rmse
+    assert f6.naive_fit_goes_nonphysical()
+    # The final fit tracks the Table II hyperbola.
+    assert abs(f6.final_fit.a - 537.91) / 537.91 < 0.35

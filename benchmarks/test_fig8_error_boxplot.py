@@ -1,0 +1,23 @@
+"""Fig 8 bench: simulation-error distributions for all three simulators.
+
+Paper result: "the purely analytical version leads to errors larger
+than the two other versions by orders of magnitude, while the empirical
+version provides a reasonable alternative to the profile-based version".
+"""
+
+from repro.experiments import figures
+from repro.experiments.reporting import render_figure8
+
+
+def test_fig8_error_boxplot(benchmark, ctx, emit):
+    f8 = benchmark.pedantic(figures.figure8, args=(ctx,), rounds=1,
+                            iterations=1)
+    emit("fig8_error_boxplot", render_figure8(f8))
+    for alg in ("hcpa", "mcpa"):
+        analytic = f8.median("analytic", alg)
+        profile = f8.median("profile", alg)
+        empirical = f8.median("empirical", alg)
+        assert analytic > 8 * profile
+        assert analytic > 4 * empirical
+        assert profile < empirical
+        assert f8.boxes[("profile", alg)].mean < 10.0  # "under 10% error"

@@ -1,0 +1,16 @@
+"""Table I bench: regenerate the 54-DAG random workload set."""
+
+from repro.dag.generator import generate_paper_dags
+from repro.experiments import figures
+from repro.experiments.reporting import render_table1
+
+
+def test_table1_dag_generation(benchmark, ctx, emit):
+    dags = benchmark(generate_paper_dags, seed=0)
+    assert len(dags) == 54
+    t1 = figures.table1(ctx)
+    emit("table1_dag_generation", render_table1(t1))
+    assert t1.total_instances == 54
+    # Every instance follows the Table I parameter grid.
+    assert all(d.num_tasks == 10 for d in t1.dags)
+    assert {d.n for d in t1.dags} == {2000, 3000}

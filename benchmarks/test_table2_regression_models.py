@@ -1,0 +1,29 @@
+"""Table II bench: calibrate the empirical models from sparse samples.
+
+Paper rows: the piecewise multiplication models, the addition models,
+and the linear startup/redistribution-overhead regressions — here
+refitted against the testbed and printed next to the printed paper
+coefficients.
+"""
+
+from repro.experiments import figures
+from repro.experiments.reporting import render_table2
+from repro.profiling.calibration import build_empirical_suite
+
+
+def test_table2_regression_models(benchmark, ctx, emit):
+    suite = benchmark.pedantic(
+        build_empirical_suite, args=(ctx.emulator,), rounds=1, iterations=1
+    )
+    assert suite.name == "empirical"
+    t2 = figures.table2(ctx)
+    emit("table2_regression_models", render_table2(t2))
+    # The testbed is generated from the paper's coefficients, so the
+    # refits land near them (fluctuation-level tolerance).
+    mm = t2.row("matmul n=3000 hyp")
+    assert abs(mm.fitted[0] - mm.paper[0]) / mm.paper[0] < 0.35
+    startup = t2.row("task startup")
+    assert abs(startup.fitted[0] - 0.03) < 0.02
+    assert abs(startup.fitted[1] - 0.65) < 0.25
+    redist = t2.row("redistribution startup")
+    assert abs(redist.fitted[0] - 0.00788) / 0.00788 < 0.5

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Calibrating a simulator against a target environment.
+
+Walks the measurement story of Sections V-VII (Figs 2, 3, 4, 6 and
+Table II):
+
+1. quantify how wrong the flop-count model is (Fig 2);
+2. measure the environment overheads the analytical simulator ignores —
+   JVM/SSH task startup (Fig 3) and subnet-manager redistribution setup
+   (Fig 4);
+3. fit sparse-measurement regression models, showing how the p = 8/16
+   outliers wreck a naive power-of-two sampling plan (Fig 6);
+4. print the fitted Table II next to the paper's printed coefficients.
+
+Run:  python examples/calibrate_simulator.py
+"""
+
+from repro import StudyContext, figures
+from repro.experiments.reporting import (
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure6,
+    render_table2,
+)
+
+
+def main() -> None:
+    ctx = StudyContext(seed=0)
+
+    print(render_figure2(figures.figure2(ctx)))
+    print("\n" + "=" * 78 + "\n")
+    print(render_figure3(figures.figure3(ctx)))
+    print("\n" + "=" * 78 + "\n")
+    print(render_figure4(figures.figure4(ctx)))
+    print("\n" + "=" * 78 + "\n")
+    print(render_figure6(figures.figure6(ctx, n=3000)))
+    print("\n" + "=" * 78 + "\n")
+    print(render_table2(figures.table2(ctx)))
+
+
+if __name__ == "__main__":
+    main()

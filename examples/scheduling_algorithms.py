@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Comparing mixed-parallel scheduling algorithms across workload shapes.
+
+The paper's introduction motivates mixed parallelism: combining task
+parallelism (the workflow's width) with data parallelism (moldable
+tasks) "increases potential parallelism and can thus lead to higher
+scalability and performance".  This example quantifies that on the
+emulated cluster: the CPA-family algorithms against two pure baselines
+(SEQ = task parallelism only, MAXPAR = each task on its standalone-
+optimal allocation, tasks otherwise serialised), across DAG widths and
+computation/communication mixes.
+
+The outcome is nuanced, and deliberately so: for the multiplication-
+heavy workloads (r = 0.5) the environment's flattening speedup curve
+and startup overheads punish the critical-path-driven allocation growth
+of the CPA family — the very over-allocation problem that motivated
+HCPA and MCPA — so a per-task-optimal schedule is hard to beat.  For
+the addition-heavy workloads (r = 1.0), where tasks are small and
+overheads dominate, the mixed-parallel algorithms win clearly.
+
+Run:  python examples/scheduling_algorithms.py
+"""
+
+from repro import (
+    DagParameters,
+    SchedulingCosts,
+    StudyContext,
+    generate_dag,
+    schedule_dag,
+)
+from repro.util.text import format_table
+
+ALGORITHMS = ("seq", "maxpar", "cpa", "mcpa", "hcpa")
+
+
+def main() -> None:
+    ctx = StudyContext(seed=0)
+    suite = ctx.profile_suite  # schedule with realistic cost estimates
+    emulator = ctx.emulator
+
+    rows = []
+    for width in (2, 4, 8):
+        for ratio in (0.5, 1.0):
+            params = DagParameters(
+                num_input_matrices=width,
+                add_ratio=ratio,
+                n=2000,
+                sample=0,
+                seed=123,
+            )
+            graph = generate_dag(params)
+            costs = SchedulingCosts(
+                graph,
+                ctx.platform,
+                suite.task_model,
+                startup_model=suite.startup_model,
+                redistribution_model=suite.redistribution_model,
+            )
+            makespans = {}
+            for alg in ALGORITHMS:
+                schedule = schedule_dag(graph, costs, alg)
+                makespans[alg] = emulator.makespan(graph, schedule)
+            best = min(makespans, key=makespans.get)
+            rows.append(
+                [f"v={width} r={ratio}"]
+                + [makespans[a] for a in ALGORITHMS]
+                + [best]
+            )
+
+    print("Experimental makespans [s] on the emulated cluster (n = 2000)")
+    print(
+        format_table(
+            ["workload"] + [a.upper() for a in ALGORITHMS] + ["best"],
+            rows,
+            float_fmt="{:.1f}",
+        )
+    )
+    print(
+        "\nSEQ (pure task parallelism) is 5-20x off everywhere.  On the\n"
+        "multiplication-heavy workloads (r = 0.5) the CPA family's\n"
+        "critical-path-driven allocations overshoot the environment's\n"
+        "scaling knee — the over-allocation problem HCPA and MCPA were\n"
+        "designed to soften — so the per-task-optimal MAXPAR baseline\n"
+        "holds its ground.  On the overhead-dominated workloads\n"
+        "(r = 1.0) mixed parallelism wins outright."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro — reproduction of "From Simulation to Experiment: A Case Study
+on Multiprocessor Task Scheduling" (Hunold, Casanova & Suter, APDCM 2011).
+
+The library contains everything the case study needs, built from
+scratch:
+
+* a mixed-parallel application model and the paper's random DAG
+  generator (:mod:`repro.dag`);
+* a SimGrid-like discrete-event simulator with the ``ptask_L07``
+  parallel-task model (:mod:`repro.simgrid`);
+* the CPA / HCPA / MCPA scheduling algorithms (:mod:`repro.scheduling`);
+* three simulator cost-model families — analytical, profile-based,
+  empirical (:mod:`repro.models`);
+* a high-fidelity testbed emulator standing in for the paper's physical
+  cluster (:mod:`repro.testbed`);
+* the profiling/calibration harness (:mod:`repro.profiling`);
+* the study driver reproducing every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro import StudyContext, figures
+>>> ctx = StudyContext(seed=0)
+>>> comparison = figures.figure1(ctx, n=2000)   # analytic sim vs experiment
+>>> comparison.num_wrong <= comparison.num_dags
+True
+"""
+
+from repro.dag import (
+    DagParameters,
+    Task,
+    TaskGraph,
+    generate_dag,
+    generate_paper_dags,
+)
+from repro.experiments import StudyContext, figures, run_study
+from repro.models import (
+    AnalyticalTaskModel,
+    EmpiricalTaskModel,
+    ProfileTaskModel,
+)
+from repro.platform import (
+    ClusterPlatform,
+    bayreuth_cluster,
+    cray_xt4,
+    heterogeneous_cluster,
+)
+from repro.profiling import (
+    build_empirical_suite,
+    build_profile_suite,
+)
+from repro.scheduling import ALGORITHMS, Schedule, SchedulingCosts, schedule_dag
+from repro.simgrid import ApplicationSimulator, SimulationTrace
+from repro.testbed import TGridEmulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DagParameters",
+    "Task",
+    "TaskGraph",
+    "generate_dag",
+    "generate_paper_dags",
+    "StudyContext",
+    "figures",
+    "run_study",
+    "AnalyticalTaskModel",
+    "EmpiricalTaskModel",
+    "ProfileTaskModel",
+    "ClusterPlatform",
+    "bayreuth_cluster",
+    "cray_xt4",
+    "heterogeneous_cluster",
+    "build_empirical_suite",
+    "build_profile_suite",
+    "ALGORITHMS",
+    "Schedule",
+    "SchedulingCosts",
+    "schedule_dag",
+    "ApplicationSimulator",
+    "SimulationTrace",
+    "TGridEmulator",
+    "__version__",
+]

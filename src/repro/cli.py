@@ -1,0 +1,338 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``
+    Regenerate the paper's tables/figures (all, or a selection) and
+    print them; optionally write artifacts to a directory.
+``study``
+    Run the HCPA-vs-MCPA comparison under one simulator suite.
+``dag``
+    Generate one Table I DAG and print (or JSON-dump) it.
+``simulate``
+    Schedule one DAG, simulate it and execute it on the testbed,
+    printing makespans and an optional Gantt chart.
+``profile``
+    Print the raw measurement tables (kernels / startup /
+    redistribution) of the emulated environment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.dag.generator import DagParameters, generate_dag
+from repro.experiments import figures as fig_mod
+from repro.experiments.comparison import compare_algorithms
+from repro.experiments.context import StudyContext
+from repro.experiments import reporting
+from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.driver import ALGORITHMS, schedule_dag
+from repro.simgrid.simulator import ApplicationSimulator
+from repro.simgrid.trace_tools import render_gantt, trace_to_json
+from repro.util.text import format_table
+
+__all__ = ["main", "build_parser"]
+
+#: Figure name -> (builder, renderer) registry for the ``figures`` command.
+_FIGURES = {
+    "table1": (fig_mod.table1, reporting.render_table1),
+    "fig2": (fig_mod.figure2, reporting.render_figure2),
+    "fig3": (fig_mod.figure3, reporting.render_figure3),
+    "fig4": (fig_mod.figure4, reporting.render_figure4),
+    "fig6": (fig_mod.figure6, reporting.render_figure6),
+    "fig8": (fig_mod.figure8, reporting.render_figure8),
+    "table2": (fig_mod.table2, reporting.render_table2),
+}
+_COMPARISON_FIGURES = {
+    "fig1": ("analytic", fig_mod.figure1),
+    "fig5": ("profile", fig_mod.figure5),
+    "fig7": ("empirical", fig_mod.figure7),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'From Simulation to Experiment: A Case Study "
+            "on Multiprocessor Task Scheduling' (APDCM 2011)"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="regenerate tables/figures")
+    p_fig.add_argument(
+        "--only",
+        default="",
+        help="comma-separated subset, e.g. fig1,fig8,table2 (default: all)",
+    )
+    p_fig.add_argument("--out", default="", help="directory for .txt artifacts")
+
+    p_study = sub.add_parser("study", help="HCPA-vs-MCPA comparison")
+    p_study.add_argument(
+        "--simulator",
+        choices=("analytic", "profile", "empirical"),
+        default="analytic",
+    )
+    p_study.add_argument("--n", type=int, choices=(2000, 3000), default=2000)
+
+    p_dag = sub.add_parser("dag", help="generate one Table I DAG")
+    p_dag.add_argument("--width", type=int, default=4)
+    p_dag.add_argument("--ratio", type=float, default=0.5)
+    p_dag.add_argument("--n", type=int, default=2000)
+    p_dag.add_argument("--sample", type=int, default=0)
+    p_dag.add_argument("--json", action="store_true", help="dump as JSON")
+
+    p_sim = sub.add_parser("simulate", help="simulate + execute one DAG")
+    p_sim.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="hcpa")
+    p_sim.add_argument(
+        "--simulator",
+        choices=("analytic", "profile", "empirical"),
+        default="analytic",
+    )
+    p_sim.add_argument("--width", type=int, default=4)
+    p_sim.add_argument("--ratio", type=float, default=0.5)
+    p_sim.add_argument("--n", type=int, default=2000)
+    p_sim.add_argument("--sample", type=int, default=0)
+    p_sim.add_argument("--gantt", action="store_true", help="print a Gantt chart")
+    p_sim.add_argument("--trace-json", action="store_true",
+                       help="dump the experimental trace as JSON")
+
+    p_prof = sub.add_parser("profile", help="print measurement tables")
+    p_prof.add_argument(
+        "--what",
+        choices=("kernels", "startup", "redistribution"),
+        default="kernels",
+    )
+    p_prof.add_argument("--trials", type=int, default=3)
+
+    p_var = sub.add_parser(
+        "variance", help="run-to-run stability of the algorithm comparison"
+    )
+    p_var.add_argument(
+        "--simulator",
+        choices=("analytic", "profile", "empirical"),
+        default="analytic",
+    )
+    p_var.add_argument("--n", type=int, choices=(2000, 3000), default=2000)
+    p_var.add_argument("--runs", type=int, default=5)
+    p_var.add_argument("--dags", type=int, default=9,
+                       help="how many DAGs to analyse")
+
+    p_att = sub.add_parser(
+        "attribution", help="decompose one schedule's simulation gap"
+    )
+    p_att.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="mcpa")
+    p_att.add_argument("--width", type=int, default=4)
+    p_att.add_argument("--ratio", type=float, default=0.5)
+    p_att.add_argument("--n", type=int, default=2000)
+    p_att.add_argument("--sample", type=int, default=0)
+    return parser
+
+
+def _cmd_figures(ctx: StudyContext, args: argparse.Namespace) -> int:
+    wanted = (
+        [w.strip() for w in args.only.split(",") if w.strip()]
+        if args.only
+        else list(_FIGURES) + list(_COMPARISON_FIGURES)
+    )
+    out_dir = Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in wanted:
+        if name in _FIGURES:
+            builder, renderer = _FIGURES[name]
+            blocks = [renderer(builder(ctx))]
+        elif name in _COMPARISON_FIGURES:
+            _sim, builder = _COMPARISON_FIGURES[name]
+            blocks = [
+                reporting.render_comparison(builder(ctx, n=n))
+                for n in (2000, 3000)
+            ]
+        else:
+            print(f"unknown figure {name!r}; choose from "
+                  f"{sorted(list(_FIGURES) + list(_COMPARISON_FIGURES))}",
+                  file=sys.stderr)
+            return 2
+        for i, text in enumerate(blocks):
+            suffix = f"_{(2000, 3000)[i]}" if len(blocks) > 1 else ""
+            print(f"===== {name}{suffix} =====")
+            print(text)
+            print()
+            if out_dir:
+                (out_dir / f"{name}{suffix}.txt").write_text(text + "\n")
+    return 0
+
+
+def _cmd_study(ctx: StudyContext, args: argparse.Namespace) -> int:
+    study = ctx.study(args.simulator)
+    cmp = compare_algorithms(study, simulator=args.simulator, n=args.n)
+    print(reporting.render_comparison(cmp))
+    return 0
+
+
+def _params(args: argparse.Namespace, seed: int) -> DagParameters:
+    return DagParameters(
+        num_input_matrices=args.width,
+        add_ratio=args.ratio,
+        n=args.n,
+        sample=args.sample,
+        seed=seed,
+    )
+
+
+def _cmd_dag(ctx: StudyContext, args: argparse.Namespace) -> int:
+    graph = generate_dag(_params(args, ctx.seed))
+    if args.json:
+        print(json.dumps(graph.to_dict(), indent=2))
+        return 0
+    print(f"{graph.name}: {len(graph)} tasks, {graph.num_edges} edges")
+    rows = [
+        [t.task_id, t.kernel.name, t.n,
+         ",".join(map(str, graph.predecessors(t.task_id))) or "-"]
+        for t in graph
+    ]
+    print(format_table(["task", "kernel", "n", "depends on"], rows))
+    return 0
+
+
+def _cmd_simulate(ctx: StudyContext, args: argparse.Namespace) -> int:
+    graph = generate_dag(_params(args, ctx.seed))
+    suite = ctx.suite(args.simulator)
+    costs = SchedulingCosts(
+        graph,
+        ctx.platform,
+        suite.task_model,
+        startup_model=suite.startup_model,
+        redistribution_model=suite.redistribution_model,
+    )
+    schedule = schedule_dag(graph, costs, args.algorithm)
+    simulator = ApplicationSimulator(
+        ctx.platform,
+        suite.task_model,
+        startup_model=suite.startup_model,
+        redistribution_model=suite.redistribution_model,
+    )
+    sim_trace = simulator.run(graph, schedule)
+    exp_trace = ctx.emulator.execute(graph, schedule)
+    print(f"dag: {graph.name}  algorithm: {args.algorithm}  "
+          f"simulator: {args.simulator}")
+    print(f"allocations: {schedule.allocations()}")
+    print(f"simulated makespan:    {sim_trace.makespan:10.3f} s")
+    print(f"experimental makespan: {exp_trace.makespan:10.3f} s")
+    print(f"simulation error:      "
+          f"{100 * abs(sim_trace.makespan - exp_trace.makespan) / exp_trace.makespan:10.1f} %")
+    if args.gantt:
+        print()
+        print(render_gantt(exp_trace, num_hosts=ctx.platform.num_nodes))
+    if args.trace_json:
+        print(trace_to_json(exp_trace))
+    return 0
+
+
+def _cmd_profile(ctx: StudyContext, args: argparse.Namespace) -> int:
+    emu = ctx.emulator
+    if args.what == "kernels":
+        from repro.profiling.profiler import profile_kernels
+
+        profile = profile_kernels(emu, trials=args.trials)
+        rows = [
+            [k, n, p, t] for (k, n, p), t in sorted(profile.means.items())
+        ]
+        print(format_table(["kernel", "n", "p", "mean time [s]"], rows))
+    elif args.what == "startup":
+        f3 = fig_mod.figure3(ctx, trials=args.trials)
+        print(reporting.render_figure3(f3))
+    else:
+        f4 = fig_mod.figure4(ctx, trials=args.trials)
+        print(reporting.render_figure4(f4))
+    return 0
+
+
+def _cmd_variance(ctx: StudyContext, args: argparse.Namespace) -> int:
+    from repro.experiments.variance import run_variance_study
+
+    dags = [d for d in ctx.dags if d[0].n == args.n][: args.dags]
+    study = run_variance_study(
+        dags, ctx.suite(args.simulator), ctx.emulator, runs=args.runs,
+        n=args.n,
+    )
+    rows = [
+        [
+            d.dag_label,
+            d.rel_sim,
+            d.rel_exp_mean,
+            d.rel_exp_std,
+            f"{d.winner_stability:.2f}",
+            "noise" if d.noise_dominated else (
+                "FLIP" if d.sign_flipped_vs_mean else "ok"
+            ),
+        ]
+        for d in study.dags
+    ]
+    print(
+        format_table(
+            ["dag", "rel sim", "rel exp", "std", "stability", "verdict"],
+            rows,
+            float_fmt="{:+.3f}",
+        )
+    )
+    print(
+        f"\nnoise-dominated: {study.num_noise_dominated} / {len(study.dags)}"
+        f"; flips vs mean: {study.num_flips_vs_mean}"
+        f" (model-dominated: {study.num_model_dominated_flips})"
+    )
+    return 0
+
+
+def _cmd_attribution(ctx: StudyContext, args: argparse.Namespace) -> int:
+    from repro.experiments.attribution import attribute_gap
+
+    graph = generate_dag(_params(args, ctx.seed))
+    suite = ctx.analytic_suite
+    costs = SchedulingCosts(
+        graph,
+        ctx.platform,
+        suite.task_model,
+        startup_model=suite.startup_model,
+        redistribution_model=suite.redistribution_model,
+    )
+    schedule = schedule_dag(graph, costs, args.algorithm)
+    att = attribute_gap(graph, schedule, suite, ctx.profile_suite, ctx.emulator)
+    print(f"dag: {att.dag_label}  algorithm: {args.algorithm}")
+    print(f"analytic simulation: {att.base_makespan:8.2f} s")
+    print(f"experiment:          {att.exp_makespan:8.2f} s")
+    print("gap attribution (Section V-C, computed):")
+    for culprit, seconds in att.contributions.items():
+        share = att.fractions()[culprit]
+        print(f"  {culprit:<22} {seconds:+8.2f} s  ({100 * share:+.0f} %)")
+    print(f"  {'residual':<22} {att.residual:+8.2f} s")
+    return 0
+
+
+_COMMANDS = {
+    "figures": _cmd_figures,
+    "study": _cmd_study,
+    "dag": _cmd_dag,
+    "simulate": _cmd_simulate,
+    "profile": _cmd_profile,
+    "variance": _cmd_variance,
+    "attribution": _cmd_attribution,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    ctx = StudyContext(seed=args.seed)
+    return _COMMANDS[args.command](ctx, args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

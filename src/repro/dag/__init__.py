@@ -1,0 +1,62 @@
+"""Mixed-parallel application model.
+
+A mixed-parallel application is a DAG of *moldable* data-parallel tasks
+(Section II of the paper).  Tasks are matrix additions or matrix
+multiplications on n x n double-precision matrices with a vanilla 1D
+column-block parallelisation; edges carry the produced matrices and
+imply a data redistribution when producer and consumer use different
+processor sets.
+
+Public API
+----------
+- :class:`~repro.dag.kernels.Kernel` and the two paper kernels
+  :data:`~repro.dag.kernels.MATMUL` / :data:`~repro.dag.kernels.MATADD`;
+- :class:`~repro.dag.graph.Task` / :class:`~repro.dag.graph.TaskGraph`;
+- :func:`~repro.dag.generator.generate_dag` and
+  :func:`~repro.dag.generator.generate_paper_dags` (the 54-DAG set of
+  Table I);
+- :class:`~repro.dag.distributions.BlockDistribution` and
+  :func:`~repro.dag.distributions.redistribution_matrix`;
+- graph analysis helpers in :mod:`repro.dag.analysis`.
+"""
+
+from repro.dag.kernels import Kernel, MATMUL, MATADD, KERNELS
+from repro.dag.graph import Task, TaskGraph
+from repro.dag.generator import DagParameters, generate_dag, generate_paper_dags
+from repro.dag.daggen import DaggenParameters, generate_daggen
+from repro.dag.io import dags_from_dict, dags_to_dict, load_dags, save_dags
+from repro.dag.distributions import BlockDistribution, redistribution_matrix
+from repro.dag.analysis import (
+    bottom_levels,
+    top_levels,
+    critical_path,
+    precedence_levels,
+    dag_width,
+    computation_communication_ratio,
+)
+
+__all__ = [
+    "Kernel",
+    "MATMUL",
+    "MATADD",
+    "KERNELS",
+    "Task",
+    "TaskGraph",
+    "DagParameters",
+    "generate_dag",
+    "generate_paper_dags",
+    "DaggenParameters",
+    "generate_daggen",
+    "dags_from_dict",
+    "dags_to_dict",
+    "load_dags",
+    "save_dags",
+    "BlockDistribution",
+    "redistribution_matrix",
+    "bottom_levels",
+    "top_levels",
+    "critical_path",
+    "precedence_levels",
+    "dag_width",
+    "computation_communication_ratio",
+]

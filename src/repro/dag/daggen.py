@@ -1,0 +1,132 @@
+"""daggen-style random DAG generator (extension).
+
+The Table I generator reproduces the paper's exact workload; for
+broader studies the mixed-parallel literature uses Suter's *daggen*
+tool, whose four shape parameters this module implements:
+
+* ``fat`` — width of the DAG: the mean number of tasks per level is
+  ``fat * sqrt(num_tasks)`` (fat -> 0 gives chains, fat -> 1 gives wide
+  fork-join shapes);
+* ``regularity`` — how uniform the level sizes are (1 = all levels the
+  same width, 0 = sizes scattered across ``[1, 2 * mean)``);
+* ``density`` — fraction of the eligible producers each task actually
+  depends on (every non-entry task keeps at least one parent, so the
+  graph stays connected level-to-level);
+* ``jump`` — how many levels an edge may skip (1 = only adjacent
+  levels, like the paper's generator).
+
+Tasks are assigned the paper's kernels (matmul / matadd by
+``add_ratio``) and a matrix size, so the generated workloads run on the
+unmodified simulator/testbed stack.  Note that edges express *data
+movement* (one matrix redistribution each); the binary arity of the
+kernels bounds their computational inputs, not their in-degree here —
+extra parents model the multi-input joins real workflows have.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dag.graph import Task, TaskGraph
+from repro.dag.kernels import MATADD, MATMUL
+from repro.util.rng import spawn_rng
+
+__all__ = ["DaggenParameters", "generate_daggen"]
+
+
+@dataclass(frozen=True)
+class DaggenParameters:
+    """Shape parameters of one daggen-style DAG."""
+
+    num_tasks: int = 20
+    fat: float = 0.5
+    density: float = 0.5
+    regularity: float = 0.5
+    jump: int = 1
+    add_ratio: float = 0.5
+    n: int = 2000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise ValueError("num_tasks must be >= 1")
+        for attr in ("fat", "density", "regularity", "add_ratio"):
+            value = getattr(self, attr)
+            if not (0.0 <= value <= 1.0):
+                raise ValueError(f"{attr} must lie in [0, 1], got {value}")
+        if self.jump < 1:
+            raise ValueError("jump must be >= 1")
+        if self.n <= 0:
+            raise ValueError("matrix size must be positive")
+
+    def label(self) -> str:
+        return (
+            f"daggen_t{self.num_tasks}_f{self.fat}_d{self.density}"
+            f"_r{self.regularity}_j{self.jump}_n{self.n}_s{self.seed}"
+        )
+
+
+def _level_sizes(params: DaggenParameters, rng) -> list[int]:
+    """Split ``num_tasks`` into level sizes per fat/regularity."""
+    mean_width = max(1.0, params.fat * math.sqrt(params.num_tasks))
+    sizes: list[int] = []
+    remaining = params.num_tasks
+    while remaining > 0:
+        lo = max(1.0, mean_width * params.regularity)
+        hi = max(lo, mean_width * (2.0 - params.regularity))
+        size = int(round(rng.uniform(lo, hi)))
+        size = max(1, min(size, remaining))
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+def generate_daggen(params: DaggenParameters) -> TaskGraph:
+    """Generate one daggen-style DAG; validated before return."""
+    rng = spawn_rng(
+        params.seed,
+        "daggen",
+        params.num_tasks,
+        round(params.fat, 6),
+        round(params.density, 6),
+        round(params.regularity, 6),
+        params.jump,
+        round(params.add_ratio, 6),
+        params.n,
+    )
+    graph = TaskGraph(name=params.label())
+
+    num_add = round(params.add_ratio * params.num_tasks)
+    add_ids = set(
+        rng.choice(params.num_tasks, size=num_add, replace=False).tolist()
+        if num_add
+        else []
+    )
+
+    sizes = _level_sizes(params, rng)
+    levels: list[list[int]] = []
+    next_id = 0
+    for size in sizes:
+        level = []
+        for _ in range(size):
+            kernel = MATADD if next_id in add_ids else MATMUL
+            graph.add_task(Task(task_id=next_id, kernel=kernel, n=params.n))
+            level.append(next_id)
+            next_id += 1
+        levels.append(level)
+
+    for lvl_idx in range(1, len(levels)):
+        lo = max(0, lvl_idx - params.jump)
+        pool = [t for lvl in levels[lo:lvl_idx] for t in lvl]
+        for task_id in levels[lvl_idx]:
+            # Each task keeps >= 1 parent; the expected count follows
+            # density.
+            want = max(1, int(round(params.density * len(pool))))
+            want = min(want, len(pool))
+            parents = rng.choice(len(pool), size=want, replace=False)
+            for idx in sorted(int(i) for i in parents):
+                graph.add_edge(pool[idx], task_id)
+
+    graph.validate()
+    return graph

@@ -1,0 +1,204 @@
+"""Random DAG generator (paper, Section II-B and Table I).
+
+The generator builds level-structured DAGs of binary matrix tasks:
+
+1. pick the number of entry tasks uniformly in ``[1, log2(v)]`` where
+   ``v`` is the number of original input matrices (the *DAG width*
+   parameter, 2 / 4 / 8 in the paper);
+2. each entry task consumes two input matrices and produces one matrix;
+3. each subsequent level holds between 1 and ``log2(m)`` tasks, where
+   ``m`` is the number of matrices available so far (original inputs plus
+   all task outputs); every task consumes two available matrices
+   produced at earlier levels (or original inputs) and produces one;
+4. generation stops when the requested total number of tasks (10 in the
+   paper) has been created;
+5. a fraction ``add_ratio`` of the tasks are matrix additions, the rest
+   multiplications ("a ratio of 0.2 for 10 tasks leads to 2 additions
+   and 8 multiplications").
+
+Consuming a matrix produced by an earlier task creates a dependency
+edge; consuming an original input matrix does not.
+
+Table I grid: 10 tasks; v in {2, 4, 8}; add_ratio in {0.5, 0.75, 1.0};
+n in {2000, 3000}; 3 samples — 54 DAGs total.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.dag.graph import Task, TaskGraph
+from repro.dag.kernels import MATADD, MATMUL
+from repro.util.rng import spawn_rng
+
+__all__ = ["DagParameters", "generate_dag", "generate_paper_dags", "PAPER_GRID"]
+
+
+@dataclass(frozen=True)
+class DagParameters:
+    """Parameters of one random DAG instance (one cell of Table I).
+
+    Attributes
+    ----------
+    num_tasks:
+        Total number of tasks to generate.
+    num_input_matrices:
+        The width parameter ``v`` (number of original input matrices).
+    add_ratio:
+        Fraction of tasks that are matrix additions.
+    n:
+        Matrix dimension (elements per side).
+    sample:
+        Sample index (the paper draws 3 samples per parameter cell).
+    seed:
+        Root seed; combined with all other fields so each cell/sample is
+        an independent stream.
+    """
+
+    num_tasks: int = 10
+    num_input_matrices: int = 4
+    add_ratio: float = 0.5
+    n: int = 2000
+    sample: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise ValueError("num_tasks must be >= 1")
+        if self.num_input_matrices < 2:
+            raise ValueError("need at least two input matrices (tasks are binary)")
+        if not (0.0 <= self.add_ratio <= 1.0):
+            raise ValueError("add_ratio must lie in [0, 1]")
+        if self.n <= 0:
+            raise ValueError("matrix dimension must be positive")
+
+    @property
+    def num_additions(self) -> int:
+        """Number of addition tasks implied by the ratio (paper rounding)."""
+        return round(self.add_ratio * self.num_tasks)
+
+    def label(self) -> str:
+        return (
+            f"v{self.num_input_matrices}_r{self.add_ratio}_n{self.n}_s{self.sample}"
+        )
+
+
+def _max_level_tasks(num_matrices: int) -> int:
+    """Upper bound of tasks on a level: ``max(1, floor(log2(m)))``."""
+    return max(1, int(math.log2(num_matrices)))
+
+
+def generate_dag(params: DagParameters) -> TaskGraph:
+    """Generate one random DAG following the paper's procedure.
+
+    The result is validated before being returned and carries the
+    parameter label as its name.
+    """
+    rng = spawn_rng(
+        params.seed,
+        "dag-generator",
+        params.num_tasks,
+        params.num_input_matrices,
+        round(params.add_ratio, 6),
+        params.n,
+        params.sample,
+    )
+    graph = TaskGraph(name=params.label())
+
+    # Decide which task indices are additions: exactly num_additions of
+    # them, chosen uniformly (the paper fixes the count, not per-task
+    # coin flips).
+    num_add = params.num_additions
+    add_ids = set(
+        rng.choice(params.num_tasks, size=num_add, replace=False).tolist()
+        if num_add
+        else []
+    )
+
+    # The matrix pool: original inputs are negative pseudo-ids; task
+    # outputs are identified by the producing task id.
+    ORIGINAL = -1
+    pool: list[int] = [ORIGINAL] * params.num_input_matrices
+
+    next_id = 0
+    entry_cap = _max_level_tasks(params.num_input_matrices)
+    num_entry = int(rng.integers(1, entry_cap + 1))
+    num_entry = min(num_entry, params.num_tasks)
+
+    def make_task(tid: int) -> Task:
+        kernel = MATADD if tid in add_ids else MATMUL
+        return Task(task_id=tid, kernel=kernel, n=params.n)
+
+    # Entry level: tasks consume only original input matrices.
+    level_outputs: list[int] = []
+    for _ in range(num_entry):
+        graph.add_task(make_task(next_id))
+        level_outputs.append(next_id)
+        next_id += 1
+    pool.extend(level_outputs)
+
+    # Subsequent levels.
+    while next_id < params.num_tasks:
+        cap = _max_level_tasks(len(pool))
+        count = int(rng.integers(1, cap + 1))
+        count = min(count, params.num_tasks - next_id)
+        level_outputs = []
+        for _ in range(count):
+            task = graph.add_task(make_task(next_id))
+            # Pick two distinct matrices from the pool of everything
+            # produced at earlier levels (original inputs included).
+            picks = rng.choice(len(pool), size=2, replace=False)
+            producers = {pool[int(i)] for i in picks if pool[int(i)] != ORIGINAL}
+            for producer in sorted(producers):
+                graph.add_edge(producer, task.task_id)
+            level_outputs.append(task.task_id)
+            next_id += 1
+        pool.extend(level_outputs)
+
+    graph.validate()
+    return graph
+
+
+#: The exact parameter grid of Table I.
+PAPER_GRID = {
+    "num_tasks": 10,
+    "num_input_matrices": (2, 4, 8),
+    "add_ratio": (0.5, 0.75, 1.0),
+    "n": (2000, 3000),
+    "samples": 3,
+}
+
+
+def generate_paper_dags(
+    seed: int = 0,
+    *,
+    sizes: tuple[int, ...] | None = None,
+) -> list[tuple[DagParameters, TaskGraph]]:
+    """Generate the full Table I set (54 DAGs) or one size slice (27).
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the whole set.
+    sizes:
+        Restrict to these matrix dimensions (default: both paper sizes).
+        Figure 1 uses only ``(2000,)``, Fig 5/7/8 use both.
+    """
+    sizes = tuple(PAPER_GRID["n"]) if sizes is None else sizes
+    out: list[tuple[DagParameters, TaskGraph]] = []
+    for v in PAPER_GRID["num_input_matrices"]:
+        for ratio in PAPER_GRID["add_ratio"]:
+            for n in sizes:
+                for sample in range(PAPER_GRID["samples"]):
+                    params = DagParameters(
+                        num_tasks=PAPER_GRID["num_tasks"],
+                        num_input_matrices=v,
+                        add_ratio=ratio,
+                        n=n,
+                        sample=sample,
+                        seed=seed,
+                    )
+                    out.append((params, generate_dag(params)))
+    return out

@@ -1,0 +1,51 @@
+"""Workload (de)serialisation: task-graph sets to/from JSON.
+
+A reproduction is only as shareable as its workload: these helpers dump
+a generated DAG population (e.g. the 54-DAG Table I set) to one JSON
+file and restore it bit-for-bit, so two parties can run the study on
+*literally* the same graphs rather than on same-seed regenerations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.dag.graph import TaskGraph
+from repro.util.errors import InvalidDAGError
+
+__all__ = ["save_dags", "load_dags", "dags_to_dict", "dags_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def dags_to_dict(graphs: Sequence[TaskGraph]) -> dict:
+    """Serialisable form of a workload (list of task graphs)."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "dags": [g.to_dict() for g in graphs],
+    }
+
+
+def dags_from_dict(data: dict) -> list[TaskGraph]:
+    """Inverse of :func:`dags_to_dict`; every graph is validated."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise InvalidDAGError(
+            f"unsupported workload format version {version!r} "
+            f"(this library writes version {_FORMAT_VERSION})"
+        )
+    return [TaskGraph.from_dict(spec) for spec in data["dags"]]
+
+
+def save_dags(graphs: Sequence[TaskGraph], path: str | Path) -> Path:
+    """Write a workload to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(dags_to_dict(graphs), indent=2))
+    return path
+
+
+def load_dags(path: str | Path) -> list[TaskGraph]:
+    """Read a workload back from JSON."""
+    return dags_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,158 @@
+"""Computational kernels of the case study: matrix multiply and add.
+
+Both kernels operate on n x n matrices of double-precision elements
+(8 bytes) distributed 1D column-block over the p processors of the task.
+
+Analytical cost model (paper, Section IV-1)
+-------------------------------------------
+* **multiplication** — each processor executes ``2 n^3 / p`` flops and
+  sends ``n^2 / p`` elements per communication step of the 1D algorithm
+  (there are ``p`` steps, each processor forwarding its current column
+  block around a ring).
+* **addition** — ``n^2 / p`` flops per processor and no communication.
+  Because that is negligible against a multiplication, the paper
+  *artificially repeats* each addition ``n / 4`` times, for a total of
+  ``(n/4) * (n^2/p)`` flops per processor.  Even adjusted, a factor ~8
+  separates the two kernels' total flop counts, so the DAGs mix tasks of
+  genuinely different computation/communication ratios.  All paper
+  results use the adjusted addition; so do we.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Kernel",
+    "MATMUL",
+    "MATADD",
+    "KERNELS",
+    "BYTES_PER_ELEMENT",
+    "matrix_bytes",
+]
+
+#: Size of one matrix element (IEEE-754 double).
+BYTES_PER_ELEMENT = 8
+
+
+def matrix_bytes(n: int) -> int:
+    """Total size in bytes of an n x n double matrix.
+
+    The paper quotes 30 MB for n = 2000 and 68 MB for n = 3000
+    (2000^2*8 = 32e6 B ~ 30.5 MiB; 3000^2*8 = 72e6 B ~ 68.7 MiB).
+    """
+    if n <= 0:
+        raise ValueError(f"matrix dimension must be positive, got {n}")
+    return n * n * BYTES_PER_ELEMENT
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A moldable computational kernel with analytical cost formulas.
+
+    Attributes
+    ----------
+    name:
+        Identifier (``"matmul"`` or ``"matadd"``).
+    arity:
+        Number of input matrices consumed (both paper kernels are binary).
+    """
+
+    name: str
+    arity: int = 2
+
+    def flops_per_proc(self, n: int, p: int) -> float:
+        """Floating-point operations executed by *each* of ``p`` processors."""
+        raise NotImplementedError
+
+    def total_flops(self, n: int) -> float:
+        """Total work of the kernel (independent of p for both kernels)."""
+        return self.flops_per_proc(n, 1)
+
+    def comm_steps(self, n: int, p: int) -> int:
+        """Number of communication steps of the 1D parallel algorithm."""
+        raise NotImplementedError
+
+    def bytes_per_step(self, n: int, p: int) -> float:
+        """Bytes sent by each processor per communication step."""
+        raise NotImplementedError
+
+    def comm_matrix(self, n: int, p: int) -> np.ndarray:
+        """The L07 communication matrix B (bytes between local ranks).
+
+        ``B[i, j]`` is the total number of bytes rank ``i`` sends to rank
+        ``j`` over the whole kernel execution.  The 1D algorithm is a ring
+        shift: in each of its steps every rank forwards its current block
+        (``n^2/p`` elements) to its right neighbour.
+        """
+        _check_np(n, p)
+        B = np.zeros((p, p), dtype=float)
+        steps = self.comm_steps(n, p)
+        if steps == 0 or p == 1:
+            return B
+        per_step = self.bytes_per_step(n, p)
+        for i in range(p):
+            B[i, (i + 1) % p] = steps * per_step
+        return B
+
+
+def _check_np(n: int, p: int) -> None:
+    if n <= 0:
+        raise ValueError(f"matrix dimension must be positive, got {n}")
+    if p <= 0:
+        raise ValueError(f"processor count must be positive, got {p}")
+
+
+@dataclass(frozen=True)
+class _MatMul(Kernel):
+    """1D column-block parallel matrix multiplication (C = A * B)."""
+
+    name: str = "matmul"
+
+    def flops_per_proc(self, n: int, p: int) -> float:
+        _check_np(n, p)
+        return 2.0 * n**3 / p
+
+    def comm_steps(self, n: int, p: int) -> int:
+        _check_np(n, p)
+        # Ring algorithm: p - 1 shifts move every block past every rank.
+        return max(p - 1, 0)
+
+    def bytes_per_step(self, n: int, p: int) -> float:
+        _check_np(n, p)
+        if p == 1:
+            return 0.0
+        return (n * n / p) * BYTES_PER_ELEMENT
+
+
+#: Repetition factor divisor for the adjusted addition: each addition is
+#: executed ``n / ADDITION_REPEAT_DIVISOR`` times (paper: n/4).
+ADDITION_REPEAT_DIVISOR = 4
+
+
+@dataclass(frozen=True)
+class _MatAdd(Kernel):
+    """1D parallel matrix addition, repeated n/4 times (paper adjustment)."""
+
+    name: str = "matadd"
+
+    def flops_per_proc(self, n: int, p: int) -> float:
+        _check_np(n, p)
+        return (n / ADDITION_REPEAT_DIVISOR) * (n * n / p)
+
+    def comm_steps(self, n: int, p: int) -> int:
+        _check_np(n, p)
+        return 0  # element-wise, perfectly local under matching distributions
+
+    def bytes_per_step(self, n: int, p: int) -> float:
+        _check_np(n, p)
+        return 0.0
+
+
+MATMUL = _MatMul()
+MATADD = _MatAdd()
+
+#: Registry by name, used when (de)serialising task graphs.
+KERNELS: dict[str, Kernel] = {MATMUL.name: MATMUL, MATADD.name: MATADD}

@@ -1,0 +1,41 @@
+"""The study driver: reproduce every table and figure of the paper.
+
+* :mod:`repro.experiments.runner` — run (DAG x algorithm x simulator)
+  grids through scheduling, simulation and testbed execution;
+* :mod:`repro.experiments.comparison` — the paper's metrics: relative
+  HCPA/MCPA makespans, sign agreement, simulation error distributions;
+* :mod:`repro.experiments.context` — :class:`StudyContext`, a lazily
+  calibrated bundle of platform + testbed + the three simulator suites;
+* :mod:`repro.experiments.figures` — one function per table/figure,
+  returning plain data objects the benchmarks print and check.
+"""
+
+from repro.experiments.runner import RunRecord, StudyResult, run_study
+from repro.experiments.context import StudyContext
+from repro.experiments.comparison import (
+    AlgorithmComparison,
+    compare_algorithms,
+    simulation_errors,
+)
+from repro.experiments.variance import VarianceStudy, run_variance_study
+from repro.experiments.attribution import GapAttribution, attribute_gap
+from repro.experiments.sensitivity import SensitivitySweep, overhead_sensitivity
+from repro.experiments import figures, reporting
+
+__all__ = [
+    "VarianceStudy",
+    "run_variance_study",
+    "GapAttribution",
+    "attribute_gap",
+    "SensitivitySweep",
+    "overhead_sensitivity",
+    "reporting",
+    "RunRecord",
+    "StudyResult",
+    "run_study",
+    "StudyContext",
+    "AlgorithmComparison",
+    "compare_algorithms",
+    "simulation_errors",
+    "figures",
+]

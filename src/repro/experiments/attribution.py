@@ -1,0 +1,133 @@
+"""Attributing the simulation-vs-experiment gap to root causes.
+
+Section V-C of the paper identifies three culprits for the analytical
+simulator's errors by *inspecting schedules manually*: (a) task
+execution times far from the analytical model, (b) task startup
+overhead, (c) data redistribution overhead.  This module performs that
+analysis computationally, by **counterfactual build-up**: starting from
+the base simulator, the true (measured) models are swapped in one at a
+time and the schedule re-simulated after each swap —
+
+    base simulation
+      -> + measured kernel times          (culprit a)
+      -> + measured startup overheads     (culprit b)
+      -> + measured redistribution overheads and the
+           achievable (derated) network   (culprit c)
+      -> residual vs the experiment       (noise & unmodelled effects)
+
+Each step's makespan delta is that culprit's contribution under this
+ordering (a single permutation of a Shapley decomposition — adequate
+here because the components interact weakly on the critical path, and
+exact enough for the ranking the paper cares about).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dag.graph import TaskGraph
+from repro.platform.cluster import ClusterPlatform
+from repro.profiling.calibration import SimulatorSuite
+from repro.scheduling.schedule import Schedule
+from repro.simgrid.simulator import ApplicationSimulator
+from repro.testbed.tgrid import TGridEmulator
+
+__all__ = ["GapAttribution", "attribute_gap"]
+
+
+@dataclass
+class GapAttribution:
+    """Build-up decomposition of one schedule's simulation gap."""
+
+    dag_label: str
+    base_makespan: float
+    exp_makespan: float
+    contributions: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def explained(self) -> float:
+        """Gap seconds accounted for by the modelled culprits."""
+        return sum(self.contributions.values())
+
+    @property
+    def residual(self) -> float:
+        """Gap seconds left unexplained (noise, unmodelled effects)."""
+        return (self.exp_makespan - self.base_makespan) - self.explained
+
+    @property
+    def dominant_culprit(self) -> str:
+        return max(self.contributions, key=lambda k: abs(self.contributions[k]))
+
+    def fractions(self) -> dict[str, float]:
+        """Each culprit's share of the total gap (can exceed [0,1] when
+        components pull in opposite directions)."""
+        gap = self.exp_makespan - self.base_makespan
+        if abs(gap) < 1e-12:
+            return {k: 0.0 for k in self.contributions}
+        return {k: v / gap for k, v in self.contributions.items()}
+
+
+def attribute_gap(
+    graph: TaskGraph,
+    schedule: Schedule,
+    base_suite: SimulatorSuite,
+    truth_suite: SimulatorSuite,
+    emulator: TGridEmulator,
+) -> GapAttribution:
+    """Decompose the gap between a base simulation and the experiment.
+
+    Parameters
+    ----------
+    base_suite:
+        The simulator under scrutiny (typically the analytical one).
+    truth_suite:
+        A measured proxy of the environment (typically the brute-force
+        profile suite — the best model of reality short of running it).
+    emulator:
+        The testbed; provides the experimental makespan and the
+        achievable (derated) network.
+    """
+    platform = emulator.platform
+
+    def simulate(task_m, startup_m, redist_m, plat: ClusterPlatform) -> float:
+        sim = ApplicationSimulator(
+            plat, task_m, startup_model=startup_m, redistribution_model=redist_m
+        )
+        return sim.run(graph, schedule).makespan
+
+    base = simulate(
+        base_suite.task_model,
+        base_suite.startup_model,
+        base_suite.redistribution_model,
+        platform,
+    )
+    with_kernels = simulate(
+        truth_suite.task_model,
+        base_suite.startup_model,
+        base_suite.redistribution_model,
+        platform,
+    )
+    with_startup = simulate(
+        truth_suite.task_model,
+        truth_suite.startup_model,
+        base_suite.redistribution_model,
+        platform,
+    )
+    with_redistribution = simulate(
+        truth_suite.task_model,
+        truth_suite.startup_model,
+        truth_suite.redistribution_model,
+        emulator.effective_platform,
+    )
+    exp = emulator.makespan(graph, schedule)
+
+    return GapAttribution(
+        dag_label=graph.name,
+        base_makespan=base,
+        exp_makespan=exp,
+        contributions={
+            "kernel time": with_kernels - base,
+            "startup overhead": with_startup - with_kernels,
+            "redistribution": with_redistribution - with_startup,
+        },
+    )

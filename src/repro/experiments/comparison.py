@@ -1,0 +1,122 @@
+"""Comparison metrics of the case study.
+
+The headline question: *can the simulation predict which scheduling
+algorithm is better?*  For each DAG the paper computes the makespan of
+HCPA relative to MCPA,
+
+    ``rel = (makespan_HCPA - makespan_MCPA) / makespan_MCPA``,
+
+once from simulated makespans and once from experimental ones.  A DAG
+where the two relative makespans have opposite signs is a case where
+"relying on simulations ... lead[s] to a result that is the opposite of
+the experimental result".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.runner import StudyResult
+from repro.util.stats import BoxStats, box_stats
+
+__all__ = ["DagComparison", "AlgorithmComparison", "compare_algorithms",
+           "simulation_errors"]
+
+
+@dataclass(frozen=True)
+class DagComparison:
+    """Relative makespan of one DAG under one simulator version."""
+
+    dag_label: str
+    n: int
+    rel_sim: float
+    rel_exp: float
+
+    @property
+    def sign_flipped(self) -> bool:
+        """True when simulation and experiment disagree on the winner.
+
+        Exact ties (either side exactly zero) predict nothing and are
+        not counted as wrong.
+        """
+        if self.rel_sim == 0.0 or self.rel_exp == 0.0:
+            return False
+        return (self.rel_sim > 0) != (self.rel_exp > 0)
+
+
+@dataclass
+class AlgorithmComparison:
+    """Per-DAG comparisons of one simulator version, Figs 1/5/7 style."""
+
+    simulator: str
+    n: int
+    baseline: str
+    challenger: str
+    dags: list[DagComparison] = field(default_factory=list)
+
+    @property
+    def num_dags(self) -> int:
+        return len(self.dags)
+
+    @property
+    def num_wrong(self) -> int:
+        return sum(1 for d in self.dags if d.sign_flipped)
+
+    @property
+    def wrong_fraction(self) -> float:
+        if not self.dags:
+            raise ValueError("comparison holds no DAGs")
+        return self.num_wrong / self.num_dags
+
+    def sorted_by_sim(self) -> list[DagComparison]:
+        """DAGs by increasing simulated relative makespan (figure x-axis)."""
+        return sorted(self.dags, key=lambda d: (d.rel_sim, d.dag_label))
+
+    @property
+    def challenger_experimental_wins(self) -> int:
+        """DAGs where the challenger (HCPA) wins in the experiment."""
+        return sum(1 for d in self.dags if d.rel_exp < 0)
+
+
+def compare_algorithms(
+    study: StudyResult,
+    *,
+    simulator: str,
+    n: int,
+    challenger: str = "hcpa",
+    baseline: str = "mcpa",
+) -> AlgorithmComparison:
+    """Build the per-DAG relative-makespan comparison for one simulator."""
+    if not study.select(simulator=simulator, n=n):
+        raise ValueError(f"study holds no records for simulator={simulator} n={n}")
+    comparison = AlgorithmComparison(
+        simulator=simulator, n=n, baseline=baseline, challenger=challenger
+    )
+    for label in study.dag_labels(n=n):
+        chal = study.record(label, challenger, simulator)
+        base = study.record(label, baseline, simulator)
+        rel_sim = (chal.sim_makespan - base.sim_makespan) / base.sim_makespan
+        rel_exp = (chal.exp_makespan - base.exp_makespan) / base.exp_makespan
+        comparison.dags.append(
+            DagComparison(dag_label=label, n=n, rel_sim=rel_sim, rel_exp=rel_exp)
+        )
+    if not comparison.dags:
+        raise ValueError(f"study holds no records for simulator={simulator} n={n}")
+    return comparison
+
+
+def simulation_errors(
+    study: StudyResult,
+    *,
+    simulator: str,
+    algorithm: str,
+    n: int | None = None,
+) -> BoxStats:
+    """Box statistics of makespan simulation error [%] (Fig 8)."""
+    records = study.select(simulator=simulator, algorithm=algorithm, n=n)
+    if not records:
+        raise ValueError(
+            f"no records for simulator={simulator} algorithm={algorithm}"
+        )
+    return box_stats([rec.error_pct for rec in records])

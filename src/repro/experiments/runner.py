@@ -1,0 +1,141 @@
+"""Run the scheduling study: simulate and execute every configuration.
+
+The paper's methodology (Section V-A), per DAG and scheduling algorithm:
+
+1. the simulator computes the schedule (its cost models drive the
+   allocation and mapping phases);
+2. the simulator reports the *simulated* makespan of that schedule;
+3. the same schedule is executed on the real cluster (here: the testbed
+   emulator), yielding the *experimental* makespan.
+
+Different simulator versions produce different schedules for the same
+DAG, so each (DAG, algorithm, simulator) triple carries its own pair of
+makespans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.dag.generator import DagParameters
+from repro.dag.graph import TaskGraph
+from repro.profiling.calibration import SimulatorSuite
+from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.driver import schedule_dag
+from repro.scheduling.schedule import Schedule
+from repro.simgrid.simulator import ApplicationSimulator
+from repro.testbed.tgrid import TGridEmulator
+from repro.util.stats import relative_error
+
+__all__ = ["RunRecord", "StudyResult", "run_study"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One (DAG, algorithm, simulator) outcome."""
+
+    dag_label: str
+    n: int
+    algorithm: str
+    simulator: str
+    sim_makespan: float
+    exp_makespan: float
+    total_alloc: int
+
+    @property
+    def error(self) -> float:
+        """Relative simulation error against the experiment."""
+        return relative_error(self.sim_makespan, self.exp_makespan)
+
+    @property
+    def error_pct(self) -> float:
+        return 100.0 * self.error
+
+
+@dataclass
+class StudyResult:
+    """All records of one study sweep, with convenience accessors."""
+
+    records: list[RunRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def select(
+        self,
+        *,
+        simulator: str | None = None,
+        algorithm: str | None = None,
+        n: int | None = None,
+    ) -> list[RunRecord]:
+        out = []
+        for rec in self.records:
+            if simulator is not None and rec.simulator != simulator:
+                continue
+            if algorithm is not None and rec.algorithm != algorithm:
+                continue
+            if n is not None and rec.n != n:
+                continue
+            out.append(rec)
+        return out
+
+    def record(self, dag_label: str, algorithm: str, simulator: str) -> RunRecord:
+        for rec in self.records:
+            if (
+                rec.dag_label == dag_label
+                and rec.algorithm == algorithm
+                and rec.simulator == simulator
+            ):
+                return rec
+        raise KeyError((dag_label, algorithm, simulator))
+
+    def dag_labels(self, *, n: int | None = None) -> list[str]:
+        seen: dict[str, None] = {}
+        for rec in self.records:
+            if n is None or rec.n == n:
+                seen.setdefault(rec.dag_label)
+        return list(seen)
+
+
+def run_study(
+    dags: Sequence[tuple[DagParameters, TaskGraph]],
+    suites: Iterable[SimulatorSuite],
+    emulator: TGridEmulator,
+    *,
+    algorithms: Sequence[str] = ("hcpa", "mcpa"),
+) -> StudyResult:
+    """Run the full grid; returns every (DAG, algorithm, suite) record."""
+    result = StudyResult()
+    platform = emulator.platform
+    for suite in suites:
+        for params, graph in dags:
+            costs = SchedulingCosts(
+                graph,
+                platform,
+                suite.task_model,
+                startup_model=suite.startup_model,
+                redistribution_model=suite.redistribution_model,
+            )
+            for algorithm in algorithms:
+                schedule = schedule_dag(graph, costs, algorithm)
+                simulator = ApplicationSimulator(
+                    platform,
+                    suite.task_model,
+                    startup_model=suite.startup_model,
+                    redistribution_model=suite.redistribution_model,
+                )
+                sim_trace = simulator.run(graph, schedule)
+                exp_trace = emulator.execute(graph, schedule)
+                result.records.append(
+                    RunRecord(
+                        dag_label=graph.name,
+                        n=params.n,
+                        algorithm=algorithm,
+                        simulator=suite.name,
+                        sim_makespan=sim_trace.makespan,
+                        exp_makespan=exp_trace.makespan,
+                        total_alloc=sum(schedule.allocations().values()),
+                    )
+                )
+    return result

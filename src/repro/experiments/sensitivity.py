@@ -1,0 +1,116 @@
+"""Sensitivity of the paper's findings to environment parameters.
+
+The paper attributes the analytical simulator's failure to environment
+specifics it does not model.  If that causal story is right, *dialling
+those specifics up and down* should move the failure rate: an
+environment with no startup/redistribution overhead and honest kernels
+should be predictable analytically; one with heavier overheads should
+be even less predictable.  The testbed emulator makes this experiment
+possible — it is exactly the kind of counterfactual a physical cluster
+cannot offer.
+
+:func:`overhead_sensitivity` sweeps a scale factor applied to the
+testbed's startup and redistribution overheads and reports, per point,
+the analytical simulator's sign-flip count and mean makespan error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.dag.generator import DagParameters
+from repro.dag.graph import TaskGraph
+from repro.experiments.comparison import compare_algorithms
+from repro.experiments.runner import run_study
+from repro.platform.cluster import ClusterPlatform
+from repro.profiling.calibration import SimulatorSuite, build_analytical_suite
+from repro.testbed.tgrid import TGridEmulator
+
+__all__ = ["SensitivityPoint", "SensitivitySweep", "overhead_sensitivity"]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Outcome of the study at one overhead scale."""
+
+    scale: float
+    num_wrong: int
+    num_dags: int
+    mean_error_pct: float
+
+    @property
+    def wrong_fraction(self) -> float:
+        return self.num_wrong / self.num_dags
+
+
+@dataclass
+class SensitivitySweep:
+    """All points of one sensitivity sweep."""
+
+    parameter: str
+    points: list[SensitivityPoint] = field(default_factory=list)
+
+    def errors_increase_with_scale(self) -> bool:
+        """True when the mean simulation error grows monotonically."""
+        errs = [p.mean_error_pct for p in sorted(self.points, key=lambda x: x.scale)]
+        return all(b >= a - 1e-9 for a, b in zip(errs, errs[1:]))
+
+    def point(self, scale: float) -> SensitivityPoint:
+        for p in self.points:
+            if p.scale == scale:
+                return p
+        raise KeyError(scale)
+
+
+def overhead_sensitivity(
+    platform: ClusterPlatform,
+    dags: Sequence[tuple[DagParameters, TaskGraph]],
+    *,
+    scales: Sequence[float] = (0.25, 1.0, 4.0),
+    seed: int = 0,
+    n: int | None = 2000,
+    suite: SimulatorSuite | None = None,
+) -> SensitivitySweep:
+    """Sweep the testbed's overhead magnitude against one simulator.
+
+    Parameters
+    ----------
+    scales:
+        Multipliers applied to both the startup and the redistribution
+        overheads of the testbed (1.0 = the measured Bayreuth machine).
+    suite:
+        Simulator under test; defaults to the analytical one (which
+        never models overheads, so its error must track the scale).
+    """
+    if not scales:
+        raise ValueError("need at least one scale point")
+    suite = suite or build_analytical_suite(platform)
+    selected = [(p, g) for p, g in dags if n is None or p.n == n]
+    if not selected:
+        raise ValueError("no DAGs match the requested size")
+    sweep = SensitivitySweep(parameter="overhead scale")
+    for scale in scales:
+        emulator = TGridEmulator(
+            platform,
+            seed=seed,
+            startup_scale=scale,
+            redistribution_scale=scale,
+        )
+        study = run_study(selected, [suite], emulator)
+        cmp = compare_algorithms(
+            study, simulator=suite.name, n=n or selected[0][0].n
+        )
+        sweep.points.append(
+            SensitivityPoint(
+                scale=scale,
+                num_wrong=cmp.num_wrong,
+                num_dags=cmp.num_dags,
+                mean_error_pct=float(
+                    np.mean([r.error_pct for r in study.records])
+                ),
+            )
+        )
+    return sweep

@@ -1,0 +1,158 @@
+"""Run-to-run variance analysis (extension beyond the paper).
+
+The paper executes each schedule *once* on the real cluster, so its
+per-DAG comparisons carry the run-to-run noise of a single observation.
+The emulated testbed lets us re-run cheaply: this module executes each
+schedule many times and separates the sign-flip phenomenon into
+
+* **noise-dominated** DAGs — the two algorithms' experimental makespan
+  distributions overlap so much that the *true* winner is itself
+  uncertain (no simulator, however perfect, can reliably predict a
+  coin-flip), and
+* **model-dominated** DAGs — the experimental winner is stable across
+  runs, so a sign flip is squarely the simulator's fault.
+
+This sharpens the paper's claim: the analytical simulator's flips are
+mostly model-dominated, not an artefact of single-run measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.dag.generator import DagParameters
+from repro.dag.graph import TaskGraph
+from repro.profiling.calibration import SimulatorSuite
+from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.driver import schedule_dag
+from repro.simgrid.simulator import ApplicationSimulator
+from repro.testbed.tgrid import TGridEmulator
+
+__all__ = ["DagVariance", "VarianceStudy", "run_variance_study"]
+
+
+@dataclass(frozen=True)
+class DagVariance:
+    """Repeated-run statistics of one DAG's HCPA-vs-MCPA comparison."""
+
+    dag_label: str
+    n: int
+    rel_sim: float
+    rel_exp_runs: tuple[float, ...]
+
+    @property
+    def rel_exp_mean(self) -> float:
+        return float(np.mean(self.rel_exp_runs))
+
+    @property
+    def rel_exp_std(self) -> float:
+        return float(np.std(self.rel_exp_runs))
+
+    @property
+    def winner_stability(self) -> float:
+        """Fraction of runs agreeing with the majority experimental sign."""
+        signs = np.sign(self.rel_exp_runs)
+        if np.all(signs == 0):
+            return 1.0
+        majority = 1.0 if np.sum(signs > 0) >= np.sum(signs < 0) else -1.0
+        return float(np.mean(signs == majority))
+
+    @property
+    def noise_dominated(self) -> bool:
+        """True when single runs cannot reliably name the winner."""
+        return self.winner_stability < 0.9
+
+    @property
+    def sign_flipped_vs_mean(self) -> bool:
+        """Does the simulator disagree with the *mean* experimental sign?"""
+        if self.rel_sim == 0.0 or self.rel_exp_mean == 0.0:
+            return False
+        return (self.rel_sim > 0) != (self.rel_exp_mean > 0)
+
+
+@dataclass
+class VarianceStudy:
+    """Repeated-run comparison results for one simulator suite."""
+
+    simulator: str
+    n: int
+    runs: int
+    dags: list[DagVariance] = field(default_factory=list)
+
+    @property
+    def num_noise_dominated(self) -> int:
+        return sum(1 for d in self.dags if d.noise_dominated)
+
+    @property
+    def num_model_dominated_flips(self) -> int:
+        """Flips against the mean outcome of DAGs with a stable winner."""
+        return sum(
+            1
+            for d in self.dags
+            if d.sign_flipped_vs_mean and not d.noise_dominated
+        )
+
+    @property
+    def num_flips_vs_mean(self) -> int:
+        return sum(1 for d in self.dags if d.sign_flipped_vs_mean)
+
+
+def run_variance_study(
+    dags: Sequence[tuple[DagParameters, TaskGraph]],
+    suite: SimulatorSuite,
+    emulator: TGridEmulator,
+    *,
+    runs: int = 5,
+    n: int | None = None,
+) -> VarianceStudy:
+    """Schedule with ``suite``, execute each schedule ``runs`` times."""
+    if runs < 2:
+        raise ValueError("need at least 2 runs for a variance study")
+    selected = [(p, g) for p, g in dags if n is None or p.n == n]
+    if not selected:
+        raise ValueError("no DAGs match the requested size")
+    study = VarianceStudy(
+        simulator=suite.name, n=n or selected[0][0].n, runs=runs
+    )
+    platform = emulator.platform
+    for params, graph in selected:
+        costs = SchedulingCosts(
+            graph,
+            platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+        )
+        simulator = ApplicationSimulator(
+            platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+        )
+        schedules = {
+            alg: schedule_dag(graph, costs, alg) for alg in ("hcpa", "mcpa")
+        }
+        sim = {
+            alg: simulator.run(graph, sched).makespan
+            for alg, sched in schedules.items()
+        }
+        rel_sim = (sim["hcpa"] - sim["mcpa"]) / sim["mcpa"]
+        rel_runs = []
+        for run in range(runs):
+            exp = {
+                alg: emulator.makespan(graph, sched, run_label=run)
+                for alg, sched in schedules.items()
+            }
+            rel_runs.append((exp["hcpa"] - exp["mcpa"]) / exp["mcpa"])
+        study.dags.append(
+            DagVariance(
+                dag_label=graph.name,
+                n=params.n,
+                rel_sim=rel_sim,
+                rel_exp_runs=tuple(rel_runs),
+            )
+        )
+    return study

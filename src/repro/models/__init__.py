@@ -1,0 +1,66 @@
+"""Simulation cost models.
+
+The paper builds three versions of its simulator, differing only in how
+task execution times (and environment overheads) are modelled:
+
+* :class:`~repro.models.analytical.AnalyticalTaskModel` — pure
+  flop/byte-count models (Section IV), the style dominant in the
+  scheduling literature;
+* :class:`~repro.models.profiles.ProfileTaskModel` — lookup tables of
+  brute-force measurements of every (kernel, n, p) (Section VI);
+* :class:`~repro.models.empirical.EmpiricalTaskModel` — piecewise
+  regressions fitted from a handful of measurements (Section VII).
+
+Orthogonally, two overhead models can be attached to a simulator:
+task startup (:class:`~repro.models.overheads.StartupOverheadModel`) and
+redistribution overhead
+(:class:`~repro.models.overheads.RedistributionOverheadModel`), each with
+table-based and regression-based variants plus a zero default.
+"""
+
+from repro.models.base import TaskTimeModel, ModelKind
+from repro.models.analytical import AnalyticalTaskModel
+from repro.models.profiles import ProfileTaskModel
+from repro.models.empirical import EmpiricalTaskModel, PiecewiseKernelModel
+from repro.models.scaling import SizeAwareEmpiricalModel, SizeInterpolatedKernelModel
+from repro.models.overheads import (
+    StartupOverheadModel,
+    ZeroStartupModel,
+    TableStartupModel,
+    LinearStartupModel,
+    RedistributionOverheadModel,
+    ZeroRedistributionOverheadModel,
+    TableRedistributionOverheadModel,
+    LinearRedistributionOverheadModel,
+)
+from repro.models.regression import (
+    fit_linear,
+    fit_hyperbolic,
+    HyperbolicFit,
+    LinearFit,
+    detect_outliers,
+)
+
+__all__ = [
+    "TaskTimeModel",
+    "ModelKind",
+    "AnalyticalTaskModel",
+    "ProfileTaskModel",
+    "EmpiricalTaskModel",
+    "PiecewiseKernelModel",
+    "SizeAwareEmpiricalModel",
+    "SizeInterpolatedKernelModel",
+    "StartupOverheadModel",
+    "ZeroStartupModel",
+    "TableStartupModel",
+    "LinearStartupModel",
+    "RedistributionOverheadModel",
+    "ZeroRedistributionOverheadModel",
+    "TableRedistributionOverheadModel",
+    "LinearRedistributionOverheadModel",
+    "fit_linear",
+    "fit_hyperbolic",
+    "HyperbolicFit",
+    "LinearFit",
+    "detect_outliers",
+]

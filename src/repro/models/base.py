@@ -1,0 +1,60 @@
+"""Common interface of task execution-time models.
+
+A :class:`TaskTimeModel` answers two questions:
+
+1. **Scheduling-phase estimate** — :meth:`duration`: how long will task
+   ``t`` take on ``p`` dedicated processors?  The CPA-family allocation
+   and mapping phases consume exactly this.
+2. **Simulation behaviour** — :attr:`kind`: an *analytical* model tells
+   the simulator to build a first-principles ``ptask_L07`` action
+   (computation vector + communication matrix); a *measured* model tells
+   it to replay the predicted duration as a fixed-length occupation of
+   the task's processors (the paper's refined simulators "simulate task
+   execution times by looking up a table").
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.dag.graph import Task
+
+__all__ = ["ModelKind", "TaskTimeModel"]
+
+
+class ModelKind(enum.Enum):
+    """How the simulator should realise a task under this model."""
+
+    #: Build a ptask_L07 action from flop/byte counts.
+    ANALYTICAL = "analytical"
+    #: Replay the model-predicted duration as a fixed-length action.
+    MEASURED = "measured"
+
+
+class TaskTimeModel(ABC):
+    """Predicts the execution time of moldable tasks."""
+
+    #: Short identifier used in reports ("analytic" / "profile" / "empirical").
+    name: str = "base"
+
+    @property
+    @abstractmethod
+    def kind(self) -> ModelKind:
+        """Simulation behaviour of this model."""
+
+    @abstractmethod
+    def duration(self, task: Task, p: int) -> float:
+        """Predicted wall-clock seconds of ``task`` on ``p`` dedicated
+        processors, excluding startup overhead and inter-task
+        redistribution (modelled separately)."""
+
+    def computation(self, task: Task, p: int) -> np.ndarray:
+        """Flops per local rank (analytical models only)."""
+        raise NotImplementedError(f"{self.name} is not an analytical model")
+
+    def comm_matrix(self, task: Task, p: int) -> np.ndarray:
+        """Bytes between local ranks (analytical models only)."""
+        raise NotImplementedError(f"{self.name} is not an analytical model")

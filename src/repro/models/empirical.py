@@ -1,0 +1,112 @@
+"""Empirical (regression-based) task-time model — paper Section VII.
+
+A single regression does not fit the whole 1..32 processor range
+because overheads start dominating around p = 16.  The paper therefore
+composes two models per (kernel, n):
+
+* ``a * 1/p + b`` for p <= 16 (strong-scaling regime),
+* ``c * p + d``  for p > 16 (overhead-dominated regime);
+
+the addition kernel needs only the hyperbolic branch.  Fits use a
+handful of sample points (Table II: p = {2, 4, 7, 15} and {15, 24, 31}
+for the multiplication — 7 and 15 replacing the outlier-prone 8 and 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.dag.graph import Task
+from repro.models.base import ModelKind, TaskTimeModel
+from repro.models.regression import (
+    HyperbolicFit,
+    LinearFit,
+    fit_hyperbolic,
+    fit_linear,
+)
+from repro.util.errors import CalibrationError
+
+__all__ = ["PiecewiseKernelModel", "EmpiricalTaskModel"]
+
+#: Default regime boundary: the paper's "overheads start dominating when
+#: p >= 16"; the hyperbolic branch covers p <= 16.
+DEFAULT_SPLIT = 16
+
+
+@dataclass(frozen=True)
+class PiecewiseKernelModel:
+    """Piecewise task-time curve for one (kernel, n).
+
+    ``low`` covers ``p <= split``; ``high`` (may be None) covers
+    ``p > split`` — when absent the hyperbolic branch extends everywhere
+    (the paper's addition model).
+    """
+
+    low: HyperbolicFit
+    high: LinearFit | None = None
+    split: int = DEFAULT_SPLIT
+
+    def __call__(self, p: int) -> float:
+        if p < 1:
+            raise ValueError(f"p must be >= 1, got {p}")
+        if self.high is None or p <= self.split:
+            value = self.low(p)
+        else:
+            value = self.high(p)
+        # A regression can dip below zero far from its samples (the
+        # paper's n=3000 linear branch has negative slope); clamp to a
+        # small positive floor so downstream simulation stays sane.
+        return max(value, 1e-3)
+
+    @classmethod
+    def from_samples(
+        cls,
+        low_samples: Mapping[int, float],
+        high_samples: Mapping[int, float] | None = None,
+        *,
+        split: int = DEFAULT_SPLIT,
+    ) -> "PiecewiseKernelModel":
+        """Fit both branches from ``{p: seconds}`` sample dictionaries."""
+        if not low_samples:
+            raise CalibrationError("need samples for the hyperbolic branch")
+        low = fit_hyperbolic(list(low_samples.keys()), list(low_samples.values()))
+        high = None
+        if high_samples:
+            high = fit_linear(list(high_samples.keys()), list(high_samples.values()))
+        return cls(low=low, high=high, split=split)
+
+
+class EmpiricalTaskModel(TaskTimeModel):
+    """Regression-backed task-time model over all kernels/sizes in use."""
+
+    name = "empirical"
+
+    def __init__(
+        self, curves: Mapping[tuple[str, int], PiecewiseKernelModel]
+    ) -> None:
+        """``curves`` maps ``(kernel_name, n)`` to a fitted piecewise model."""
+        if not curves:
+            raise CalibrationError("no fitted curves supplied")
+        self._curves = {
+            (str(k), int(n)): model for (k, n), model in curves.items()
+        }
+
+    @property
+    def kind(self) -> ModelKind:
+        return ModelKind.MEASURED
+
+    def items(self):
+        """Iterate over ((kernel_name, n), PiecewiseKernelModel) pairs."""
+        return self._curves.items()
+
+    def curve(self, kernel_name: str, n: int) -> PiecewiseKernelModel:
+        try:
+            return self._curves[(kernel_name, n)]
+        except KeyError:
+            raise CalibrationError(
+                f"no empirical model for kernel={kernel_name!r} n={n}"
+            ) from None
+
+    def duration(self, task: Task, p: int) -> float:
+        return self.curve(task.kernel.name, task.n)(p)

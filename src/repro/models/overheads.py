@@ -1,0 +1,173 @@
+"""Environment overhead models: task startup and redistribution setup.
+
+The paper identifies two environment-specific overheads its analytical
+simulator ignores (Section V-C):
+
+* **task startup** — TGrid spawns a JVM per processor over SSH, costing
+  0.8-1.6 s per task, *not* monotone in the processor count (Fig 3);
+* **redistribution startup** — source and destination processes must
+  register with a central subnet manager before data flows; the cost
+  grows mostly with the number of *destination* processors (Fig 4).
+
+Each overhead has three interchangeable model flavours mirroring the
+three simulators: zero (analytical), table lookup (profile-based,
+Section VI-B/C) and linear regression (empirical, Table II).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+from repro.models.regression import LinearFit
+from repro.util.errors import CalibrationError
+
+__all__ = [
+    "StartupOverheadModel",
+    "ZeroStartupModel",
+    "TableStartupModel",
+    "LinearStartupModel",
+    "RedistributionOverheadModel",
+    "ZeroRedistributionOverheadModel",
+    "TableRedistributionOverheadModel",
+    "LinearRedistributionOverheadModel",
+]
+
+
+# ----------------------------------------------------------------------
+# Task startup overhead
+# ----------------------------------------------------------------------
+class StartupOverheadModel(ABC):
+    """Predicts the startup overhead of a task on ``p`` processors."""
+
+    name: str = "startup"
+
+    @abstractmethod
+    def startup(self, p: int) -> float:
+        """Overhead in seconds before the task computes."""
+
+    def _check(self, p: int) -> None:
+        if p < 1:
+            raise ValueError(f"p must be >= 1, got {p}")
+
+
+class ZeroStartupModel(StartupOverheadModel):
+    """The analytical simulator's (absent) startup model."""
+
+    name = "zero-startup"
+
+    def startup(self, p: int) -> float:
+        self._check(p)
+        return 0.0
+
+
+class TableStartupModel(StartupOverheadModel):
+    """Replays measured mean startup overheads per processor count."""
+
+    name = "table-startup"
+
+    def __init__(self, table: Mapping[int, float]) -> None:
+        if not table:
+            raise CalibrationError("startup table is empty")
+        self._table = {int(p): float(t) for p, t in table.items()}
+        for p, t in self._table.items():
+            if p < 1 or t < 0:
+                raise CalibrationError(f"bad startup sample p={p} t={t}")
+
+    @property
+    def table(self) -> dict[int, float]:
+        """The measured table (read-only copy)."""
+        return dict(self._table)
+
+    def startup(self, p: int) -> float:
+        self._check(p)
+        try:
+            return self._table[p]
+        except KeyError:
+            raise CalibrationError(f"no startup measurement for p={p}") from None
+
+
+class LinearStartupModel(StartupOverheadModel):
+    """Regression model ``a * p + b`` (Table II: a = 0.03, b = 0.65)."""
+
+    name = "linear-startup"
+
+    def __init__(self, fit: LinearFit) -> None:
+        self.fit = fit
+
+    def startup(self, p: int) -> float:
+        self._check(p)
+        return max(0.0, self.fit(p))
+
+
+# ----------------------------------------------------------------------
+# Redistribution overhead
+# ----------------------------------------------------------------------
+class RedistributionOverheadModel(ABC):
+    """Predicts the protocol overhead of a redistribution."""
+
+    name: str = "redistribution-overhead"
+
+    @abstractmethod
+    def overhead(self, p_src: int, p_dst: int) -> float:
+        """Overhead in seconds before data movement starts."""
+
+    def _check(self, p_src: int, p_dst: int) -> None:
+        if p_src < 1 or p_dst < 1:
+            raise ValueError(f"processor counts must be >= 1, got {p_src}, {p_dst}")
+
+
+class ZeroRedistributionOverheadModel(RedistributionOverheadModel):
+    """The analytical simulator's (absent) redistribution overhead."""
+
+    name = "zero-redistribution"
+
+    def overhead(self, p_src: int, p_dst: int) -> float:
+        self._check(p_src, p_dst)
+        return 0.0
+
+
+class TableRedistributionOverheadModel(RedistributionOverheadModel):
+    """Measured overheads, averaged over p(src) per the paper.
+
+    Fig 4 shows the overhead depends mostly on the destination count, so
+    Section VI-C keys the table by ``p_dst`` only, averaging over all
+    measured source counts.
+    """
+
+    name = "table-redistribution"
+
+    def __init__(self, table_by_dst: Mapping[int, float]) -> None:
+        if not table_by_dst:
+            raise CalibrationError("redistribution overhead table is empty")
+        self._table = {int(p): float(t) for p, t in table_by_dst.items()}
+        for p, t in self._table.items():
+            if p < 1 or t < 0:
+                raise CalibrationError(f"bad redistribution sample p={p} t={t}")
+
+    @property
+    def table(self) -> dict[int, float]:
+        """The measured table, keyed by destination count (copy)."""
+        return dict(self._table)
+
+    def overhead(self, p_src: int, p_dst: int) -> float:
+        self._check(p_src, p_dst)
+        try:
+            return self._table[p_dst]
+        except KeyError:
+            raise CalibrationError(
+                f"no redistribution overhead measurement for p_dst={p_dst}"
+            ) from None
+
+
+class LinearRedistributionOverheadModel(RedistributionOverheadModel):
+    """Regression ``a * p_dst + b`` (Table II: a = 7.88 ms, b = 108.58 ms)."""
+
+    name = "linear-redistribution"
+
+    def __init__(self, fit: LinearFit) -> None:
+        self.fit = fit
+
+    def overhead(self, p_src: int, p_dst: int) -> float:
+        self._check(p_src, p_dst)
+        return max(0.0, self.fit(p_dst))

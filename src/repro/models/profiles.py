@@ -1,0 +1,65 @@
+"""Profile (lookup-table) task-time model — paper Section VI-A.
+
+The brute-force approach: measure every (kernel, n, p) combination on
+the target environment and replay the averaged measurement.  "The
+simulator can then simulate task execution times by looking up a table
+of profiled execution times."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.dag.graph import Task
+from repro.models.base import ModelKind, TaskTimeModel
+from repro.util.errors import CalibrationError
+
+__all__ = ["ProfileTaskModel"]
+
+ProfileKey = tuple[str, int, int]  # (kernel name, n, p)
+
+
+class ProfileTaskModel(TaskTimeModel):
+    """Replays a table of measured task execution times."""
+
+    name = "profile"
+
+    def __init__(self, table: Mapping[ProfileKey, float]) -> None:
+        """``table`` maps ``(kernel_name, n, p)`` to mean measured seconds."""
+        self._table: dict[ProfileKey, float] = {}
+        for key, value in table.items():
+            kernel, n, p = key
+            if value <= 0:
+                raise CalibrationError(
+                    f"profiled time for {key} must be positive, got {value}"
+                )
+            self._table[(str(kernel), int(n), int(p))] = float(value)
+        if not self._table:
+            raise CalibrationError("profile table is empty")
+
+    @property
+    def kind(self) -> ModelKind:
+        return ModelKind.MEASURED
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def keys(self) -> Iterable[ProfileKey]:
+        return self._table.keys()
+
+    def items(self) -> Iterable[tuple[ProfileKey, float]]:
+        return self._table.items()
+
+    def duration(self, task: Task, p: int) -> float:
+        key = (task.kernel.name, task.n, int(p))
+        try:
+            return self._table[key]
+        except KeyError:
+            raise CalibrationError(
+                f"no profile for kernel={key[0]!r} n={key[1]} p={key[2]}; "
+                "re-run the profiler with a wider sweep"
+            ) from None
+
+    def covers(self, kernel_name: str, n: int, max_p: int) -> bool:
+        """True if the table has every p in ``1..max_p`` for the kernel."""
+        return all((kernel_name, n, p) in self._table for p in range(1, max_p + 1))

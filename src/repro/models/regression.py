@@ -1,0 +1,189 @@
+"""Least-squares fitting utilities for the empirical models (Section VII).
+
+The paper fits two families:
+
+* hyperbolic ``a * 1/p + b`` — Amdahl-style strong-scaling regime
+  (p <= 16 for the multiplication, all p for the addition);
+* linear ``c * p + d`` — overhead-dominated regime (p > 16 for the
+  multiplication; also used for the startup and redistribution
+  overheads).
+
+Both are linear in their coefficients, so ordinary least squares via
+:func:`numpy.linalg.lstsq` solves them exactly.  An outlier detector
+based on leave-one-out residuals supports the paper's observation that
+measurements at p = 8 and p = 16 (n = 3000) wreck the fit and should be
+replaced by neighbouring processor counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.util.errors import CalibrationError
+
+__all__ = [
+    "LinearFit",
+    "HyperbolicFit",
+    "fit_linear",
+    "fit_hyperbolic",
+    "fit_hyperbolic_relative",
+    "outlier_scores",
+    "detect_outliers",
+]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """``t(p) = a * p + b``."""
+
+    a: float
+    b: float
+    rmse: float = 0.0
+
+    def __call__(self, p: float) -> float:
+        return self.a * p + self.b
+
+
+@dataclass(frozen=True)
+class HyperbolicFit:
+    """``t(p) = a / p + b``."""
+
+    a: float
+    b: float
+    rmse: float = 0.0
+
+    def __call__(self, p: float) -> float:
+        if p <= 0:
+            raise ValueError(f"p must be positive, got {p}")
+        return self.a / p + self.b
+
+
+def _fit_basis(
+    ps: Sequence[float],
+    ts: Sequence[float],
+    basis: Callable[[np.ndarray], np.ndarray],
+) -> tuple[float, float, float]:
+    p_arr = np.asarray(ps, dtype=float)
+    t_arr = np.asarray(ts, dtype=float)
+    if p_arr.shape != t_arr.shape:
+        raise CalibrationError("p and t sample vectors must have equal length")
+    if p_arr.size < 2:
+        raise CalibrationError(
+            f"need at least 2 samples for a 2-parameter fit, got {p_arr.size}"
+        )
+    X = np.column_stack([basis(p_arr), np.ones_like(p_arr)])
+    coef, _res, rank, _sv = np.linalg.lstsq(X, t_arr, rcond=None)
+    if rank < 2:
+        raise CalibrationError(
+            "degenerate design matrix (all sample p values identical?)"
+        )
+    pred = X @ coef
+    rmse = float(np.sqrt(np.mean((pred - t_arr) ** 2)))
+    return float(coef[0]), float(coef[1]), rmse
+
+
+def fit_linear(ps: Sequence[float], ts: Sequence[float]) -> LinearFit:
+    """Least-squares fit of ``t = a*p + b``."""
+    a, b, rmse = _fit_basis(ps, ts, lambda p: p)
+    return LinearFit(a=a, b=b, rmse=rmse)
+
+
+def fit_hyperbolic(ps: Sequence[float], ts: Sequence[float]) -> HyperbolicFit:
+    """Least-squares fit of ``t = a/p + b``."""
+    p_arr = np.asarray(ps, dtype=float)
+    if np.any(p_arr <= 0):
+        raise CalibrationError("hyperbolic fit requires positive p samples")
+    a, b, rmse = _fit_basis(ps, ts, lambda p: 1.0 / p)
+    return HyperbolicFit(a=a, b=b, rmse=rmse)
+
+
+def fit_hyperbolic_relative(
+    ps: Sequence[float], ts: Sequence[float]
+) -> HyperbolicFit:
+    """Fit ``t = a/p + b`` minimising *relative* squared residuals.
+
+    Strong-scaling curves span orders of magnitude, so the ordinary fit
+    is dominated by the small-p endpoint; weighting each row by ``1/t``
+    treats a 20 % miss at p = 16 the same as a 20 % miss at p = 1.
+    Used by the outlier detector; the simulator models keep the paper's
+    unweighted fits.
+    """
+    p_arr = np.asarray(ps, dtype=float)
+    t_arr = np.asarray(ts, dtype=float)
+    if p_arr.shape != t_arr.shape:
+        raise CalibrationError("p and t sample vectors must have equal length")
+    if p_arr.size < 2:
+        raise CalibrationError("need at least 2 samples for a 2-parameter fit")
+    if np.any(p_arr <= 0):
+        raise CalibrationError("hyperbolic fit requires positive p samples")
+    if np.any(t_arr <= 0):
+        raise CalibrationError("relative fit requires positive t samples")
+    X = np.column_stack([1.0 / p_arr, np.ones_like(p_arr)]) / t_arr[:, None]
+    y = np.ones_like(t_arr)
+    coef, _res, rank, _sv = np.linalg.lstsq(X, y, rcond=None)
+    if rank < 2:
+        raise CalibrationError("degenerate design matrix")
+    a, b = float(coef[0]), float(coef[1])
+    pred = a / p_arr + b
+    rmse = float(np.sqrt(np.mean(((pred - t_arr) / t_arr) ** 2)))
+    return HyperbolicFit(a=a, b=b, rmse=rmse)
+
+
+def outlier_scores(
+    ps: Sequence[float],
+    ts: Sequence[float],
+    fit_fn: Callable[[Sequence[float], Sequence[float]], Callable[[float], float]],
+    *,
+    relative: bool = False,
+) -> list[float]:
+    """Leave-one-out outlier scores for each sample.
+
+    For sample ``i`` the model is refit on the remaining samples and the
+    prediction residual at ``i`` is compared to the RMSE of the
+    leave-one-out fit.  With ``relative=True`` residuals are normalised
+    by the measured values first — essential when the samples span
+    orders of magnitude (a hyperbolic strong-scaling curve does).
+    """
+    p_arr = np.asarray(ps, dtype=float)
+    t_arr = np.asarray(ts, dtype=float)
+    if p_arr.shape != t_arr.shape:
+        raise CalibrationError("p and t sample vectors must have equal length")
+    if p_arr.size < 4:
+        raise CalibrationError("need at least 4 samples for outlier detection")
+    scores: list[float] = []
+    for i in range(p_arr.size):
+        mask = np.arange(p_arr.size) != i
+        model = fit_fn(p_arr[mask], t_arr[mask])
+
+        def resid(q: float, t: float) -> float:
+            r = model(float(q)) - t
+            return r / t if relative else r
+
+        resid_i = abs(resid(p_arr[i], t_arr[i]))
+        scale = np.sqrt(
+            np.mean([resid(q, t) ** 2 for q, t in zip(p_arr[mask], t_arr[mask])])
+        )
+        scale = max(scale, 1e-9 * (1.0 if relative else max(abs(t_arr).max(), 1.0)))
+        scores.append(resid_i / scale)
+    return scores
+
+
+def detect_outliers(
+    ps: Sequence[float],
+    ts: Sequence[float],
+    fit_fn: Callable[[Sequence[float], Sequence[float]], Callable[[float], float]],
+    *,
+    threshold: float = 3.0,
+    relative: bool = False,
+) -> list[int]:
+    """Indices of samples that look like outliers under leave-one-out.
+
+    A sample is flagged when its :func:`outlier_scores` value exceeds
+    ``threshold``.  This is the automated counterpart of the paper's
+    manual identification of the p = 8 / p = 16 outliers.
+    """
+    scores = outlier_scores(ps, ts, fit_fn, relative=relative)
+    return [i for i, s in enumerate(scores) if s > threshold]

@@ -1,0 +1,117 @@
+"""Scaling calibrated model suites to hypothetical platforms.
+
+The paper's conclusion suggests that empirical models "could be
+instantiated for an existing execution environment and scaled to
+simulate an hypothetical execution environment" — e.g. "what would these
+schedules do on nodes twice as fast, with a runtime that starts tasks in
+half the time?".  This module implements that: wrappers that scale a
+*measured* model's predictions by constant factors, and
+:func:`scale_suite` to scale a whole calibrated
+:class:`~repro.profiling.calibration.SimulatorSuite` at once.
+
+Only measured models (profile / empirical / size-aware) can be scaled —
+an analytical model should be re-derived from the hypothetical
+machine's nominal rates instead, and :func:`scale_suite` refuses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dag.graph import Task
+from repro.models.base import ModelKind, TaskTimeModel
+from repro.models.overheads import RedistributionOverheadModel, StartupOverheadModel
+from repro.profiling.calibration import SimulatorSuite
+from repro.util.errors import CalibrationError
+
+__all__ = [
+    "ScaledTaskModel",
+    "ScaledStartupModel",
+    "ScaledRedistributionModel",
+    "scale_suite",
+]
+
+
+def _check_factor(name: str, value: float) -> None:
+    if value <= 0:
+        raise CalibrationError(f"{name} must be positive, got {value}")
+
+
+@dataclass(frozen=True)
+class ScaledTaskModel(TaskTimeModel):
+    """A measured task-time model on compute ``speedup``-times faster."""
+
+    base: TaskTimeModel
+    speedup: float
+    name: str = "scaled"
+
+    def __post_init__(self) -> None:
+        _check_factor("speedup", self.speedup)
+        if self.base.kind is not ModelKind.MEASURED:
+            raise CalibrationError(
+                "only measured models can be scaled; re-derive analytical "
+                "models from the hypothetical machine's nominal rates"
+            )
+
+    @property
+    def kind(self) -> ModelKind:
+        return ModelKind.MEASURED
+
+    def duration(self, task: Task, p: int) -> float:
+        return self.base.duration(task, p) / self.speedup
+
+
+@dataclass(frozen=True)
+class ScaledStartupModel(StartupOverheadModel):
+    """A startup-overhead model scaled by a constant factor."""
+
+    base: StartupOverheadModel
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_factor("factor", self.factor)
+
+    def startup(self, p: int) -> float:
+        self._check(p)
+        return self.factor * self.base.startup(p)
+
+
+@dataclass(frozen=True)
+class ScaledRedistributionModel(RedistributionOverheadModel):
+    """A redistribution-overhead model scaled by a constant factor."""
+
+    base: RedistributionOverheadModel
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_factor("factor", self.factor)
+
+    def overhead(self, p_src: int, p_dst: int) -> float:
+        self._check(p_src, p_dst)
+        return self.factor * self.base.overhead(p_src, p_dst)
+
+
+def scale_suite(
+    suite: SimulatorSuite,
+    *,
+    compute_speedup: float = 1.0,
+    startup_factor: float = 1.0,
+    redistribution_factor: float = 1.0,
+) -> SimulatorSuite:
+    """Scale a calibrated suite to a hypothetical execution environment.
+
+    Parameters
+    ----------
+    compute_speedup:
+        Kernel times divide by this (2.0 = nodes twice as fast).
+    startup_factor / redistribution_factor:
+        Overheads multiply by these (0.5 = a runtime twice as snappy).
+    """
+    return SimulatorSuite(
+        name=f"{suite.name}-scaled",
+        task_model=ScaledTaskModel(suite.task_model, compute_speedup),
+        startup_model=ScaledStartupModel(suite.startup_model, startup_factor),
+        redistribution_model=ScaledRedistributionModel(
+            suite.redistribution_model, redistribution_factor
+        ),
+    )

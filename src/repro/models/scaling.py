@@ -1,0 +1,128 @@
+"""Size-aware empirical models (paper "future work").
+
+Section VII notes: "for practical uses one would have to include the
+matrix size into the model as an independent variable, which we did not
+do in this case study."  This module does it, by *curve-family
+interpolation*: the standard piecewise model is fitted per measured
+size, and predictions for an unmeasured size interpolate the fitted
+curves' values log-linearly in ``log n`` at each processor count.
+
+Why interpolation rather than a global parametric surface: the per-size
+hyperbolas have additive offsets of either sign (Table II's n = 3000
+offset is negative), so power-law coefficient regression is ill-posed,
+while curve *values* are strictly positive everywhere — interpolating
+them is stable, exact at the measured sizes, and monotone in n whenever
+the measured curves are ordered (bigger matrices taking longer).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.dag.graph import Task
+from repro.models.base import ModelKind, TaskTimeModel
+from repro.models.empirical import PiecewiseKernelModel
+from repro.util.errors import CalibrationError
+
+__all__ = ["SizeInterpolatedKernelModel", "SizeAwareEmpiricalModel"]
+
+
+@dataclass(frozen=True)
+class SizeInterpolatedKernelModel:
+    """Interpolates a family of per-size piecewise curves over n.
+
+    Parameters
+    ----------
+    curves:
+        ``{n: fitted piecewise model}`` for at least two measured sizes.
+    max_extrapolation:
+        How far beyond the measured size range predictions are allowed,
+        as a fraction (0.2 = 20 % beyond either end).  Sparse empirical
+        models have no business extrapolating far.
+    """
+
+    curves: Mapping[int, PiecewiseKernelModel]
+    max_extrapolation: float = 0.2
+
+    def __post_init__(self) -> None:
+        if len(self.curves) < 2:
+            raise CalibrationError(
+                "size interpolation needs curves for at least two sizes"
+            )
+        if any(n <= 0 for n in self.curves):
+            raise CalibrationError("matrix sizes must be positive")
+        if self.max_extrapolation < 0:
+            raise CalibrationError("max_extrapolation must be non-negative")
+
+    @property
+    def sizes(self) -> list[int]:
+        return sorted(self.curves)
+
+    def _bracket(self, n: int) -> tuple[int, int, float]:
+        """Bracketing measured sizes and the log-space weight of the upper."""
+        sizes = self.sizes
+        lo_bound = sizes[0] * (1 - self.max_extrapolation)
+        hi_bound = sizes[-1] * (1 + self.max_extrapolation)
+        if not (lo_bound <= n <= hi_bound):
+            raise CalibrationError(
+                f"size {n} too far outside the measured range "
+                f"[{sizes[0]}, {sizes[-1]}] (allowed: "
+                f"[{lo_bound:.0f}, {hi_bound:.0f}])"
+            )
+        if n <= sizes[0]:
+            lo, hi = sizes[0], sizes[1]
+        elif n >= sizes[-1]:
+            lo, hi = sizes[-2], sizes[-1]
+        else:
+            lo, hi = next(
+                (a, b) for a, b in zip(sizes, sizes[1:]) if a < n < b
+            )
+        # Outside [lo, hi] the weight leaves [0, 1]: bounded log-space
+        # extrapolation from the end segment.
+        w = (math.log(n) - math.log(lo)) / (math.log(hi) - math.log(lo))
+        return lo, hi, w
+
+    def __call__(self, n: int, p: int) -> float:
+        """Predicted seconds for an n x n execution on p processors."""
+        if n in self.curves:
+            return self.curves[n](p)
+        lo, hi, w = self._bracket(n)
+        t_lo = max(self.curves[lo](p), 1e-6)
+        t_hi = max(self.curves[hi](p), 1e-6)
+        return math.exp((1 - w) * math.log(t_lo) + w * math.log(t_hi))
+
+
+class SizeAwareEmpiricalModel(TaskTimeModel):
+    """Empirical task-time model valid across a continuous size range."""
+
+    name = "empirical-size-aware"
+
+    def __init__(
+        self, families: Mapping[str, SizeInterpolatedKernelModel]
+    ) -> None:
+        """``families`` maps kernel names to size-interpolated models."""
+        if not families:
+            raise CalibrationError("no kernel families supplied")
+        self._families = dict(families)
+
+    @property
+    def kind(self) -> ModelKind:
+        return ModelKind.MEASURED
+
+    @property
+    def families(self) -> dict[str, SizeInterpolatedKernelModel]:
+        """Kernel-name to size-interpolated model mapping (read-only copy)."""
+        return dict(self._families)
+
+    def family(self, kernel_name: str) -> SizeInterpolatedKernelModel:
+        try:
+            return self._families[kernel_name]
+        except KeyError:
+            raise CalibrationError(
+                f"no size-aware model for kernel {kernel_name!r}"
+            ) from None
+
+    def duration(self, task: Task, p: int) -> float:
+        return self.family(task.kernel.name)(task.n, p)

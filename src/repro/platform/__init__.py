@@ -1,0 +1,23 @@
+"""Cluster platform descriptions.
+
+A :class:`~repro.platform.cluster.ClusterPlatform` is the common input of
+the SimGrid-like simulator and the testbed emulator: a homogeneous cluster
+of ``num_nodes`` compute nodes behind a switch, each node connected by a
+private full-duplex link.  Factory functions recreate the two machines of
+the paper: the 32-node Bayreuth cluster and the Cray XT4 used for the
+PDGEMM experiment of Fig. 2.
+"""
+
+from repro.platform.cluster import ClusterPlatform
+from repro.platform.personalities import (
+    bayreuth_cluster,
+    cray_xt4,
+    heterogeneous_cluster,
+)
+
+__all__ = [
+    "ClusterPlatform",
+    "bayreuth_cluster",
+    "cray_xt4",
+    "heterogeneous_cluster",
+]

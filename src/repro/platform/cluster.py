@@ -1,0 +1,130 @@
+"""Homogeneous cluster platform model.
+
+The paper's experiments run on a cluster of N identical nodes connected
+through a single switch by private Gigabit-Ethernet links.  SimGrid
+represents such a platform by four network parameters (private-link
+bandwidth/latency and switch backbone bandwidth/latency) plus a per-node
+compute speed.  We keep exactly that parameterisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterPlatform"]
+
+
+@dataclass(frozen=True)
+class ClusterPlatform:
+    """A homogeneous cluster behind a single switch.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of compute nodes (the paper's N = 32).
+    flops:
+        Effective compute speed of one node in flop/s.  The paper
+        benchmarks the JVM matrix multiplication and sets 250 MFlop/s.
+    link_bandwidth:
+        Private link bandwidth in bytes/s (1 Gb/s = 1.25e8 B/s).
+    link_latency:
+        Private link latency in seconds (100 us in the paper).
+    backbone_bandwidth:
+        Switch backbone bandwidth in bytes/s.  A non-blocking switch is
+        modelled by a backbone fast enough never to be the bottleneck;
+        the paper's Gigabit switch is modelled at the same 1 Gb/s per the
+        SimGrid cluster description.
+    backbone_latency:
+        Switch traversal latency in seconds.
+    name:
+        Human-readable identifier.
+    """
+
+    num_nodes: int
+    flops: float = 250e6
+    link_bandwidth: float = 1.25e8
+    link_latency: float = 100e-6
+    backbone_bandwidth: float = 1.25e8
+    backbone_latency: float = 0.0
+    name: str = "cluster"
+    #: Optional per-node relative speed factors (1.0 = the reference
+    #: speed ``flops``).  None means a homogeneous cluster — the paper's
+    #: setting; a tuple turns the platform heterogeneous, which is what
+    #: HCPA was designed for (its reference-cluster machinery then does
+    #: real work).
+    node_speeds: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        for attr in ("flops", "link_bandwidth", "backbone_bandwidth"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+        for attr in ("link_latency", "backbone_latency"):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+        if self.node_speeds is not None:
+            if len(self.node_speeds) != self.num_nodes:
+                raise ValueError(
+                    f"node_speeds has {len(self.node_speeds)} entries for "
+                    f"{self.num_nodes} nodes"
+                )
+            if any(s <= 0 for s in self.node_speeds):
+                raise ValueError("node speed factors must be positive")
+
+    @property
+    def processors(self) -> range:
+        """Processor (node) identifiers ``0..num_nodes-1``."""
+        return range(self.num_nodes)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when every node runs at the reference speed."""
+        return self.node_speeds is None or all(
+            s == self.node_speeds[0] for s in self.node_speeds
+        )
+
+    def node_speed(self, proc: int) -> float:
+        """Relative speed factor of a node (1.0 on homogeneous clusters)."""
+        self._check_proc(proc)
+        return 1.0 if self.node_speeds is None else self.node_speeds[proc]
+
+    def node_flops(self, proc: int) -> float:
+        """Absolute compute speed of a node in flop/s."""
+        return self.flops * self.node_speed(proc)
+
+    @property
+    def aggregate_speed(self) -> float:
+        """Total machine speed in reference-node units."""
+        if self.node_speeds is None:
+            return float(self.num_nodes)
+        return float(sum(self.node_speeds))
+
+    def route_latency(self, src: int, dst: int) -> float:
+        """One-way latency of the route between two nodes.
+
+        A message from ``src`` to ``dst`` traverses the source private
+        link, the backbone, and the destination private link; on-node
+        transfers are free (TGrid processes on the same node share
+        memory through the loopback, which we idealise to zero latency —
+        its cost is folded into the measured redistribution overhead).
+        """
+        self._check_proc(src)
+        self._check_proc(dst)
+        if src == dst:
+            return 0.0
+        return 2.0 * self.link_latency + self.backbone_latency
+
+    def effective_bandwidth(self, src: int, dst: int) -> float:
+        """Contention-free bandwidth of the route between two nodes."""
+        self._check_proc(src)
+        self._check_proc(dst)
+        if src == dst:
+            return float("inf")
+        return min(self.link_bandwidth, self.backbone_bandwidth)
+
+    def _check_proc(self, proc: int) -> None:
+        if not (0 <= proc < self.num_nodes):
+            raise ValueError(
+                f"processor {proc} out of range for {self.num_nodes}-node cluster"
+            )

@@ -1,0 +1,82 @@
+"""Factory functions for the two concrete machines used in the paper."""
+
+from __future__ import annotations
+
+from repro.platform.cluster import ClusterPlatform
+
+__all__ = [
+    "bayreuth_cluster",
+    "cray_xt4",
+    "heterogeneous_cluster",
+    "BAYREUTH_FLOPS",
+    "CRAY_XT4_FLOPS",
+]
+
+#: Effective per-node speed of the Bayreuth cluster as benchmarked by the
+#: paper (Java matrix multiplication on the JVM): 250 MFlop/s.
+BAYREUTH_FLOPS = 250e6
+
+#: Measured flop rate of PDGEMM on the Cray XT4 "Franklin" (LBNL):
+#: 4165.3 MFLOPS (paper, Section VI-A).
+CRAY_XT4_FLOPS = 4165.3e6
+
+
+def bayreuth_cluster(num_nodes: int = 32) -> ClusterPlatform:
+    """The University of Bayreuth cluster of the paper's experiments.
+
+    32 nodes (2x 2 GHz AMD Opteron 246 each — the paper schedules at node
+    granularity), Gigabit Ethernet switch, 100 us link latency.  Per-node
+    speed is the JVM-benchmarked 250 MFlop/s.
+    """
+    return ClusterPlatform(
+        num_nodes=num_nodes,
+        flops=BAYREUTH_FLOPS,
+        link_bandwidth=1.25e8,  # 1 Gb/s
+        link_latency=100e-6,
+        backbone_bandwidth=1.25e8,
+        backbone_latency=0.0,
+        name="bayreuth",
+    )
+
+
+def cray_xt4(num_nodes: int = 32) -> ClusterPlatform:
+    """The Cray XT4 "Franklin" personality used for Fig. 2 (right).
+
+    Only the compute-speed parameter matters for that experiment (the
+    relative error of the analytical PDGEMM model); the SeaStar network
+    is approximated by a fast, low-latency interconnect.
+    """
+    return ClusterPlatform(
+        num_nodes=num_nodes,
+        flops=CRAY_XT4_FLOPS,
+        link_bandwidth=2.0e9,
+        link_latency=6e-6,
+        backbone_bandwidth=2.0e9,
+        backbone_latency=0.0,
+        name="cray_xt4",
+    )
+
+
+def heterogeneous_cluster(
+    node_speeds: tuple[float, ...],
+    *,
+    flops: float = BAYREUTH_FLOPS,
+    name: str = "hetero",
+) -> ClusterPlatform:
+    """A heterogeneous cluster with per-node relative speeds.
+
+    The setting HCPA targets (N'takpé, Suter & Casanova 2007): nodes
+    share the Bayreuth cluster's network but differ in compute speed.
+    ``node_speeds`` are multiples of the reference ``flops`` — e.g.
+    ``(1.0,) * 16 + (0.5,) * 16`` models a half-upgraded machine.
+    """
+    return ClusterPlatform(
+        num_nodes=len(node_speeds),
+        flops=flops,
+        link_bandwidth=1.25e8,
+        link_latency=100e-6,
+        backbone_bandwidth=1.25e8,
+        backbone_latency=0.0,
+        name=name,
+        node_speeds=tuple(float(s) for s in node_speeds),
+    )

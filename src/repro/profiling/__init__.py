@@ -1,0 +1,48 @@
+"""Measurement and calibration harness.
+
+The refined simulators of Sections VI and VII are instantiated purely
+from measurements of the target environment:
+
+* :mod:`repro.profiling.profiler` drives the testbed's microbenchmark
+  hooks — brute-force kernel sweeps, startup timings, redistribution
+  overhead grids;
+* :mod:`repro.profiling.sparse` defines the sparse sampling plans of the
+  empirical approach (including the paper's outlier-avoiding point
+  sets);
+* :mod:`repro.profiling.calibration` turns measurements into the model
+  objects the simulator consumes (profile tables, fitted regressions).
+"""
+
+from repro.profiling.profiler import (
+    KernelProfile,
+    profile_kernels,
+    profile_startup,
+    profile_redistribution,
+)
+from repro.profiling.sparse import SamplingPlan, PAPER_PLAN, NAIVE_POWER_OF_TWO_PLAN
+from repro.profiling.calibration import (
+    build_profile_suite,
+    build_empirical_suite,
+    SimulatorSuite,
+)
+from repro.profiling.adaptive import (
+    AdaptiveFitResult,
+    adaptive_kernel_model,
+    neighbour_point,
+)
+
+__all__ = [
+    "KernelProfile",
+    "profile_kernels",
+    "profile_startup",
+    "profile_redistribution",
+    "SamplingPlan",
+    "PAPER_PLAN",
+    "NAIVE_POWER_OF_TWO_PLAN",
+    "build_profile_suite",
+    "build_empirical_suite",
+    "SimulatorSuite",
+    "AdaptiveFitResult",
+    "adaptive_kernel_model",
+    "neighbour_point",
+]

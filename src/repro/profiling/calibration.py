@@ -1,0 +1,210 @@
+"""Calibration: turn measurements into simulator model suites.
+
+A :class:`SimulatorSuite` bundles the three pluggable models of one
+simulator version (task time, startup overhead, redistribution
+overhead).  Three factories mirror the paper's simulators:
+
+* :func:`build_analytical_suite` — Section IV (no measurements);
+* :func:`build_profile_suite` — Section VI (brute-force profiles);
+* :func:`build_empirical_suite` — Section VII (sparse measurements +
+  regression).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.models.analytical import AnalyticalTaskModel
+from repro.models.base import TaskTimeModel
+from repro.models.empirical import EmpiricalTaskModel, PiecewiseKernelModel
+from repro.models.overheads import (
+    LinearRedistributionOverheadModel,
+    LinearStartupModel,
+    RedistributionOverheadModel,
+    StartupOverheadModel,
+    TableRedistributionOverheadModel,
+    TableStartupModel,
+    ZeroRedistributionOverheadModel,
+    ZeroStartupModel,
+)
+from repro.models.profiles import ProfileTaskModel
+from repro.models.regression import fit_linear
+from repro.profiling.profiler import (
+    profile_kernels,
+    profile_redistribution,
+    profile_startup,
+)
+from repro.profiling.sparse import PAPER_PLAN, SamplingPlan
+from repro.testbed.tgrid import TGridEmulator
+
+__all__ = [
+    "SimulatorSuite",
+    "build_analytical_suite",
+    "build_profile_suite",
+    "build_empirical_suite",
+    "build_size_aware_suite",
+]
+
+
+@dataclass(frozen=True)
+class SimulatorSuite:
+    """One simulator version: its three cost models, under one name."""
+
+    name: str
+    task_model: TaskTimeModel
+    startup_model: StartupOverheadModel
+    redistribution_model: RedistributionOverheadModel
+
+
+def build_analytical_suite(platform) -> SimulatorSuite:
+    """The Section IV simulator: flop counts, no overheads."""
+    return SimulatorSuite(
+        name="analytic",
+        task_model=AnalyticalTaskModel(platform),
+        startup_model=ZeroStartupModel(),
+        redistribution_model=ZeroRedistributionOverheadModel(),
+    )
+
+
+def build_profile_suite(
+    emulator: TGridEmulator,
+    *,
+    sizes: Sequence[int] = (2000, 3000),
+    kernel_trials: int = 3,
+    startup_trials: int = 20,
+    redistribution_trials: int = 3,
+) -> SimulatorSuite:
+    """The Section VI simulator: brute-force measurement of everything.
+
+    Profiles every (kernel, n, p); measures startup for every p (20
+    trials, per the paper); measures the full redistribution grid (3
+    trials) and averages it over the source count, since Fig 4 shows the
+    overhead "depends mostly on p(dst)".
+    """
+    profile = profile_kernels(
+        emulator, sizes=sizes, trials=kernel_trials
+    )
+    startup_table = profile_startup(emulator, trials=startup_trials)
+    grid = profile_redistribution(emulator, trials=redistribution_trials)
+    by_dst: dict[int, list[float]] = {}
+    for (_ps, pd), value in grid.items():
+        by_dst.setdefault(pd, []).append(value)
+    redist_table = {pd: float(np.mean(vals)) for pd, vals in by_dst.items()}
+    return SimulatorSuite(
+        name="profile",
+        task_model=ProfileTaskModel(profile.means),
+        startup_model=TableStartupModel(startup_table),
+        redistribution_model=TableRedistributionOverheadModel(redist_table),
+    )
+
+
+def build_empirical_suite(
+    emulator: TGridEmulator,
+    *,
+    plan: SamplingPlan = PAPER_PLAN,
+    sizes: Sequence[int] = (2000, 3000),
+    kernel_trials: int = 3,
+    startup_trials: int = 20,
+    redistribution_trials: int = 3,
+) -> SimulatorSuite:
+    """The Section VII simulator: sparse measurements + regressions."""
+
+    def measure(kernel: str, n: int, ps: Sequence[int]) -> dict[int, float]:
+        return {
+            p: float(np.mean(emulator.measure_kernel(kernel, n, p, kernel_trials)))
+            for p in ps
+        }
+
+    curves: dict[tuple[str, int], PiecewiseKernelModel] = {}
+    for n in sizes:
+        curves[("matmul", n)] = PiecewiseKernelModel.from_samples(
+            measure("matmul", n, plan.matmul_low),
+            measure("matmul", n, plan.matmul_high),
+            split=plan.split,
+        )
+        curves[("matadd", n)] = PiecewiseKernelModel.from_samples(
+            measure("matadd", n, plan.matadd),
+            None,
+            split=plan.split,
+        )
+
+    startup_samples = {
+        p: float(np.mean(emulator.measure_startup(p, startup_trials)))
+        for p in plan.overheads
+    }
+    startup_fit = fit_linear(
+        list(startup_samples.keys()), list(startup_samples.values())
+    )
+
+    # Redistribution overhead at the plan's destination counts, averaged
+    # over the same source counts (Section VI-C's averaging, applied to
+    # the sparse grid).
+    redist_samples: dict[int, float] = {}
+    for pd in plan.overheads:
+        vals = [
+            float(
+                np.mean(
+                    emulator.measure_redistribution_overhead(
+                        ps, pd, redistribution_trials
+                    )
+                )
+            )
+            for ps in plan.overheads
+        ]
+        redist_samples[pd] = float(np.mean(vals))
+    redist_fit = fit_linear(
+        list(redist_samples.keys()), list(redist_samples.values())
+    )
+
+    return SimulatorSuite(
+        name="empirical",
+        task_model=EmpiricalTaskModel(curves),
+        startup_model=LinearStartupModel(startup_fit),
+        redistribution_model=LinearRedistributionOverheadModel(redist_fit),
+    )
+
+
+def build_size_aware_suite(
+    emulator: TGridEmulator,
+    *,
+    plan: SamplingPlan = PAPER_PLAN,
+    sizes: Sequence[int] = (2000, 3000),
+    kernel_trials: int = 3,
+    startup_trials: int = 20,
+    redistribution_trials: int = 3,
+) -> SimulatorSuite:
+    """A size-aware empirical simulator (paper "future work").
+
+    Identical to :func:`build_empirical_suite` except the task-time
+    model interpolates between the per-size fits, so it can simulate
+    workloads at matrix sizes that were never measured (within a
+    bounded extrapolation range).  The overhead models are
+    size-independent and shared with the plain empirical suite.
+    """
+    from repro.models.scaling import (
+        SizeAwareEmpiricalModel,
+        SizeInterpolatedKernelModel,
+    )
+
+    base = build_empirical_suite(
+        emulator,
+        plan=plan,
+        sizes=sizes,
+        kernel_trials=kernel_trials,
+        startup_trials=startup_trials,
+        redistribution_trials=redistribution_trials,
+    )
+    families = {}
+    for kernel in ("matmul", "matadd"):
+        families[kernel] = SizeInterpolatedKernelModel(
+            {int(n): base.task_model.curve(kernel, int(n)) for n in sizes}
+        )
+    return SimulatorSuite(
+        name="empirical-size-aware",
+        task_model=SizeAwareEmpiricalModel(families),
+        startup_model=base.startup_model,
+        redistribution_model=base.redistribution_model,
+    )

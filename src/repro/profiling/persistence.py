@@ -1,0 +1,229 @@
+"""Saving and loading calibrated simulator suites.
+
+Profiling a real cluster is "extensive (and thus time-consuming)"
+(Section VII) — a calibration is an asset worth keeping.  This module
+serialises every measured model the library produces to plain JSON and
+restores it bit-for-bit, so a brute-force profile gathered once can
+drive any number of later simulation campaigns.
+
+Analytical suites are deliberately *not* serialised: they carry no
+measurements, only a platform, and should be rebuilt from the platform
+description.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.models.base import TaskTimeModel
+from repro.models.empirical import EmpiricalTaskModel, PiecewiseKernelModel
+from repro.models.overheads import (
+    LinearRedistributionOverheadModel,
+    LinearStartupModel,
+    RedistributionOverheadModel,
+    StartupOverheadModel,
+    TableRedistributionOverheadModel,
+    TableStartupModel,
+    ZeroRedistributionOverheadModel,
+    ZeroStartupModel,
+)
+from repro.models.profiles import ProfileTaskModel
+from repro.models.regression import HyperbolicFit, LinearFit
+from repro.models.scaling import (
+    SizeAwareEmpiricalModel,
+    SizeInterpolatedKernelModel,
+)
+from repro.profiling.calibration import SimulatorSuite
+from repro.util.errors import CalibrationError
+
+__all__ = ["suite_to_dict", "suite_from_dict", "save_suite", "load_suite"]
+
+_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def _encode_piecewise(model: PiecewiseKernelModel) -> dict:
+    out: dict[str, Any] = {
+        "low": {"a": model.low.a, "b": model.low.b},
+        "split": model.split,
+    }
+    if model.high is not None:
+        out["high"] = {"a": model.high.a, "b": model.high.b}
+    return out
+
+
+def _encode_task_model(model: TaskTimeModel) -> dict:
+    if isinstance(model, ProfileTaskModel):
+        return {
+            "type": "profile",
+            "table": [
+                {"kernel": k, "n": n, "p": p, "seconds": seconds}
+                for (k, n, p), seconds in model.items()
+            ],
+        }
+    if isinstance(model, SizeAwareEmpiricalModel):
+        return {
+            "type": "size-aware",
+            "families": {
+                kernel: {
+                    "max_extrapolation": family.max_extrapolation,
+                    "curves": {
+                        str(n): _encode_piecewise(c)
+                        for n, c in family.curves.items()
+                    },
+                }
+                for kernel, family in model.families.items()
+            },
+        }
+    if isinstance(model, EmpiricalTaskModel):
+        return {
+            "type": "empirical",
+            "curves": [
+                {
+                    "kernel": kernel,
+                    "n": n,
+                    **_encode_piecewise(curve),
+                }
+                for (kernel, n), curve in model.items()
+            ],
+        }
+    raise CalibrationError(
+        f"cannot serialise task model of type {type(model).__name__}; "
+        "only measured models are persistable"
+    )
+
+
+def _encode_startup(model: StartupOverheadModel) -> dict:
+    if isinstance(model, ZeroStartupModel):
+        return {"type": "zero"}
+    if isinstance(model, TableStartupModel):
+        return {"type": "table", "table": {str(p): t for p, t in model.table.items()}}
+    if isinstance(model, LinearStartupModel):
+        return {"type": "linear", "a": model.fit.a, "b": model.fit.b}
+    raise CalibrationError(
+        f"cannot serialise startup model {type(model).__name__}"
+    )
+
+
+def _encode_redistribution(model: RedistributionOverheadModel) -> dict:
+    if isinstance(model, ZeroRedistributionOverheadModel):
+        return {"type": "zero"}
+    if isinstance(model, TableRedistributionOverheadModel):
+        return {"type": "table", "table": {str(p): t for p, t in model.table.items()}}
+    if isinstance(model, LinearRedistributionOverheadModel):
+        return {"type": "linear", "a": model.fit.a, "b": model.fit.b}
+    raise CalibrationError(
+        f"cannot serialise redistribution model {type(model).__name__}"
+    )
+
+
+def suite_to_dict(suite: SimulatorSuite) -> dict:
+    """Serialisable form of a calibrated suite."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": suite.name,
+        "task_model": _encode_task_model(suite.task_model),
+        "startup_model": _encode_startup(suite.startup_model),
+        "redistribution_model": _encode_redistribution(
+            suite.redistribution_model
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def _decode_piecewise(spec: dict) -> PiecewiseKernelModel:
+    low = HyperbolicFit(a=float(spec["low"]["a"]), b=float(spec["low"]["b"]))
+    high = None
+    if "high" in spec:
+        high = LinearFit(a=float(spec["high"]["a"]), b=float(spec["high"]["b"]))
+    return PiecewiseKernelModel(low=low, high=high, split=int(spec["split"]))
+
+
+def _decode_task_model(spec: dict) -> TaskTimeModel:
+    kind = spec["type"]
+    if kind == "profile":
+        table = {
+            (row["kernel"], int(row["n"]), int(row["p"])): float(row["seconds"])
+            for row in spec["table"]
+        }
+        return ProfileTaskModel(table)
+    if kind == "empirical":
+        curves = {
+            (row["kernel"], int(row["n"])): _decode_piecewise(row)
+            for row in spec["curves"]
+        }
+        return EmpiricalTaskModel(curves)
+    if kind == "size-aware":
+        families = {}
+        for kernel, fam in spec["families"].items():
+            families[kernel] = SizeInterpolatedKernelModel(
+                {
+                    int(n): _decode_piecewise(c)
+                    for n, c in fam["curves"].items()
+                },
+                max_extrapolation=float(fam["max_extrapolation"]),
+            )
+        return SizeAwareEmpiricalModel(families)
+    raise CalibrationError(f"unknown task model type {kind!r}")
+
+
+def _decode_startup(spec: dict) -> StartupOverheadModel:
+    kind = spec["type"]
+    if kind == "zero":
+        return ZeroStartupModel()
+    if kind == "table":
+        return TableStartupModel({int(p): float(t) for p, t in spec["table"].items()})
+    if kind == "linear":
+        return LinearStartupModel(LinearFit(a=float(spec["a"]), b=float(spec["b"])))
+    raise CalibrationError(f"unknown startup model type {kind!r}")
+
+
+def _decode_redistribution(spec: dict) -> RedistributionOverheadModel:
+    kind = spec["type"]
+    if kind == "zero":
+        return ZeroRedistributionOverheadModel()
+    if kind == "table":
+        return TableRedistributionOverheadModel(
+            {int(p): float(t) for p, t in spec["table"].items()}
+        )
+    if kind == "linear":
+        return LinearRedistributionOverheadModel(
+            LinearFit(a=float(spec["a"]), b=float(spec["b"]))
+        )
+    raise CalibrationError(f"unknown redistribution model type {kind!r}")
+
+
+def suite_from_dict(data: dict) -> SimulatorSuite:
+    """Inverse of :func:`suite_to_dict`."""
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise CalibrationError(
+            f"unsupported calibration format version {version!r} "
+            f"(this library writes version {_FORMAT_VERSION})"
+        )
+    return SimulatorSuite(
+        name=str(data["name"]),
+        task_model=_decode_task_model(data["task_model"]),
+        startup_model=_decode_startup(data["startup_model"]),
+        redistribution_model=_decode_redistribution(
+            data["redistribution_model"]
+        ),
+    )
+
+
+def save_suite(suite: SimulatorSuite, path: str | Path) -> Path:
+    """Write a calibrated suite to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(suite_to_dict(suite), indent=2))
+    return path
+
+
+def load_suite(path: str | Path) -> SimulatorSuite:
+    """Read a calibrated suite back from JSON."""
+    return suite_from_dict(json.loads(Path(path).read_text()))

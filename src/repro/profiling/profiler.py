@@ -1,0 +1,99 @@
+"""Brute-force profiling of the target execution environment.
+
+Section VI's approach: "simply profile each task on our cluster for all
+possible allocations (p = 1..32) and matrix sizes (n = 2000, 3000)",
+measure task startup for p = 1..32 (20 trials each) and the
+redistribution overhead over the full (p_src, p_dst) grid (3 trials).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.testbed.tgrid import TGridEmulator
+
+__all__ = [
+    "KernelProfile",
+    "profile_kernels",
+    "profile_startup",
+    "profile_redistribution",
+]
+
+
+@dataclass
+class KernelProfile:
+    """Measured kernel execution times.
+
+    ``means[(kernel, n, p)]`` is the trial-averaged time; ``samples``
+    keeps the raw trials for variance analysis.
+    """
+
+    means: dict[tuple[str, int, int], float] = field(default_factory=dict)
+    samples: dict[tuple[str, int, int], list[float]] = field(default_factory=dict)
+
+    def mean(self, kernel: str, n: int, p: int) -> float:
+        return self.means[(kernel, n, p)]
+
+    def __len__(self) -> int:
+        return len(self.means)
+
+
+def profile_kernels(
+    emulator: TGridEmulator,
+    *,
+    kernels: Sequence[str] = ("matmul", "matadd"),
+    sizes: Sequence[int] = (2000, 3000),
+    procs: Iterable[int] | None = None,
+    trials: int = 3,
+) -> KernelProfile:
+    """Measure every (kernel, n, p) combination on the testbed."""
+    if procs is None:
+        procs = range(1, emulator.platform.num_nodes + 1)
+    profile = KernelProfile()
+    for kernel in kernels:
+        for n in sizes:
+            for p in procs:
+                raw = emulator.measure_kernel(kernel, n, p, trials=trials)
+                key = (kernel, int(n), int(p))
+                profile.samples[key] = raw
+                profile.means[key] = float(np.mean(raw))
+    return profile
+
+
+def profile_startup(
+    emulator: TGridEmulator,
+    *,
+    procs: Iterable[int] | None = None,
+    trials: int = 20,
+) -> dict[int, float]:
+    """Mean no-op task startup overhead per processor count (Fig 3)."""
+    if procs is None:
+        procs = range(1, emulator.platform.num_nodes + 1)
+    return {
+        int(p): float(np.mean(emulator.measure_startup(p, trials=trials)))
+        for p in procs
+    }
+
+
+def profile_redistribution(
+    emulator: TGridEmulator,
+    *,
+    src_procs: Iterable[int] | None = None,
+    dst_procs: Iterable[int] | None = None,
+    trials: int = 3,
+) -> dict[tuple[int, int], float]:
+    """Mean redistribution overhead over the (p_src, p_dst) grid (Fig 4)."""
+    if src_procs is None:
+        src_procs = range(1, emulator.platform.num_nodes + 1)
+    if dst_procs is None:
+        dst_procs = range(1, emulator.platform.num_nodes + 1)
+    dst_list = list(dst_procs)
+    grid: dict[tuple[int, int], float] = {}
+    for ps in src_procs:
+        for pd in dst_list:
+            raw = emulator.measure_redistribution_overhead(ps, pd, trials=trials)
+            grid[(int(ps), int(pd))] = float(np.mean(raw))
+    return grid

@@ -1,0 +1,68 @@
+"""Sparse sampling plans for the empirical models (Section VII).
+
+The paper first tried the "natural" power-of-two sample points
+``p = {1, 2, 4, 8, 16, 32}`` and found the fit wrecked by the p = 8 and
+p = 16 outliers (Fig 6, left).  Its final plan side-steps them:
+``p = {2, 4, 7, 15}`` for the hyperbolic branch and ``{15, 24, 31}`` for
+the linear branch of the multiplication, ``{2, 4, 7, 15, 24, 31}`` for
+the addition, and ``{1, 16, 32}`` for both overhead regressions
+(Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SamplingPlan", "PAPER_PLAN", "NAIVE_POWER_OF_TWO_PLAN"]
+
+
+@dataclass(frozen=True)
+class SamplingPlan:
+    """Which processor counts to measure when building empirical models.
+
+    Attributes
+    ----------
+    matmul_low / matmul_high:
+        Sample points of the multiplication's hyperbolic (p <= split)
+        and linear (p > split) branches; the boundary point may appear
+        in both (the paper reuses p = 15).
+    matadd:
+        Sample points of the addition's single hyperbolic model.
+    overheads:
+        Sample points of the startup and redistribution regressions.
+    split:
+        Regime boundary between the two multiplication branches.
+    """
+
+    matmul_low: tuple[int, ...] = (2, 4, 7, 15)
+    matmul_high: tuple[int, ...] = (15, 24, 31)
+    matadd: tuple[int, ...] = (2, 4, 7, 15, 24, 31)
+    overheads: tuple[int, ...] = (1, 16, 32)
+    split: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("matmul_low", "matmul_high", "matadd", "overheads"):
+            points = getattr(self, name)
+            if len(points) < 2:
+                raise ValueError(f"{name} needs at least 2 sample points")
+            if any(p < 1 for p in points):
+                raise ValueError(f"{name} contains a processor count < 1")
+            if len(set(points)) != len(points):
+                raise ValueError(f"{name} contains duplicates")
+
+    @property
+    def total_measurements(self) -> int:
+        """Distinct kernel measurement points (the paper's "6 instead of 32")."""
+        return len(set(self.matmul_low) | set(self.matmul_high))
+
+
+#: Table II's outlier-avoiding plan.
+PAPER_PLAN = SamplingPlan()
+
+#: The initial, outlier-prone plan of Fig 6 (left).
+NAIVE_POWER_OF_TWO_PLAN = SamplingPlan(
+    matmul_low=(1, 2, 4, 8, 16),
+    matmul_high=(16, 32),
+    matadd=(1, 2, 4, 8, 16, 32),
+    overheads=(1, 16, 32),
+)

@@ -1,0 +1,35 @@
+"""Baseline allocation strategies.
+
+Not part of the paper's head-to-head (which pits HCPA against MCPA),
+but indispensable for sanity-checking the pipeline and for the ablation
+benches: a pure task-parallel baseline (every task on one processor)
+and a pure data-parallel baseline (every task on the whole machine)
+bracket the mixed-parallel algorithms.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskGraph
+from repro.scheduling.costs import SchedulingCosts
+
+__all__ = ["sequential_allocate", "full_parallel_allocate"]
+
+
+def sequential_allocate(graph: TaskGraph, costs: SchedulingCosts) -> dict[int, int]:
+    """One processor per task: maximal task parallelism, no data parallelism."""
+    return {t: 1 for t in graph.task_ids}
+
+
+def full_parallel_allocate(graph: TaskGraph, costs: SchedulingCosts) -> dict[int, int]:
+    """Whole machine per task: pure data parallelism, tasks serialised.
+
+    Each task gets the allocation that minimises its own estimated time
+    over ``1..P`` — on measured models the optimum is often well below P
+    because overheads grow with the allocation.
+    """
+    P = costs.num_procs
+    alloc: dict[int, int] = {}
+    for t in graph.task_ids:
+        best_p = min(range(1, P + 1), key=lambda p: (costs.task_time(t, p), p))
+        alloc[t] = best_p
+    return alloc

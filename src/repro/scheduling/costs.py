@@ -1,0 +1,113 @@
+"""Cost estimates consumed by the scheduling algorithms.
+
+The allocation and mapping phases reason about task times ``T(t, p)``
+and redistribution times.  These estimates come from the same model the
+simulator will use — in the paper, the scheduling algorithm runs *inside*
+the simulator, so the analytical simulator schedules with analytical
+estimates, the profile-based simulator with profiled estimates, etc.
+That coupling is essential to the study: different simulators produce
+different schedules for the same DAG, which are then all executed on the
+real cluster.
+"""
+
+from __future__ import annotations
+
+
+from repro.dag.graph import TaskGraph
+from repro.dag.kernels import matrix_bytes
+from repro.models.base import TaskTimeModel
+from repro.models.overheads import (
+    RedistributionOverheadModel,
+    StartupOverheadModel,
+    ZeroRedistributionOverheadModel,
+    ZeroStartupModel,
+)
+from repro.platform.cluster import ClusterPlatform
+
+__all__ = ["SchedulingCosts"]
+
+
+class SchedulingCosts:
+    """Bundles a task-time model and overhead models into the estimate
+    functions the CPA family needs.
+
+    ``task_time(t, p)`` includes the startup overhead — the scheduler
+    should account for every second a task will occupy its processors.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        platform: ClusterPlatform,
+        task_model: TaskTimeModel,
+        startup_model: StartupOverheadModel | None = None,
+        redistribution_model: RedistributionOverheadModel | None = None,
+    ) -> None:
+        self.graph = graph
+        self.platform = platform
+        self.task_model = task_model
+        self.startup_model = startup_model or ZeroStartupModel()
+        self.redistribution_model = (
+            redistribution_model or ZeroRedistributionOverheadModel()
+        )
+        self._task_time_cache: dict[tuple[int, int], float] = {}
+
+    @property
+    def num_procs(self) -> int:
+        return self.platform.num_nodes
+
+    def task_time(self, task_id: int, p: int) -> float:
+        """Estimated seconds task ``task_id`` occupies ``p`` processors."""
+        key = (task_id, p)
+        cached = self._task_time_cache.get(key)
+        if cached is not None:
+            return cached
+        task = self.graph.task(task_id)
+        value = self.task_model.duration(task, p) + self.startup_model.startup(p)
+        self._task_time_cache[key] = value
+        return value
+
+    def startup_time(self, p: int) -> float:
+        """Estimated startup overhead of a ``p``-processor task."""
+        return self.startup_model.startup(p)
+
+    def compute_time(self, task_id: int, p: int) -> float:
+        """Task time *excluding* startup (scales with node speed)."""
+        return self.task_time(task_id, p) - self.startup_time(p)
+
+    def work(self, task_id: int, p: int) -> float:
+        """Processor-area of the task: ``p * T(t, p)``."""
+        return p * self.task_time(task_id, p)
+
+    def redistribution_time(
+        self,
+        src_id: int,
+        p_src: int,
+        p_dst: int,
+        *,
+        same_hosts: bool = False,
+    ) -> float:
+        """Estimated redistribution time for edge ``src -> dst``.
+
+        The producer's whole output matrix moves once; with 1D block
+        distributions on both sides the transfer parallelises over
+        ``min(p_src, p_dst)`` concurrent port pairs.  When producer and
+        consumer share the same host set no bytes cross the network, but
+        the subnet-manager overhead still applies (processes must
+        register regardless — Section V-C).
+        """
+        task = self.graph.task(src_id)
+        overhead = self.redistribution_model.overhead(p_src, p_dst)
+        if same_hosts or self.platform.num_nodes == 1:
+            # No bytes cross the network (single node: everything is
+            # local by construction), but the protocol overhead remains.
+            return overhead
+        total_bytes = matrix_bytes(task.n)
+        ports = max(1, min(p_src, p_dst))
+        bandwidth = self.platform.effective_bandwidth(0, 1)
+        transfer = total_bytes / (ports * bandwidth)
+        return overhead + transfer + self.platform.route_latency(0, 1)
+
+    def mean_edge_time(self, src_id: int, alloc: dict[int, int], dst_id: int) -> float:
+        """Edge-cost estimate under current allocations (used for levels)."""
+        return self.redistribution_time(src_id, alloc[src_id], alloc[dst_id])

@@ -1,0 +1,130 @@
+"""CPA — Critical Path and Area-based allocation.
+
+Radulescu & van Gemund, "A Low-Cost Approach towards Mixed Task and
+Data Parallel Scheduling" (ICPP 2001).  The allocation phase balances
+two lower bounds on the makespan:
+
+* ``T_CP`` — the critical-path length under current allocations (the
+  task-parallel bound), and
+* ``T_A = (1/P) * sum_t p_t * T(t, p_t)`` — the average area (the
+  data-parallel bound: total work spread over all P processors).
+
+Starting from one processor per task, CPA repeatedly gives one more
+processor to the critical-path task with the largest benefit
+
+    ``G(t) = T(t, p_t) / p_t  -  T(t, p_t + 1) / (p_t + 1)``
+
+until ``T_CP <= T_A``.  Growing an allocation shrinks ``T_CP`` but (for
+imperfectly scaling tasks) grows ``T_A``; the loop stops where the
+bounds cross.  The paper under reproduction notes that CPA's allocations
+"can become too large, thereby degrading overall performance" — the
+defect HCPA and MCPA address.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dag.analysis import critical_path, critical_path_length
+from repro.dag.graph import TaskGraph
+from repro.scheduling.costs import SchedulingCosts
+
+__all__ = ["cpa_allocate", "average_area", "allocation_loop"]
+
+
+def average_area(costs: SchedulingCosts, alloc: dict[int, int]) -> float:
+    """``T_A``: total processor-area divided by the machine capacity.
+
+    On homogeneous clusters the denominator is the node count (the
+    paper's setting).  On heterogeneous clusters it is the aggregate
+    speed in reference-node units — HCPA's reference-cluster view of
+    the machine, which CPA's area bound generalises to naturally.
+    """
+    total = sum(costs.work(t, p) for t, p in alloc.items())
+    return total / costs.platform.aggregate_speed
+
+
+def _cpa_gain(costs: SchedulingCosts, task_id: int, p: int) -> float:
+    """CPA's benefit of one extra processor for a task.
+
+    Returns 0 when the extra processor does not strictly reduce the
+    task's execution time: a processor that buys no speedup only
+    inflates the average area (``T(t,p)/p`` can keep "improving" for a
+    task whose time is flat, which would let the loop hand out useless
+    processors under measured models past their scaling knee).
+    """
+    t_now = costs.task_time(task_id, p)
+    t_next = costs.task_time(task_id, p + 1)
+    if t_next >= t_now:
+        return 0.0
+    return t_now / p - t_next / (p + 1)
+
+
+def allocation_loop(
+    graph: TaskGraph,
+    costs: SchedulingCosts,
+    *,
+    select: Callable[[list[int], dict[int, int]], int | None],
+    stop: Callable[[float, float, dict[int, int]], bool] | None = None,
+    max_alloc: int | None = None,
+) -> dict[int, int]:
+    """Shared skeleton of the CPA-family allocation phase.
+
+    Parameters
+    ----------
+    select:
+        Given the current critical path (task ids) and allocations,
+        return the task to grow, or None to stop.  Receives only tasks
+        that can still grow (``p < max_alloc``).
+    stop:
+        Extra stopping predicate ``f(T_CP, T_A, alloc)``; default is the
+        CPA criterion ``T_CP <= T_A``.
+    max_alloc:
+        Per-task allocation cap (defaults to the platform size).
+    """
+    P = costs.num_procs
+    cap = P if max_alloc is None else min(max_alloc, P)
+    alloc: dict[int, int] = {t: 1 for t in graph.task_ids}
+    if not alloc:
+        return alloc
+    stop = stop or (lambda t_cp, t_a, _alloc: t_cp <= t_a)
+
+    # Upper bound on iterations: every step adds one processor to one task.
+    for _ in range(len(alloc) * cap + 1):
+        task_cost = lambda t: costs.task_time(t, alloc[t])  # noqa: E731
+        t_cp = critical_path_length(graph, task_cost)
+        t_a = average_area(costs, alloc)
+        if stop(t_cp, t_a, alloc):
+            break
+        cp = critical_path(graph, task_cost)
+        growable = [t for t in cp if alloc[t] < cap]
+        if not growable:
+            break
+        chosen = select(growable, alloc)
+        if chosen is None:
+            break
+        alloc[chosen] += 1
+    return alloc
+
+
+def cpa_allocate(graph: TaskGraph, costs: SchedulingCosts) -> dict[int, int]:
+    """The original CPA allocation: grow the best-gain critical-path task.
+
+    Tasks whose gain is non-positive (adding a processor does not reduce
+    their time-per-processor — common beyond the scaling knee of
+    measured models) are never grown; when no critical-path task has
+    positive gain the loop stops even if ``T_CP > T_A`` still holds,
+    because no further improvement is possible.
+    """
+
+    def select(candidates: list[int], alloc: dict[int, int]) -> int | None:
+        best_task = None
+        best_gain = 0.0
+        for t in candidates:
+            gain = _cpa_gain(costs, t, alloc[t])
+            if gain > best_gain:
+                best_gain = gain
+                best_task = t
+        return best_task
+
+    return allocation_loop(graph, costs, select=select)

@@ -1,0 +1,142 @@
+"""Schedule data structures.
+
+A :class:`Schedule` is the contract between the scheduling algorithms,
+the simulator, and the testbed: for every task, the set of physical
+processors to use, plus a global task order.  The simulator and the
+testbed both enforce the same execution semantics: a task starts once
+(a) its input redistributions have completed and (b) each of its
+processors has finished every earlier-ordered task placed on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.dag.graph import TaskGraph
+from repro.platform.cluster import ClusterPlatform
+from repro.util.errors import InvalidScheduleError
+
+__all__ = ["Placement", "Schedule"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Processor assignment of one task.
+
+    ``est_start`` / ``est_finish`` are the *scheduler's* estimates (its
+    internal Gantt chart) — the simulator and testbed compute their own
+    realised times.
+    """
+
+    task_id: int
+    hosts: tuple[int, ...]
+    est_start: float = 0.0
+    est_finish: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.hosts:
+            raise InvalidScheduleError(f"task {self.task_id} has no processors")
+        if len(set(self.hosts)) != len(self.hosts):
+            raise InvalidScheduleError(
+                f"task {self.task_id} lists duplicate processors {self.hosts}"
+            )
+        if self.est_finish < self.est_start:
+            raise InvalidScheduleError(
+                f"task {self.task_id} finishes before it starts"
+            )
+
+    @property
+    def num_procs(self) -> int:
+        return len(self.hosts)
+
+
+class Schedule:
+    """A complete schedule for a task graph on a platform."""
+
+    def __init__(
+        self,
+        placements: Mapping[int, Placement],
+        order: Iterable[int],
+        *,
+        algorithm: str = "",
+        makespan_estimate: float = 0.0,
+    ) -> None:
+        self.placements = dict(placements)
+        self.order = list(order)
+        self.algorithm = algorithm
+        self.makespan_estimate = makespan_estimate
+        if sorted(self.order) != sorted(self.placements):
+            raise InvalidScheduleError(
+                "schedule order must contain each placed task exactly once"
+            )
+
+    def __len__(self) -> int:
+        return len(self.placements)
+
+    def hosts(self, task_id: int) -> tuple[int, ...]:
+        try:
+            return self.placements[task_id].hosts
+        except KeyError:
+            raise InvalidScheduleError(f"task {task_id} is not scheduled") from None
+
+    def allocation(self, task_id: int) -> int:
+        return len(self.hosts(task_id))
+
+    def allocations(self) -> dict[int, int]:
+        return {t: p.num_procs for t, p in self.placements.items()}
+
+    def validate(self, graph: TaskGraph, platform: ClusterPlatform) -> None:
+        """Check schedule/graph/platform consistency.
+
+        * every task of the graph is placed, and nothing else;
+        * every host index exists on the platform;
+        * the order is consistent with the DAG's precedence (a task
+          never ordered before one of its predecessors);
+        * the scheduler's estimated intervals do not overlap on any
+          processor (sanity of the internal Gantt chart).
+        """
+        graph_ids = set(graph.task_ids)
+        placed_ids = set(self.placements)
+        if graph_ids != placed_ids:
+            missing = graph_ids - placed_ids
+            extra = placed_ids - graph_ids
+            raise InvalidScheduleError(
+                f"schedule/graph mismatch: missing={sorted(missing)}, "
+                f"extra={sorted(extra)}"
+            )
+        for placement in self.placements.values():
+            for host in placement.hosts:
+                if not (0 <= host < platform.num_nodes):
+                    raise InvalidScheduleError(
+                        f"task {placement.task_id} uses host {host} outside "
+                        f"the {platform.num_nodes}-node platform"
+                    )
+        position = {t: i for i, t in enumerate(self.order)}
+        for src, dst in graph.edges():
+            if position[src] > position[dst]:
+                raise InvalidScheduleError(
+                    f"order places task {dst} before its predecessor {src}"
+                )
+        # Per-processor estimated intervals must not overlap.
+        by_host: dict[int, list[tuple[float, float, int]]] = {}
+        for p in self.placements.values():
+            for host in p.hosts:
+                by_host.setdefault(host, []).append(
+                    (p.est_start, p.est_finish, p.task_id)
+                )
+        eps = 1e-9
+        for host, intervals in by_host.items():
+            intervals.sort()
+            for (s1, f1, t1), (s2, _f2, t2) in zip(intervals, intervals[1:]):
+                if s2 < f1 - eps:
+                    raise InvalidScheduleError(
+                        f"tasks {t1} and {t2} overlap on host {host} "
+                        f"({s1:.3f}-{f1:.3f} vs start {s2:.3f})"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule(algorithm={self.algorithm!r}, tasks={len(self)}, "
+            f"makespan_estimate={self.makespan_estimate:.3f})"
+        )

@@ -1,0 +1,226 @@
+"""Discrete-event core: actions with rates over shared resources.
+
+The engine follows SimGrid's "surf" design.  The simulation state is a
+set of :class:`Action` objects, each with
+
+* a remaining amount of *work* (flops for a compute action, a normalised
+  progress unit for a parallel task, bytes for a flow),
+* a *consumption* mapping (how much of each resource one work-unit/s of
+  progress consumes),
+* an optional initial *latency* during which the action holds no
+  resources (SimGrid models route latency the same way).
+
+On every step the engine re-solves the max-min sharing problem to get
+each action's current rate, advances time to the earliest completion (of
+a latency phase or of the work), updates remaining amounts, and fires
+completion callbacks — which typically enqueue follow-up actions.  The
+loop is exact for piecewise-constant rates, which is what max-min
+sharing yields between discrete events.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable, Optional
+
+from repro.simgrid.resources import Resource
+from repro.simgrid.sharing import solve_rates
+from repro.util.errors import SimulationError
+
+__all__ = ["Action", "SimulationEngine"]
+
+_EPS = 1e-9
+_REL_EPS = 1e-12
+
+_action_counter = itertools.count()
+
+
+class Action:
+    """A unit of simulated activity.
+
+    Parameters
+    ----------
+    name:
+        Debug label.
+    work:
+        Amount of work in abstract units; progresses at the solver-given
+        rate.  Zero-work actions complete as soon as their latency
+        elapses (pure timers).
+    consumption:
+        ``{Resource: weight}`` — resource consumed per work-unit per
+        second of progress.  Zero weights are dropped.
+    latency:
+        Initial delay before the work phase starts; consumes no
+        resources (route latency, or a fixed measured overhead).
+    on_complete:
+        Callback ``f(engine, action)`` fired when the action finishes.
+    payload:
+        Arbitrary user data travelling with the action.
+    """
+
+    __slots__ = (
+        "name",
+        "remaining",
+        "consumption",
+        "latency_left",
+        "on_complete",
+        "payload",
+        "rate",
+        "start_time",
+        "finish_time",
+        "_seq",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        work: float,
+        consumption: Optional[dict[Resource, float]] = None,
+        latency: float = 0.0,
+        on_complete: Optional[Callable[["SimulationEngine", "Action"], None]] = None,
+        payload: object = None,
+    ) -> None:
+        if work < 0:
+            raise SimulationError(f"action {name!r} has negative work {work}")
+        if latency < 0:
+            raise SimulationError(f"action {name!r} has negative latency {latency}")
+        self.name = name
+        self.remaining = float(work)
+        self.consumption = {
+            r: w for r, w in (consumption or {}).items() if w > 0.0
+        }
+        self.latency_left = float(latency)
+        self.on_complete = on_complete
+        self.payload = payload
+        self.rate = 0.0
+        self.start_time = math.nan
+        self.finish_time = math.nan
+        self._seq = next(_action_counter)
+
+    @property
+    def in_latency_phase(self) -> bool:
+        return self.latency_left > 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Action({self.name!r}, remaining={self.remaining:g}, "
+            f"latency_left={self.latency_left:g})"
+        )
+
+
+class SimulationEngine:
+    """Advances a set of actions over shared resources until quiescence."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._actions: list[Action] = []
+        self._capacity: dict[Resource, float] = {}
+
+    # ------------------------------------------------------------------
+    def add_action(self, action: Action) -> Action:
+        """Register an action; it starts progressing at the current time."""
+        action.start_time = self.now
+        for res in action.consumption:
+            self._capacity[res] = res.capacity
+        self._actions.append(action)
+        return action
+
+    def add_timer(
+        self,
+        delay: float,
+        on_complete: Callable[["SimulationEngine", Action], None],
+        name: str = "timer",
+        payload: object = None,
+    ) -> Action:
+        """Convenience: a resource-free action firing after ``delay``."""
+        return self.add_action(
+            Action(name, work=0.0, latency=delay, on_complete=on_complete,
+                   payload=payload)
+        )
+
+    @property
+    def pending_actions(self) -> int:
+        return len(self._actions)
+
+    # ------------------------------------------------------------------
+    def _solve(self) -> None:
+        """Refresh every working action's rate from the sharing solver."""
+        working = {
+            a: a.consumption for a in self._actions if not a.in_latency_phase
+        }
+        if not working:
+            return
+        rates = solve_rates(
+            {a: cons for a, cons in working.items()},
+            self._capacity,
+        )
+        for action, rate in rates.items():
+            action.rate = rate
+
+    def _time_to_event(self, action: Action) -> float:
+        if action.in_latency_phase:
+            return action.latency_left
+        if action.remaining <= 0.0:
+            return 0.0
+        if action.rate <= 0.0:
+            return math.inf
+        if math.isinf(action.rate):
+            return 0.0
+        return action.remaining / action.rate
+
+    def step(self) -> bool:
+        """Advance to the next event; return False when nothing is left."""
+        if not self._actions:
+            return False
+        self._solve()
+        times = [(self._time_to_event(a), a) for a in self._actions]
+        dt = min(t for t, _ in times)
+        if math.isinf(dt):
+            names = [a.name for _, a in times]
+            raise SimulationError(
+                f"simulation stalled at t={self.now}: actions {names} can "
+                "make no progress (zero rate)"
+            )
+        if dt < 0:
+            raise SimulationError(f"negative time step {dt}")
+        self.now += dt
+        # An action "fires" this step if its time-to-event equals the
+        # minimum (within a relative tolerance, to absorb FP residue).
+        threshold = dt * (1.0 + _REL_EPS) + _EPS * 1e-6
+        completed: list[Action] = []
+        for t, action in times:
+            fires = t <= threshold
+            if action.in_latency_phase:
+                if fires:
+                    action.latency_left = 0.0
+                    if action.remaining <= 0.0:
+                        completed.append(action)
+                else:
+                    action.latency_left -= dt
+            else:
+                if fires:
+                    action.remaining = 0.0
+                    completed.append(action)
+                elif not math.isinf(action.rate):
+                    action.remaining = max(0.0, action.remaining - action.rate * dt)
+        # Deterministic completion order: creation order.
+        completed.sort(key=lambda a: a._seq)
+        for action in completed:
+            self._actions.remove(action)
+        for action in completed:
+            action.finish_time = self.now
+            if action.on_complete is not None:
+                action.on_complete(self, action)
+        return True
+
+    def run(self, *, max_steps: int = 10_000_000) -> float:
+        """Run to quiescence; returns the final simulated time."""
+        steps = 0
+        while self.step():
+            steps += 1
+            if steps > max_steps:
+                raise SimulationError(
+                    f"exceeded {max_steps} steps; livelock suspected"
+                )
+        return self.now

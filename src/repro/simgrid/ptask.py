@@ -1,0 +1,156 @@
+"""The ``ptask_L07`` parallel-task action model.
+
+SimGrid's L07 model describes a parallel task by a computation vector
+``a`` (flops each processor executes) and a communication matrix ``B``
+(bytes exchanged between processor pairs).  The task has a single
+progress variable; when it advances by a fraction ``d``, processor ``i``
+has executed ``d * a[i]`` flops and ``d * B[i][j]`` bytes have crossed
+the ``i -> j`` route.  Under max-min sharing this makes the task's rate
+the minimum over its resources of the fair share it obtains there — the
+slowest processor or the most contended link bounds the whole task,
+exactly like a tightly-coupled data-parallel kernel.
+
+This module converts task specifications (computation per host + a list
+of flows) into engine :class:`~repro.simgrid.engine.Action` objects whose
+*work* is normalised to 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.simgrid.engine import Action, SimulationEngine
+from repro.simgrid.resources import NetworkTopology, Resource
+from repro.util.errors import SimulationError
+
+__all__ = [
+    "ParallelTaskSpec",
+    "build_ptask_action",
+    "comm_matrix_to_flows",
+    "redistribution_flows",
+]
+
+Flow = tuple[int, int, float]  # (src_host, dst_host, bytes)
+
+
+@dataclass
+class ParallelTaskSpec:
+    """A parallel task in the L07 style.
+
+    Attributes
+    ----------
+    name:
+        Debug label.
+    comp:
+        ``{host: flops}`` — computation executed on each physical host.
+    flows:
+        ``(src_host, dst_host, bytes)`` triples; intra-host flows are
+        allowed and cost nothing.
+    extra_latency:
+        Additional fixed delay folded into the action's latency phase
+        (used for measured startup / redistribution overheads).
+    """
+
+    name: str
+    comp: dict[int, float] = field(default_factory=dict)
+    flows: list[Flow] = field(default_factory=list)
+    extra_latency: float = 0.0
+
+    def validate(self) -> None:
+        for host, flops in self.comp.items():
+            if flops < 0:
+                raise SimulationError(
+                    f"ptask {self.name!r}: negative computation on host {host}"
+                )
+        for src, dst, nbytes in self.flows:
+            if nbytes < 0:
+                raise SimulationError(
+                    f"ptask {self.name!r}: negative flow {src}->{dst}"
+                )
+        if self.extra_latency < 0:
+            raise SimulationError(f"ptask {self.name!r}: negative latency")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the task has no computation and no inter-host data."""
+        return (
+            all(f <= 0 for f in self.comp.values())
+            and all(b <= 0 or s == d for s, d, b in self.flows)
+        )
+
+
+def comm_matrix_to_flows(B: np.ndarray, hosts: Sequence[int]) -> list[Flow]:
+    """Map a local-rank byte matrix onto physical hosts.
+
+    ``B[i, j]`` bytes between local ranks become a flow between
+    ``hosts[i]`` and ``hosts[j]``.  Zero entries and intra-host pairs are
+    skipped (intra-host copies are free at this modelling level).
+    """
+    B = np.asarray(B, dtype=float)
+    p = len(hosts)
+    if B.shape != (p, p):
+        raise ValueError(f"comm matrix shape {B.shape} != ({p}, {p})")
+    flows: list[Flow] = []
+    for i in range(p):
+        for j in range(p):
+            if B[i, j] > 0 and hosts[i] != hosts[j]:
+                flows.append((hosts[i], hosts[j], float(B[i, j])))
+    return flows
+
+
+def redistribution_flows(
+    M: np.ndarray, src_hosts: Sequence[int], dst_hosts: Sequence[int]
+) -> list[Flow]:
+    """Map a redistribution byte matrix (src rank x dst rank) onto hosts."""
+    M = np.asarray(M, dtype=float)
+    if M.shape != (len(src_hosts), len(dst_hosts)):
+        raise ValueError(
+            f"redistribution matrix shape {M.shape} != "
+            f"({len(src_hosts)}, {len(dst_hosts)})"
+        )
+    flows: list[Flow] = []
+    for i, src in enumerate(src_hosts):
+        for j, dst in enumerate(dst_hosts):
+            if M[i, j] > 0 and src != dst:
+                flows.append((src, dst, float(M[i, j])))
+    return flows
+
+
+def build_ptask_action(
+    topology: NetworkTopology,
+    spec: ParallelTaskSpec,
+    on_complete: Optional[Callable[[SimulationEngine, Action], None]] = None,
+    payload: object = None,
+) -> Action:
+    """Build the engine action realising a parallel-task specification.
+
+    The action's work is normalised to 1.0; consumption weights are the
+    total flops per CPU and total bytes per link, so the action's
+    standalone duration is ``max(max_i a_i / power, max_l bytes_l / bw_l)
+    + latency`` and contention arises naturally from the shared solver.
+    """
+    spec.validate()
+    consumption: dict[Resource, float] = {}
+    for host, flops in spec.comp.items():
+        if flops > 0:
+            cpu = topology.cpu(host)
+            consumption[cpu] = consumption.get(cpu, 0.0) + flops
+    max_route_latency = 0.0
+    for src, dst, nbytes in spec.flows:
+        if nbytes <= 0 or src == dst:
+            continue
+        for link in topology.route(src, dst):
+            consumption[link] = consumption.get(link, 0.0) + nbytes
+        max_route_latency = max(max_route_latency, topology.route_latency(src, dst))
+    work = 0.0 if not consumption else 1.0
+    return Action(
+        name=spec.name,
+        work=work,
+        consumption=consumption,
+        latency=spec.extra_latency + max_route_latency,
+        on_complete=on_complete,
+        payload=payload,
+    )

@@ -1,0 +1,85 @@
+"""Simulation resources: CPUs and network links with finite capacity.
+
+The cluster of the paper maps to the following resource set:
+
+* one **CPU** resource per node with capacity ``platform.flops``;
+* per node, an **uplink** and a **downlink** private-link resource with
+  capacity ``platform.link_bandwidth`` (full duplex Gigabit Ethernet);
+* one **backbone** resource with capacity
+  ``platform.backbone_bandwidth`` shared by every flow crossing the
+  switch.
+
+A network flow from node ``i`` to node ``j != i`` consumes uplink(i),
+backbone, and downlink(j); intra-node flows consume nothing (handled by
+shared memory in the runtime, their cost lives in the measured
+redistribution overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.platform.cluster import ClusterPlatform
+
+__all__ = ["Resource", "NetworkTopology"]
+
+
+@dataclass(eq=False)
+class Resource:
+    """A capacity-constrained simulation resource.
+
+    Identity semantics (``eq=False``): two resources are the same only if
+    they are the same object, so resources can key dicts in the solver.
+    """
+
+    name: str
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"resource {self.name!r} capacity must be positive")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Resource({self.name!r}, capacity={self.capacity:g})"
+
+
+class NetworkTopology:
+    """Resource view of a :class:`ClusterPlatform` (star topology).
+
+    Provides the CPU resource of each node and the list of link
+    resources traversed by each node pair, plus route latencies.
+    """
+
+    def __init__(self, platform: ClusterPlatform) -> None:
+        self.platform = platform
+        self.cpus: list[Resource] = [
+            Resource(f"cpu{i}", platform.node_flops(i))
+            for i in platform.processors
+        ]
+        self.uplinks: list[Resource] = [
+            Resource(f"up{i}", platform.link_bandwidth) for i in platform.processors
+        ]
+        self.downlinks: list[Resource] = [
+            Resource(f"down{i}", platform.link_bandwidth) for i in platform.processors
+        ]
+        self.backbone = Resource("backbone", platform.backbone_bandwidth)
+
+    def cpu(self, proc: int) -> Resource:
+        """CPU resource of a node."""
+        return self.cpus[proc]
+
+    def route(self, src: int, dst: int) -> list[Resource]:
+        """Link resources traversed by a flow ``src -> dst`` (may be empty)."""
+        if src == dst:
+            return []
+        return [self.uplinks[src], self.backbone, self.downlinks[dst]]
+
+    def route_latency(self, src: int, dst: int) -> float:
+        return self.platform.route_latency(src, dst)
+
+    def all_resources(self) -> Iterable[Resource]:
+        yield from self.cpus
+        yield from self.uplinks
+        yield from self.downlinks
+        yield self.backbone

@@ -1,0 +1,108 @@
+"""Bottleneck max-min fair-sharing rate solver.
+
+SimGrid's analytical network/CPU models assign rates to concurrent
+actions by solving a max-min fairness problem: each action ``a`` has a
+consumption weight ``w[a][r]`` on every resource ``r`` it uses, and the
+solver finds rates ``rho[a]`` such that
+
+* feasibility: ``sum_a w[a][r] * rho[a] <= C[r]`` for every resource, and
+* max-min fairness: no action's rate can be increased without decreasing
+  the rate of an action with an equal or smaller rate.
+
+The classic bottleneck algorithm solves this exactly: repeatedly find the
+resource with the smallest *fair share* ``C_rem[r] / W_rem[r]`` (remaining
+capacity over the summed weight of still-unfixed actions), freeze every
+unfixed action crossing it at that share, deduct their consumption, and
+iterate.  Weighted max-min: an action's rate on a bottleneck resource is
+``fair_share`` (the same for all actions crossing it), i.e. its
+throughput on the resource is proportional to its weight — this matches
+SimGrid's treatment of parallel tasks in ``ptask_L07``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+__all__ = ["solve_rates"]
+
+_EPS = 1e-12
+
+
+def solve_rates(
+    consumption: Mapping[Hashable, Mapping[object, float]],
+    capacity: Mapping[object, float],
+) -> dict[Hashable, float]:
+    """Solve weighted max-min fair rates.
+
+    Parameters
+    ----------
+    consumption:
+        ``{action: {resource: weight}}``; weights must be positive (drop
+        zero entries before calling).  An action with an empty mapping
+        is unconstrained and gets rate ``float('inf')``.
+    capacity:
+        ``{resource: capacity}`` for at least every referenced resource.
+
+    Returns
+    -------
+    dict
+        ``{action: rate}`` with rates in work-units per second.
+
+    Raises
+    ------
+    ValueError
+        On non-positive weights/capacities or unknown resources.
+    """
+    rates: dict[Hashable, float] = {}
+    # Validate and index.
+    usage: dict[object, dict[Hashable, float]] = {}
+    unfixed: set[Hashable] = set()
+    for action, weights in consumption.items():
+        if not weights:
+            rates[action] = float("inf")
+            continue
+        unfixed.add(action)
+        for res, w in weights.items():
+            if w <= 0:
+                raise ValueError(
+                    f"consumption weight of {action!r} on {res!r} must be positive"
+                )
+            if res not in capacity:
+                raise ValueError(f"resource {res!r} has no declared capacity")
+            usage.setdefault(res, {})[action] = w
+    remaining_cap = {}
+    for res in usage:
+        cap = capacity[res]
+        if cap <= 0:
+            raise ValueError(f"capacity of {res!r} must be positive")
+        remaining_cap[res] = float(cap)
+
+    active_res = set(usage)
+    while unfixed:
+        # Fair share of each still-active resource.
+        best_share = None
+        best_res = None
+        for res in active_res:
+            load = sum(w for a, w in usage[res].items() if a in unfixed)
+            if load <= _EPS:
+                continue
+            share = remaining_cap[res] / load
+            if best_share is None or share < best_share:
+                best_share = share
+                best_res = res
+        if best_res is None:
+            # No active resource constrains the remaining actions; they
+            # only used resources already saturated by themselves —
+            # cannot happen because every unfixed action crosses at
+            # least one resource with positive load (its own weight).
+            raise AssertionError("max-min solver lost its remaining actions")
+        # Freeze every unfixed action crossing the bottleneck.
+        frozen = [a for a in usage[best_res] if a in unfixed]
+        for action in frozen:
+            rates[action] = best_share
+            unfixed.discard(action)
+            # Deduct its consumption everywhere it appears.
+            for res, w in consumption[action].items():
+                remaining_cap[res] = max(0.0, remaining_cap[res] - w * best_share)
+        active_res.discard(best_res)
+    return rates

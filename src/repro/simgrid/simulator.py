@@ -1,0 +1,290 @@
+"""Schedule-driven simulation of a mixed-parallel application.
+
+:class:`ApplicationSimulator` is the reproduction of the paper's
+simulator (all three versions — the attached models decide which):
+
+* it executes the tasks of a DAG according to a
+  :class:`~repro.scheduling.schedule.Schedule` (processor sets + order);
+* task execution is realised per the task-time model's kind —
+  first-principles ``ptask_L07`` actions for the analytical model,
+  fixed-duration processor occupation for profile/empirical models;
+* every dependency edge triggers a *data redistribution* simulated as a
+  communication ptask whose byte matrix comes from the 1D block
+  distributions ("the time for redistributing data is still based on
+  the SimGrid simulation"), preceded by the redistribution overhead
+  model's latency;
+* every task pays the startup overhead model's latency before computing.
+
+Execution discipline (identical in the testbed emulator, so simulated
+and "real" runs are comparable): a task starts when its input
+redistributions have completed and each of its processors has finished
+every earlier-ordered task placed on it.  Redistributions start when the
+producer finishes and do not occupy CPUs (transfers are asynchronous;
+their CPU-side protocol cost is what the overhead model measures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dag.distributions import redistribution_matrix
+from repro.dag.graph import TaskGraph
+from repro.models.base import ModelKind, TaskTimeModel
+from repro.models.overheads import (
+    RedistributionOverheadModel,
+    StartupOverheadModel,
+    ZeroRedistributionOverheadModel,
+    ZeroStartupModel,
+)
+from repro.platform.cluster import ClusterPlatform
+from repro.scheduling.schedule import Schedule
+from repro.simgrid.engine import Action, SimulationEngine
+from repro.simgrid.ptask import (
+    ParallelTaskSpec,
+    build_ptask_action,
+    comm_matrix_to_flows,
+    redistribution_flows,
+)
+from repro.simgrid.resources import NetworkTopology
+from repro.util.errors import SimulationError
+
+__all__ = ["TaskRecord", "EdgeRecord", "SimulationTrace", "ApplicationSimulator"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Realised execution of one task."""
+
+    task_id: int
+    hosts: tuple[int, ...]
+    start: float
+    finish: float
+    startup_overhead: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass(frozen=True)
+class EdgeRecord:
+    """Realised execution of one redistribution."""
+
+    src: int
+    dst: int
+    start: float
+    finish: float
+    overhead: float
+    volume_bytes: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class SimulationTrace:
+    """Full output of one simulated (or emulated) application run."""
+
+    makespan: float
+    tasks: dict[int, TaskRecord] = field(default_factory=dict)
+    edges: dict[tuple[int, int], EdgeRecord] = field(default_factory=dict)
+
+    def validate_against(self, graph: TaskGraph, schedule: Schedule) -> None:
+        """Consistency checks: completeness, precedence, non-negativity."""
+        if set(self.tasks) != set(graph.task_ids):
+            raise SimulationError("trace does not cover every task")
+        for (u, v), rec in self.edges.items():
+            if rec.start + 1e-9 < self.tasks[u].finish:
+                raise SimulationError(
+                    f"redistribution {u}->{v} started before producer finished"
+                )
+            if self.tasks[v].start + 1e-9 < rec.finish:
+                raise SimulationError(
+                    f"task {v} started before redistribution {u}->{v} finished"
+                )
+        for rec in self.tasks.values():
+            if rec.finish < rec.start:
+                raise SimulationError(f"task {rec.task_id} has negative duration")
+
+
+class _ExecutionState:
+    """Per-run bookkeeping shared by the event callbacks."""
+
+    def __init__(self, graph: TaskGraph, schedule: Schedule) -> None:
+        self.graph = graph
+        self.schedule = schedule
+        # Host-order dependencies: for each task, the set of tasks that
+        # must finish first because they precede it on a shared host.
+        self.host_deps: dict[int, set[int]] = {t: set() for t in graph.task_ids}
+        last_on_host: dict[int, int] = {}
+        for task_id in schedule.order:
+            for host in schedule.hosts(task_id):
+                if host in last_on_host:
+                    self.host_deps[task_id].add(last_on_host[host])
+                last_on_host[host] = task_id
+        self.pending_edges: dict[int, set[int]] = {
+            t: set(graph.predecessors(t)) for t in graph.task_ids
+        }
+        self.pending_hosts: dict[int, set[int]] = {
+            t: set(deps) for t, deps in self.host_deps.items()
+        }
+        self.started: set[int] = set()
+        self.finished: set[int] = set()
+
+    def ready(self, task_id: int) -> bool:
+        return (
+            task_id not in self.started
+            and not self.pending_edges[task_id]
+            and not self.pending_hosts[task_id]
+        )
+
+
+class ApplicationSimulator:
+    """Simulates schedule execution under pluggable cost models."""
+
+    def __init__(
+        self,
+        platform: ClusterPlatform,
+        task_model: TaskTimeModel,
+        startup_model: StartupOverheadModel | None = None,
+        redistribution_model: RedistributionOverheadModel | None = None,
+        *,
+        contention: bool = True,
+    ) -> None:
+        """``contention=False`` gives every action private copies of the
+        network resources, so concurrent transfers never share bandwidth
+        — the "no contention" ablation of SimGrid's fair-sharing model."""
+        self.platform = platform
+        self.task_model = task_model
+        self.startup_model = startup_model or ZeroStartupModel()
+        self.redistribution_model = (
+            redistribution_model or ZeroRedistributionOverheadModel()
+        )
+        self.contention = contention
+
+    # ------------------------------------------------------------------
+    def run(self, graph: TaskGraph, schedule: Schedule) -> SimulationTrace:
+        """Simulate the application; returns the trace with the makespan."""
+        graph.validate()
+        schedule.validate(graph, self.platform)
+        shared_topology = NetworkTopology(self.platform)
+
+        def topology_for_action() -> NetworkTopology:
+            # Without contention every action sees factory-fresh network
+            # resources: identical capacities, never shared, so transfer
+            # times keep their standalone values under any concurrency.
+            if self.contention:
+                return shared_topology
+            return NetworkTopology(self.platform)
+
+        engine = SimulationEngine()
+        state = _ExecutionState(graph, schedule)
+        trace = SimulationTrace(makespan=0.0)
+
+        def task_spec(task_id: int) -> ParallelTaskSpec:
+            task = graph.task(task_id)
+            hosts = schedule.hosts(task_id)
+            p = len(hosts)
+            startup = self.startup_model.startup(p)
+            if self.task_model.kind is ModelKind.ANALYTICAL:
+                comp_vec = self.task_model.computation(task, p)
+                comp = {h: float(f) for h, f in zip(hosts, comp_vec)}
+                flows = comm_matrix_to_flows(
+                    self.task_model.comm_matrix(task, p), hosts
+                )
+            else:
+                duration = self.task_model.duration(task, p)
+                if duration < 0:
+                    raise SimulationError(
+                        f"model predicted negative duration for task {task_id}"
+                    )
+                comp = {h: duration * self.platform.flops for h in hosts}
+                flows = []
+            return ParallelTaskSpec(
+                name=f"task{task_id}", comp=comp, flows=flows, extra_latency=startup
+            )
+
+        def on_task_complete(eng: SimulationEngine, action: Action) -> None:
+            task_id, startup = action.payload
+            state.finished.add(task_id)
+            trace.tasks[task_id] = TaskRecord(
+                task_id=task_id,
+                hosts=schedule.hosts(task_id),
+                start=action.start_time,
+                finish=eng.now,
+                startup_overhead=startup,
+            )
+            # Release host-order dependents.
+            for other, deps in state.pending_hosts.items():
+                deps.discard(task_id)
+            # Launch redistributions to successors.
+            for succ in graph.successors(task_id):
+                start_redistribution(eng, task_id, succ)
+            start_ready_tasks(eng)
+
+        def on_edge_complete(eng: SimulationEngine, action: Action) -> None:
+            src, dst, overhead, volume = action.payload
+            trace.edges[(src, dst)] = EdgeRecord(
+                src=src,
+                dst=dst,
+                start=action.start_time,
+                finish=eng.now,
+                overhead=overhead,
+                volume_bytes=volume,
+            )
+            state.pending_edges[dst].discard(src)
+            start_ready_tasks(eng)
+
+        def start_redistribution(
+            eng: SimulationEngine, src: int, dst: int
+        ) -> None:
+            src_hosts = schedule.hosts(src)
+            dst_hosts = schedule.hosts(dst)
+            task = graph.task(src)
+            M = redistribution_matrix(task.n, len(src_hosts), len(dst_hosts))
+            flows = redistribution_flows(M, src_hosts, dst_hosts)
+            overhead = self.redistribution_model.overhead(
+                len(src_hosts), len(dst_hosts)
+            )
+            volume = float(sum(b for _s, _d, b in flows))
+            spec = ParallelTaskSpec(
+                name=f"redist{src}->{dst}",
+                comp={},
+                flows=flows,
+                extra_latency=overhead,
+            )
+            eng.add_action(
+                build_ptask_action(
+                    topology_for_action(),
+                    spec,
+                    on_complete=on_edge_complete,
+                    payload=(src, dst, overhead, volume),
+                )
+            )
+
+        def start_ready_tasks(eng: SimulationEngine) -> None:
+            for task_id in schedule.order:
+                if state.ready(task_id):
+                    state.started.add(task_id)
+                    spec = task_spec(task_id)
+                    eng.add_action(
+                        build_ptask_action(
+                            topology_for_action(),
+                            spec,
+                            on_complete=on_task_complete,
+                            payload=(task_id, spec.extra_latency),
+                        )
+                    )
+
+        start_ready_tasks(engine)
+        makespan = engine.run()
+        if len(state.finished) != len(graph):
+            missing = sorted(set(graph.task_ids) - state.finished)
+            raise SimulationError(
+                f"simulation deadlocked: tasks {missing} never started "
+                "(check schedule order vs dependencies)"
+            )
+        trace.makespan = makespan
+        trace.validate_against(graph, schedule)
+        return trace

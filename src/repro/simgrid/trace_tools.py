@@ -1,0 +1,128 @@
+"""Trace inspection tools: ASCII Gantt charts and JSON export.
+
+The paper's simulator "outputs an application execution trace"; these
+helpers make our traces human-readable (for the examples and for
+debugging schedules) and machine-readable (JSON round-trip for external
+tooling).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.scheduling.schedule import Schedule
+from repro.simgrid.simulator import SimulationTrace
+
+__all__ = ["render_gantt", "render_schedule_gantt", "trace_to_dict", "trace_to_json"]
+
+
+def render_gantt(
+    trace: SimulationTrace,
+    *,
+    num_hosts: int,
+    width: int = 72,
+) -> str:
+    """Render a per-host ASCII Gantt chart of a trace.
+
+    Each row is one host; each task paints its id (mod 10) over the
+    columns spanning its realised execution interval.  Idle time shows
+    as dots.  Redistribution activity is listed below the chart (it
+    occupies links, not hosts).
+    """
+    if num_hosts < 1:
+        raise ValueError("num_hosts must be >= 1")
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    makespan = max(trace.makespan, 1e-12)
+    scale = width / makespan
+    rows = [["." for _ in range(width)] for _ in range(num_hosts)]
+    for rec in trace.tasks.values():
+        lo = min(width - 1, int(rec.start * scale))
+        hi = min(width, max(lo + 1, int(rec.finish * scale)))
+        glyph = str(rec.task_id % 10)
+        for host in rec.hosts:
+            for col in range(lo, hi):
+                rows[host][col] = glyph
+    lines = [f"Gantt chart ({makespan:.2f} s across {width} columns)"]
+    for host, cells in enumerate(rows):
+        lines.append(f"host {host:>2} |{''.join(cells)}|")
+    if trace.edges:
+        lines.append("redistributions:")
+        for (src, dst), rec in sorted(trace.edges.items()):
+            mb = rec.volume_bytes / 1e6
+            lines.append(
+                f"  {src}->{dst}: {rec.start:8.2f}-{rec.finish:8.2f} s, "
+                f"{mb:7.1f} MB, overhead {rec.overhead * 1000:6.1f} ms"
+            )
+    return "\n".join(lines)
+
+
+def trace_to_dict(trace: SimulationTrace) -> dict:
+    """Plain-dict form of a trace (JSON-serialisable)."""
+    return {
+        "makespan": trace.makespan,
+        "tasks": [
+            {
+                "task_id": rec.task_id,
+                "hosts": list(rec.hosts),
+                "start": rec.start,
+                "finish": rec.finish,
+                "startup_overhead": rec.startup_overhead,
+            }
+            for rec in trace.tasks.values()
+        ],
+        "redistributions": [
+            {
+                "src": rec.src,
+                "dst": rec.dst,
+                "start": rec.start,
+                "finish": rec.finish,
+                "overhead": rec.overhead,
+                "volume_bytes": rec.volume_bytes,
+            }
+            for rec in trace.edges.values()
+        ],
+    }
+
+
+def trace_to_json(trace: SimulationTrace, *, indent: int = 2) -> str:
+    """JSON form of a trace."""
+    return json.dumps(trace_to_dict(trace), indent=indent)
+
+
+def render_schedule_gantt(
+    schedule: Schedule,
+    *,
+    num_hosts: int,
+    width: int = 72,
+) -> str:
+    """Render the *scheduler's estimated* Gantt chart of a schedule.
+
+    Complements :func:`render_gantt` (which draws realised traces):
+    comparing the two side by side shows where reality diverged from
+    the scheduler's plan.
+    """
+    if num_hosts < 1:
+        raise ValueError("num_hosts must be >= 1")
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    horizon = max(
+        (p.est_finish for p in schedule.placements.values()), default=0.0
+    )
+    horizon = max(horizon, 1e-12)
+    scale = width / horizon
+    rows = [["." for _ in range(width)] for _ in range(num_hosts)]
+    for placement in schedule.placements.values():
+        lo = min(width - 1, int(placement.est_start * scale))
+        hi = min(width, max(lo + 1, int(placement.est_finish * scale)))
+        glyph = str(placement.task_id % 10)
+        for host in placement.hosts:
+            for col in range(lo, hi):
+                rows[host][col] = glyph
+    lines = [
+        f"Planned Gantt chart ({schedule.algorithm or 'schedule'}: "
+        f"{horizon:.2f} s estimated across {width} columns)"
+    ]
+    for host, cells in enumerate(rows):
+        lines.append(f"host {host:>2} |{''.join(cells)}|")
+    return "\n".join(lines)

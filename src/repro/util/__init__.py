@@ -1,0 +1,38 @@
+"""Shared utilities: seeded randomness, statistics, errors, reporting.
+
+These helpers are deliberately free of any domain knowledge so that the
+domain packages (``repro.dag``, ``repro.simgrid``, ``repro.testbed`` ...)
+can depend on them without creating import cycles.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    InvalidDAGError,
+    InvalidScheduleError,
+    SimulationError,
+    CalibrationError,
+)
+from repro.util.rng import RngStream, derive_seed, spawn_rng
+from repro.util.stats import (
+    BoxStats,
+    box_stats,
+    mean_absolute_percentage_error,
+    relative_error,
+    sign_agreement,
+)
+
+__all__ = [
+    "ReproError",
+    "InvalidDAGError",
+    "InvalidScheduleError",
+    "SimulationError",
+    "CalibrationError",
+    "RngStream",
+    "derive_seed",
+    "spawn_rng",
+    "BoxStats",
+    "box_stats",
+    "mean_absolute_percentage_error",
+    "relative_error",
+    "sign_agreement",
+]

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch one type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class InvalidDAGError(ReproError):
+    """A task graph violates a structural invariant (cycle, dangling
+    dependency, non-positive work, ...)."""
+
+
+class InvalidScheduleError(ReproError):
+    """A schedule is inconsistent with its task graph or platform
+    (unknown task, empty allocation, overlapping processor use, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an impossible state
+    (negative time, deadlock with pending work, ...)."""
+
+
+class CalibrationError(ReproError):
+    """Model calibration failed (not enough samples, singular fit, ...)."""

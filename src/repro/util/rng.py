@@ -1,0 +1,89 @@
+"""Deterministic random-number management.
+
+All stochastic behaviour in the library (DAG generation, testbed noise,
+JVM startup jitter, ...) flows through :class:`RngStream` objects derived
+from a single user-provided seed.  Two properties are guaranteed:
+
+* **Reproducibility** — the same seed always produces the same experiment,
+  on any platform, because we only use :class:`numpy.random.Generator`
+  (PCG64) and never the global numpy state.
+* **Independence** — streams derived with different labels are
+  statistically independent, so adding a consumer of randomness in one
+  subsystem never perturbs another subsystem's draws.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["derive_seed", "spawn_rng", "RngStream"]
+
+_SEED_BYTES = 8
+
+
+def derive_seed(base_seed: int, *labels: object) -> int:
+    """Derive a child seed from ``base_seed`` and a sequence of labels.
+
+    The derivation hashes the base seed together with the repr of every
+    label, so ``derive_seed(1, "dag", 3)`` and ``derive_seed(1, "noise", 3)``
+    are unrelated streams.  Labels may be any objects with a stable repr
+    (ints, strings, tuples of those).
+
+    Parameters
+    ----------
+    base_seed:
+        Root seed of the experiment (non-negative int).
+    labels:
+        Arbitrary distinguishing labels.
+
+    Returns
+    -------
+    int
+        A 64-bit unsigned seed.
+    """
+    if base_seed < 0:
+        raise ValueError(f"base_seed must be non-negative, got {base_seed}")
+    digest = hashlib.sha256()
+    digest.update(str(int(base_seed)).encode())
+    for label in labels:
+        digest.update(b"\x00")
+        digest.update(repr(label).encode())
+    return int.from_bytes(digest.digest()[:_SEED_BYTES], "little")
+
+
+def spawn_rng(base_seed: int, *labels: object) -> np.random.Generator:
+    """Return an independent :class:`numpy.random.Generator` for a label path."""
+    return np.random.default_rng(derive_seed(base_seed, *labels))
+
+
+@dataclass
+class RngStream:
+    """A named, hierarchical random stream.
+
+    ``RngStream(seed).child("testbed").child("jvm", 4)`` gives a generator
+    that is stable under refactoring as long as the label path is stable.
+
+    Attributes
+    ----------
+    seed:
+        The (already derived) seed of this stream.
+    path:
+        Label path from the root, for debugging.
+    """
+
+    seed: int
+    path: tuple = field(default_factory=tuple)
+
+    def child(self, *labels: object) -> "RngStream":
+        """Derive a child stream for ``labels``."""
+        return RngStream(derive_seed(self.seed, *labels), self.path + tuple(labels))
+
+    def generator(self) -> np.random.Generator:
+        """Materialise a numpy generator seeded by this stream."""
+        return np.random.default_rng(self.seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RngStream(seed={self.seed}, path={'/'.join(map(str, self.path))})"

@@ -1,0 +1,136 @@
+"""Statistics helpers used by the experiment harness.
+
+The paper reports three kinds of statistics:
+
+* **relative makespan** of HCPA w.r.t. MCPA (Figs 1, 5, 7),
+* **sign agreement** between simulated and experimental comparisons
+  ("for 16 out of 27 DAGs the simulation outcome is the opposite of the
+  experimental outcome"),
+* **box-and-whisker error distributions** (Fig 8).
+
+This module implements those metrics plus the generic box statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BoxStats",
+    "box_stats",
+    "relative_error",
+    "mean_absolute_percentage_error",
+    "sign_agreement",
+]
+
+
+def relative_error(predicted: float, actual: float) -> float:
+    """Relative error ``|predicted - actual| / actual``.
+
+    Matches the paper's Fig 2/Fig 8 definition (error of the simulation
+    against the experiment).  ``actual`` must be positive.
+    """
+    if actual <= 0:
+        raise ValueError(f"actual must be positive, got {actual}")
+    return abs(predicted - actual) / actual
+
+
+def mean_absolute_percentage_error(
+    predicted: Iterable[float], actual: Iterable[float]
+) -> float:
+    """MAPE in percent over paired sequences."""
+    pred = np.asarray(list(predicted), dtype=float)
+    act = np.asarray(list(actual), dtype=float)
+    if pred.shape != act.shape:
+        raise ValueError("predicted and actual must have the same length")
+    if pred.size == 0:
+        raise ValueError("need at least one sample")
+    if np.any(act <= 0):
+        raise ValueError("actual values must be positive")
+    return float(np.mean(np.abs(pred - act) / act) * 100.0)
+
+
+def sign_agreement(a: Sequence[float], b: Sequence[float], *, tol: float = 0.0) -> float:
+    """Fraction of indices where ``a[i]`` and ``b[i]`` have the same sign.
+
+    This is the paper's headline metric: if the simulated relative makespan
+    (HCPA vs MCPA) and the experimental relative makespan have opposite
+    signs, the simulation led to the wrong conclusion.  Values whose
+    absolute difference from zero is below ``tol`` are counted as agreeing
+    (a tie predicts nothing, so it cannot be *wrong*).
+
+    Returns the agreement fraction in ``[0, 1]``.
+    """
+    av = np.asarray(a, dtype=float)
+    bv = np.asarray(b, dtype=float)
+    if av.shape != bv.shape:
+        raise ValueError("sequences must have the same length")
+    if av.size == 0:
+        raise ValueError("need at least one sample")
+    sa = np.where(np.abs(av) <= tol, 0.0, np.sign(av))
+    sb = np.where(np.abs(bv) <= tol, 0.0, np.sign(bv))
+    agree = (sa == sb) | (sa == 0.0) | (sb == 0.0)
+    return float(np.mean(agree))
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary plus mean, as used in box-and-whisker plots.
+
+    Whiskers follow the Tukey convention (1.5 IQR, clipped to the data),
+    which is what R's default ``boxplot`` — used by the paper's figures —
+    draws.
+    """
+
+    minimum: float
+    whisker_low: float
+    q1: float
+    median: float
+    q3: float
+    whisker_high: float
+    maximum: float
+    mean: float
+    n: int
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range."""
+        return self.q3 - self.q1
+
+    def outliers(self, data: Sequence[float]) -> np.ndarray:
+        """Return the points of ``data`` outside the whiskers."""
+        arr = np.asarray(data, dtype=float)
+        return arr[(arr < self.whisker_low) | (arr > self.whisker_high)]
+
+
+def box_stats(data: Sequence[float]) -> BoxStats:
+    """Compute :class:`BoxStats` for a non-empty sample."""
+    arr = np.asarray(data, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    q1, med, q3 = np.percentile(arr, [25.0, 50.0, 75.0])
+    iqr = q3 - q1
+    lo_fence = q1 - 1.5 * iqr
+    hi_fence = q3 + 1.5 * iqr
+    inside = arr[(arr >= lo_fence) & (arr <= hi_fence)]
+    # Whiskers extend to the most extreme data point within the fences,
+    # clamped to the box: interpolated quartiles can fall outside the
+    # data, and a whisker never retreats inside the box when drawn.
+    whisker_low = float(inside.min()) if inside.size else float(arr.min())
+    whisker_high = float(inside.max()) if inside.size else float(arr.max())
+    whisker_low = min(whisker_low, float(q1))
+    whisker_high = max(whisker_high, float(q3))
+    return BoxStats(
+        minimum=float(arr.min()),
+        whisker_low=whisker_low,
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        whisker_high=whisker_high,
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+        n=int(arr.size),
+    )

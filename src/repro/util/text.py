@@ -1,0 +1,83 @@
+"""Plain-text rendering helpers (tables, bar charts) for the CLI reports.
+
+The benchmark harness re-prints the paper's figures as text, so it must
+not depend on matplotlib (not installed in the evaluation environment).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "hbar", "format_signed_bars"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as a monospace table with aligned columns.
+
+    Floats are formatted with ``float_fmt``; everything else via ``str``.
+    """
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, bool):
+                cells.append(str(cell))
+            elif isinstance(cell, float):
+                cells.append(float_fmt.format(cell))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+    ncols = max(len(r) for r in rendered)
+    widths = [0] * ncols
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    for idx, row in enumerate(rendered):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        lines.append(line)
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def hbar(value: float, vmax: float, width: int = 40, char: str = "#") -> str:
+    """A horizontal bar scaled so that ``vmax`` maps to ``width`` chars."""
+    if vmax <= 0:
+        raise ValueError("vmax must be positive")
+    n = int(round(min(abs(value), vmax) / vmax * width))
+    return char * n
+
+
+def format_signed_bars(
+    labels: Sequence[str],
+    sim: Sequence[float],
+    exp: Sequence[float],
+    *,
+    width: int = 30,
+) -> str:
+    """Render paired signed values (Figs 1/5/7 style) as a text chart.
+
+    Each row shows the simulated and the experimental relative makespan as
+    bars to the left (negative) or right (positive) of a zero axis.
+    """
+    if not (len(labels) == len(sim) == len(exp)):
+        raise ValueError("labels, sim, exp must have the same length")
+    vmax = max((abs(v) for v in list(sim) + list(exp)), default=1.0) or 1.0
+    lines = []
+    for lab, s, e in zip(labels, sim, exp):
+        for tag, v in (("sim", s), ("exp", e)):
+            bar = hbar(v, vmax, width)
+            if v < 0:
+                left = bar.rjust(width)
+                right = " " * width
+            else:
+                left = " " * width
+                right = bar.ljust(width)
+            lines.append(f"{lab:>10} {tag} {left}|{right} {v:+.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Tests for graph analysis (levels, critical path, width, CCR)."""
+
+import math
+
+import pytest
+
+from repro.dag.analysis import (
+    bottom_levels,
+    computation_communication_ratio,
+    critical_path,
+    critical_path_length,
+    dag_width,
+    precedence_levels,
+    top_levels,
+)
+from repro.dag.graph import Task, TaskGraph
+from repro.dag.kernels import MATADD, MATMUL
+
+
+@pytest.fixture
+def weighted_diamond():
+    """Diamond 0 -> {1, 2} -> 3 with known unit costs."""
+    g = TaskGraph()
+    for i in range(4):
+        g.add_task(Task(task_id=i, kernel=MATMUL, n=100))
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    g.add_edge(1, 3)
+    g.add_edge(2, 3)
+    costs = {0: 1.0, 1: 5.0, 2: 2.0, 3: 1.0}
+    return g, costs.__getitem__
+
+
+class TestLevels:
+    def test_top_levels(self, weighted_diamond):
+        g, cost = weighted_diamond
+        tl = top_levels(g, cost)
+        assert tl[0] == 0.0
+        assert tl[1] == 1.0
+        assert tl[2] == 1.0
+        assert tl[3] == 6.0  # through the heavy branch
+
+    def test_bottom_levels(self, weighted_diamond):
+        g, cost = weighted_diamond
+        bl = bottom_levels(g, cost)
+        assert bl[3] == 1.0
+        assert bl[1] == 6.0
+        assert bl[2] == 3.0
+        assert bl[0] == 7.0
+
+    def test_with_edge_costs(self, weighted_diamond):
+        g, cost = weighted_diamond
+        edge = lambda u, v: 10.0  # noqa: E731
+        bl = bottom_levels(g, cost, edge)
+        assert bl[0] == 1.0 + 10.0 + 5.0 + 10.0 + 1.0
+
+    def test_precedence_levels(self, weighted_diamond):
+        g, _ = weighted_diamond
+        lv = precedence_levels(g)
+        assert lv == {0: 0, 1: 1, 2: 1, 3: 2}
+
+
+class TestCriticalPath:
+    def test_path_follows_heavy_branch(self, weighted_diamond):
+        g, cost = weighted_diamond
+        assert critical_path(g, cost) == [0, 1, 3]
+
+    def test_length(self, weighted_diamond):
+        g, cost = weighted_diamond
+        assert critical_path_length(g, cost) == 7.0
+
+    def test_empty_graph(self):
+        g = TaskGraph()
+        assert critical_path(g, lambda t: 1.0) == []
+        assert critical_path_length(g, lambda t: 1.0) == 0.0
+
+    def test_single_task(self):
+        g = TaskGraph()
+        g.add_task(Task(task_id=0, kernel=MATADD, n=10))
+        assert critical_path(g, lambda t: 3.0) == [0]
+        assert critical_path_length(g, lambda t: 3.0) == 3.0
+
+    def test_deterministic_tie_break(self):
+        g = TaskGraph()
+        for i in range(2):
+            g.add_task(Task(task_id=i, kernel=MATMUL, n=10))
+        # Two equal-cost independent tasks: smallest id wins.
+        assert critical_path(g, lambda t: 1.0) == [0]
+
+
+class TestWidth:
+    def test_diamond_width(self, weighted_diamond):
+        g, _ = weighted_diamond
+        assert dag_width(g) == 2
+
+    def test_chain_width(self, chain_dag):
+        assert dag_width(chain_dag) == 1
+
+    def test_empty(self):
+        assert dag_width(TaskGraph()) == 0
+
+
+class TestCCR:
+    def test_pure_addition_chain(self):
+        g = TaskGraph()
+        for i in range(2):
+            g.add_task(Task(task_id=i, kernel=MATADD, n=100))
+        g.add_edge(0, 1)
+        ccr = computation_communication_ratio(g, flops=1e9, bandwidth=1e8)
+        compute = 2 * MATADD.total_flops(100) / 1e9
+        comm = 100 * 100 * 8 / 1e8
+        assert ccr == pytest.approx(compute / comm)
+
+    def test_no_edges_infinite(self):
+        g = TaskGraph()
+        g.add_task(Task(task_id=0, kernel=MATMUL, n=100))
+        assert math.isinf(
+            computation_communication_ratio(g, flops=1e9, bandwidth=1e8)
+        )
+
+    def test_multiplication_heavier_than_addition(self):
+        def one_edge_graph(kernel):
+            g = TaskGraph()
+            g.add_task(Task(task_id=0, kernel=kernel, n=500))
+            g.add_task(Task(task_id=1, kernel=kernel, n=500))
+            g.add_edge(0, 1)
+            return computation_communication_ratio(g, flops=1e9, bandwidth=1e8)
+
+        assert one_edge_graph(MATMUL) > one_edge_graph(MATADD)
+
+    def test_invalid_rates_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            computation_communication_ratio(g, flops=0, bandwidth=1)

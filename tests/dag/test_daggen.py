@@ -1,0 +1,122 @@
+"""Tests for the daggen-style generator (extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.analysis import dag_width, precedence_levels
+from repro.dag.daggen import DaggenParameters, generate_daggen
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        DaggenParameters()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_tasks": 0},
+            {"fat": 1.5},
+            {"density": -0.1},
+            {"regularity": 2.0},
+            {"jump": 0},
+            {"n": 0},
+            {"add_ratio": 1.1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DaggenParameters(**kwargs)
+
+    def test_label_distinguishes_cells(self):
+        a = DaggenParameters(fat=0.2).label()
+        b = DaggenParameters(fat=0.8).label()
+        assert a != b
+
+
+class TestGenerate:
+    def test_task_count(self):
+        g = generate_daggen(DaggenParameters(num_tasks=25, seed=1))
+        assert len(g) == 25
+
+    def test_deterministic(self):
+        p = DaggenParameters(seed=5)
+        assert generate_daggen(p).to_dict() == generate_daggen(p).to_dict()
+
+    def test_fat_controls_width(self):
+        thin = generate_daggen(DaggenParameters(num_tasks=40, fat=0.1, seed=2))
+        wide = generate_daggen(DaggenParameters(num_tasks=40, fat=1.0, seed=2))
+        assert dag_width(wide) > dag_width(thin)
+
+    def test_fat_zero_is_a_chain(self):
+        g = generate_daggen(DaggenParameters(num_tasks=12, fat=0.0, seed=3))
+        assert dag_width(g) == 1
+        # A chain with density >= keeps one parent per task.
+        assert g.num_edges >= 11
+
+    def test_density_controls_edge_count(self):
+        sparse = generate_daggen(
+            DaggenParameters(num_tasks=30, fat=0.8, density=0.1, seed=4)
+        )
+        dense = generate_daggen(
+            DaggenParameters(num_tasks=30, fat=0.8, density=0.9, seed=4)
+        )
+        assert dense.num_edges > sparse.num_edges
+
+    def test_jump_allows_level_skips(self):
+        g = generate_daggen(
+            DaggenParameters(num_tasks=40, fat=0.6, jump=3, density=0.3, seed=6)
+        )
+        levels = precedence_levels(g)
+        # jump > 1 permits (but does not force) skipping; the structure
+        # must still be a valid DAG.
+        g.validate()
+        assert max(levels.values()) >= 2
+
+    def test_every_non_entry_task_has_a_parent(self):
+        g = generate_daggen(DaggenParameters(num_tasks=30, fat=0.7, seed=7))
+        entry_level = [t for t, l in precedence_levels(g).items() if l == 0]
+        for t in g.task_ids:
+            if t not in entry_level:
+                assert g.predecessors(t)
+
+    def test_add_ratio_exact(self):
+        g = generate_daggen(
+            DaggenParameters(num_tasks=20, add_ratio=0.25, seed=8)
+        )
+        adds = sum(1 for t in g if t.kernel.name == "matadd")
+        assert adds == 5
+
+    @given(
+        num_tasks=st.integers(min_value=1, max_value=60),
+        fat=st.floats(min_value=0.0, max_value=1.0),
+        density=st.floats(min_value=0.0, max_value=1.0),
+        regularity=st.floats(min_value=0.0, max_value=1.0),
+        jump=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_always_valid_dags(self, num_tasks, fat, density, regularity,
+                               jump, seed):
+        g = generate_daggen(
+            DaggenParameters(
+                num_tasks=num_tasks, fat=fat, density=density,
+                regularity=regularity, jump=jump, seed=seed,
+            )
+        )
+        g.validate()
+        assert len(g) == num_tasks
+
+
+class TestSchedulable:
+    def test_daggen_workloads_run_end_to_end(self, platform, emulator):
+        from repro.models.analytical import AnalyticalTaskModel
+        from repro.scheduling.costs import SchedulingCosts
+        from repro.scheduling.driver import schedule_dag
+
+        g = generate_daggen(
+            DaggenParameters(num_tasks=15, fat=0.6, density=0.4, seed=9)
+        )
+        costs = SchedulingCosts(g, platform, AnalyticalTaskModel(platform))
+        sched = schedule_dag(g, costs, "mcpa")
+        assert emulator.makespan(g, sched) > 0

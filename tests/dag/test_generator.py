@@ -1,0 +1,151 @@
+"""Tests for the Table I random DAG generator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.analysis import precedence_levels
+from repro.dag.generator import (
+    PAPER_GRID,
+    DagParameters,
+    generate_dag,
+    generate_paper_dags,
+)
+
+
+class TestDagParameters:
+    def test_addition_count_matches_paper_example(self):
+        # "a ratio of 0.2 for 10 tasks leads to 2 additions".
+        p = DagParameters(add_ratio=0.2)
+        assert p.num_additions == 2
+
+    @pytest.mark.parametrize("ratio,expected", [(0.5, 5), (0.75, 8), (1.0, 10)])
+    def test_table1_ratios(self, ratio, expected):
+        assert DagParameters(add_ratio=ratio).num_additions == expected
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DagParameters(num_tasks=0)
+        with pytest.raises(ValueError):
+            DagParameters(add_ratio=1.5)
+        with pytest.raises(ValueError):
+            DagParameters(num_input_matrices=1)
+        with pytest.raises(ValueError):
+            DagParameters(n=0)
+
+    def test_label_is_unique_per_cell(self):
+        a = DagParameters(num_input_matrices=2, add_ratio=0.5, n=2000, sample=0)
+        b = DagParameters(num_input_matrices=2, add_ratio=0.5, n=2000, sample=1)
+        assert a.label() != b.label()
+
+
+class TestGenerateDag:
+    def test_task_count(self):
+        g = generate_dag(DagParameters(num_tasks=10, seed=3))
+        assert len(g) == 10
+
+    def test_determinism(self):
+        p = DagParameters(seed=11, sample=2)
+        a = generate_dag(p)
+        b = generate_dag(p)
+        assert a.to_dict() == b.to_dict()
+
+    def test_samples_differ(self):
+        a = generate_dag(DagParameters(seed=11, sample=0))
+        b = generate_dag(DagParameters(seed=11, sample=1))
+        assert a.to_dict() != b.to_dict()
+
+    def test_addition_count_exact(self):
+        for ratio in (0.5, 0.75, 1.0):
+            g = generate_dag(DagParameters(add_ratio=ratio, seed=5))
+            additions = sum(1 for t in g if t.kernel.name == "matadd")
+            assert additions == round(ratio * 10)
+
+    def test_all_tasks_use_requested_size(self):
+        g = generate_dag(DagParameters(n=3000, seed=1))
+        assert all(t.n == 3000 for t in g)
+
+    def test_sources_exist_and_are_bounded(self):
+        # Tasks at any level may consume only original input matrices,
+        # so the number of graph sources can exceed the entry-level
+        # count; it is still bounded by the task count.
+        for v in (2, 4, 8):
+            for sample in range(5):
+                g = generate_dag(
+                    DagParameters(num_input_matrices=v, seed=2, sample=sample)
+                )
+                assert 1 <= len(g.sources()) <= 10
+
+    def test_wider_inputs_allow_more_entry_parallelism(self):
+        # With v = 8 up to log2(8) = 3 entry tasks may be drawn; verify
+        # the generator actually uses that freedom across samples.
+        counts = {
+            len(
+                generate_dag(
+                    DagParameters(num_input_matrices=8, seed=2, sample=s)
+                ).sources()
+            )
+            for s in range(12)
+        }
+        assert max(counts) >= 2
+
+    def test_edges_point_forward_in_levels(self):
+        g = generate_dag(DagParameters(seed=9))
+        levels = precedence_levels(g)
+        for src, dst in g.edges():
+            assert levels[src] < levels[dst]
+
+    def test_tasks_have_at_most_two_producers(self):
+        # Tasks are binary: at most two input matrices, hence at most
+        # two producing predecessors.
+        for sample in range(4):
+            g = generate_dag(DagParameters(seed=4, sample=sample))
+            for t in g.task_ids:
+                assert len(g.predecessors(t)) <= 2
+
+    def test_validates(self):
+        generate_dag(DagParameters(seed=13)).validate()
+
+    @given(
+        v=st.sampled_from((2, 4, 8)),
+        ratio=st.sampled_from((0.5, 0.75, 1.0)),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_generator_never_produces_invalid_graphs(self, v, ratio, seed):
+        g = generate_dag(
+            DagParameters(num_input_matrices=v, add_ratio=ratio, seed=seed)
+        )
+        g.validate()
+        assert len(g) == 10
+
+
+class TestPaperSet:
+    def test_total_is_54(self):
+        dags = generate_paper_dags(seed=0)
+        assert len(dags) == 54  # Table I: "total DAG instances 54"
+
+    def test_27_per_size(self):
+        dags = generate_paper_dags(seed=0, sizes=(2000,))
+        assert len(dags) == 27
+
+    def test_grid_cells_covered(self):
+        dags = generate_paper_dags(seed=0)
+        cells = {
+            (p.num_input_matrices, p.add_ratio, p.n, p.sample) for p, _ in dags
+        }
+        assert len(cells) == 54
+        widths = {c[0] for c in cells}
+        assert widths == set(PAPER_GRID["num_input_matrices"])
+
+    def test_labels_unique(self):
+        dags = generate_paper_dags(seed=0)
+        labels = [g.name for _, g in dags]
+        assert len(set(labels)) == 54
+
+    def test_reproducible(self):
+        a = generate_paper_dags(seed=0)
+        b = generate_paper_dags(seed=0)
+        assert [g.to_dict() for _, g in a] == [g.to_dict() for _, g in b]

@@ -1,0 +1,60 @@
+"""Tests for workload (de)serialisation."""
+
+import json
+
+import pytest
+
+from repro.dag.generator import generate_paper_dags
+from repro.dag.io import dags_from_dict, dags_to_dict, load_dags, save_dags
+from repro.util.errors import InvalidDAGError
+
+
+class TestRoundTrip:
+    def test_paper_set_roundtrips(self, tmp_path):
+        graphs = [g for _p, g in generate_paper_dags(seed=0, sizes=(2000,))]
+        path = save_dags(graphs, tmp_path / "workload.json")
+        restored = load_dags(path)
+        assert len(restored) == len(graphs)
+        for a, b in zip(graphs, restored):
+            assert a.to_dict() == b.to_dict()
+
+    def test_file_is_plain_json(self, tmp_path):
+        graphs = [g for _p, g in generate_paper_dags(seed=0, sizes=(2000,))][:2]
+        path = save_dags(graphs, tmp_path / "w.json")
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert len(payload["dags"]) == 2
+
+    def test_restored_graphs_are_usable(self, tmp_path, platform):
+        from repro.models.analytical import AnalyticalTaskModel
+        from repro.scheduling.costs import SchedulingCosts
+        from repro.scheduling.driver import schedule_dag
+
+        graphs = [g for _p, g in generate_paper_dags(seed=3, sizes=(2000,))][:1]
+        restored = load_dags(save_dags(graphs, tmp_path / "w.json"))
+        g = restored[0]
+        costs = SchedulingCosts(g, platform, AnalyticalTaskModel(platform))
+        schedule_dag(g, costs, "mcpa").validate(g, platform)
+
+
+class TestValidation:
+    def test_unknown_version_rejected(self):
+        with pytest.raises(InvalidDAGError):
+            dags_from_dict({"format_version": 0, "dags": []})
+
+    def test_corrupt_graph_rejected(self):
+        payload = {
+            "format_version": 1,
+            "dags": [
+                {
+                    "name": "bad",
+                    "tasks": [{"task_id": 0, "kernel": "matmul", "n": 10}],
+                    "edges": [[0, 1]],  # dangling edge
+                }
+            ],
+        }
+        with pytest.raises(InvalidDAGError):
+            dags_from_dict(payload)
+
+    def test_empty_workload_ok(self):
+        assert dags_from_dict(dags_to_dict([])) == []

@@ -1,0 +1,102 @@
+"""Tests for the matmul/matadd kernel cost formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.kernels import (
+    BYTES_PER_ELEMENT,
+    KERNELS,
+    MATADD,
+    MATMUL,
+    matrix_bytes,
+)
+
+
+class TestMatrixBytes:
+    def test_paper_sizes(self):
+        # Paper: ~30 MB for n=2000 and ~68 MB for n=3000.
+        assert matrix_bytes(2000) == 2000 * 2000 * 8 == 32_000_000
+        assert matrix_bytes(3000) == 72_000_000
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            matrix_bytes(0)
+
+
+class TestMatmul:
+    def test_flops_formula(self):
+        # 2 n^3 / p flops per processor (paper, Section IV-1).
+        assert MATMUL.flops_per_proc(2000, 1) == pytest.approx(2 * 2000**3)
+        assert MATMUL.flops_per_proc(2000, 8) == pytest.approx(2 * 2000**3 / 8)
+
+    def test_total_flops_independent_of_p(self):
+        assert MATMUL.total_flops(1000) == pytest.approx(2 * 1000**3)
+
+    def test_bytes_per_step(self):
+        # n^2 / p elements per step.
+        assert MATMUL.bytes_per_step(2000, 4) == pytest.approx(
+            2000**2 / 4 * BYTES_PER_ELEMENT
+        )
+
+    def test_single_processor_no_communication(self):
+        assert MATMUL.comm_steps(2000, 1) == 0
+        assert np.all(MATMUL.comm_matrix(2000, 1) == 0)
+
+    def test_comm_matrix_is_ring(self):
+        B = MATMUL.comm_matrix(1000, 4)
+        assert B.shape == (4, 4)
+        for i in range(4):
+            for j in range(4):
+                expected = j == (i + 1) % 4
+                assert (B[i, j] > 0) == expected
+
+    def test_comm_matrix_total_volume(self):
+        p, n = 4, 1000
+        B = MATMUL.comm_matrix(n, p)
+        per_step = n * n / p * BYTES_PER_ELEMENT
+        assert B.sum() == pytest.approx((p - 1) * per_step * p)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=100, max_value=4000))
+    @settings(max_examples=30, deadline=None)
+    def test_work_conservation(self, p, n):
+        # Total flops across processors is independent of p.
+        assert p * MATMUL.flops_per_proc(n, p) == pytest.approx(MATMUL.total_flops(n))
+
+
+class TestMatadd:
+    def test_adjusted_flops(self):
+        # (n/4) * n^2 / p after the paper's repetition adjustment.
+        assert MATADD.flops_per_proc(2000, 1) == pytest.approx(500 * 2000**2)
+        assert MATADD.flops_per_proc(2000, 10) == pytest.approx(500 * 2000**2 / 10)
+
+    def test_no_communication(self):
+        assert MATADD.comm_steps(2000, 8) == 0
+        assert np.all(MATADD.comm_matrix(2000, 8) == 0)
+
+    def test_factor_eight_versus_multiplication(self):
+        # Paper: "there is still a factor 8 between the number of
+        # floating point operations" after the adjustment.
+        ratio = MATMUL.total_flops(2000) / MATADD.total_flops(2000)
+        assert ratio == pytest.approx(8.0)
+        ratio = MATMUL.total_flops(3000) / MATADD.total_flops(3000)
+        assert ratio == pytest.approx(8.0)
+
+
+class TestRegistry:
+    def test_contains_both_kernels(self):
+        assert set(KERNELS) == {"matmul", "matadd"}
+        assert KERNELS["matmul"] is MATMUL
+        assert KERNELS["matadd"] is MATADD
+
+    def test_kernels_are_binary(self):
+        assert MATMUL.arity == 2
+        assert MATADD.arity == 2
+
+    @pytest.mark.parametrize("kernel", [MATMUL, MATADD])
+    def test_invalid_arguments_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.flops_per_proc(0, 1)
+        with pytest.raises(ValueError):
+            kernel.flops_per_proc(100, 0)

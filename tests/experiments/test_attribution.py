@@ -1,0 +1,67 @@
+"""Tests for the gap-attribution diagnostic (Section V-C, computed)."""
+
+import pytest
+
+from repro.experiments.attribution import GapAttribution, attribute_gap
+from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.driver import schedule_dag
+
+
+class TestGapAttribution:
+    def test_bookkeeping(self):
+        att = GapAttribution(
+            dag_label="x",
+            base_makespan=10.0,
+            exp_makespan=30.0,
+            contributions={"kernel time": 12.0, "startup overhead": 6.0},
+        )
+        assert att.explained == pytest.approx(18.0)
+        assert att.residual == pytest.approx(2.0)
+        assert att.dominant_culprit == "kernel time"
+        fr = att.fractions()
+        assert fr["kernel time"] == pytest.approx(0.6)
+
+    def test_zero_gap_fractions(self):
+        att = GapAttribution("x", 10.0, 10.0, {"kernel time": 0.0})
+        assert att.fractions() == {"kernel time": 0.0}
+
+
+class TestAttributeGap:
+    @pytest.fixture(scope="class")
+    def attribution(self, study_context):
+        ctx = study_context
+        params, graph = next(
+            d for d in ctx.dags if d[0].n == 2000 and d[0].sample == 0
+        )
+        suite = ctx.analytic_suite
+        costs = SchedulingCosts(
+            graph,
+            ctx.platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+        )
+        schedule = schedule_dag(graph, costs, "mcpa")
+        return attribute_gap(
+            graph, schedule, suite, ctx.profile_suite, ctx.emulator
+        )
+
+    def test_gap_is_positive_and_large(self, attribution):
+        # The analytic simulator grossly underestimates reality.
+        assert attribution.exp_makespan > 1.5 * attribution.base_makespan
+
+    def test_culprits_cover_most_of_the_gap(self, attribution):
+        gap = attribution.exp_makespan - attribution.base_makespan
+        assert attribution.explained == pytest.approx(gap, rel=0.25)
+        assert abs(attribution.residual) < 0.25 * gap
+
+    def test_kernel_time_is_a_dominant_culprit(self, attribution):
+        # Section V-C: "simulated execution times are often grossly
+        # underestimated" is culprit (a); it must carry a large share.
+        assert attribution.contributions["kernel time"] > 0
+        assert attribution.fractions()["kernel time"] > 0.4
+
+    def test_all_three_culprits_contribute(self, attribution):
+        # Startup and redistribution overheads are real, positive costs.
+        assert attribution.contributions["startup overhead"] > 0
+        assert attribution.contributions["redistribution"] > 0

@@ -1,0 +1,93 @@
+"""Tests for the comparison metrics."""
+
+import pytest
+
+from repro.experiments.comparison import (
+    AlgorithmComparison,
+    DagComparison,
+    compare_algorithms,
+    simulation_errors,
+)
+from repro.experiments.runner import RunRecord, StudyResult
+
+
+def record(dag, alg, sim, exp, simulator="analytic", n=2000):
+    return RunRecord(
+        dag_label=dag,
+        n=n,
+        algorithm=alg,
+        simulator=simulator,
+        sim_makespan=sim,
+        exp_makespan=exp,
+        total_alloc=10,
+    )
+
+
+@pytest.fixture
+def synthetic_study():
+    study = StudyResult()
+    # DAG A: sim says HCPA better, experiment agrees.
+    study.records += [
+        record("A", "hcpa", sim=9.0, exp=18.0),
+        record("A", "mcpa", sim=10.0, exp=20.0),
+        # DAG B: sim says HCPA better, experiment disagrees (flip).
+        record("B", "hcpa", sim=9.0, exp=25.0),
+        record("B", "mcpa", sim=10.0, exp=20.0),
+    ]
+    return study
+
+
+class TestDagComparison:
+    def test_flip_detection(self):
+        assert DagComparison("x", 2000, rel_sim=-0.1, rel_exp=0.2).sign_flipped
+        assert not DagComparison("x", 2000, rel_sim=0.1, rel_exp=0.2).sign_flipped
+
+    def test_exact_tie_is_not_a_flip(self):
+        assert not DagComparison("x", 2000, rel_sim=0.0, rel_exp=0.5).sign_flipped
+        assert not DagComparison("x", 2000, rel_sim=-0.5, rel_exp=0.0).sign_flipped
+
+
+class TestCompareAlgorithms:
+    def test_relative_makespans(self, synthetic_study):
+        cmp = compare_algorithms(synthetic_study, simulator="analytic", n=2000)
+        byd = {d.dag_label: d for d in cmp.dags}
+        assert byd["A"].rel_sim == pytest.approx(-0.1)
+        assert byd["A"].rel_exp == pytest.approx(-0.1)
+        assert byd["B"].rel_sim == pytest.approx(-0.1)
+        assert byd["B"].rel_exp == pytest.approx(0.25)
+
+    def test_flip_count(self, synthetic_study):
+        cmp = compare_algorithms(synthetic_study, simulator="analytic", n=2000)
+        assert cmp.num_dags == 2
+        assert cmp.num_wrong == 1
+        assert cmp.wrong_fraction == pytest.approx(0.5)
+
+    def test_sorted_by_sim(self, synthetic_study):
+        cmp = compare_algorithms(synthetic_study, simulator="analytic", n=2000)
+        rels = [d.rel_sim for d in cmp.sorted_by_sim()]
+        assert rels == sorted(rels)
+
+    def test_experimental_wins(self, synthetic_study):
+        cmp = compare_algorithms(synthetic_study, simulator="analytic", n=2000)
+        assert cmp.challenger_experimental_wins == 1  # only DAG A
+
+    def test_missing_simulator_rejected(self, synthetic_study):
+        with pytest.raises(ValueError):
+            compare_algorithms(synthetic_study, simulator="profile", n=2000)
+
+
+class TestSimulationErrors:
+    def test_box_over_errors(self, synthetic_study):
+        box = simulation_errors(
+            synthetic_study, simulator="analytic", algorithm="hcpa"
+        )
+        # errors: |9-18|/18 = 50% and |9-25|/25 = 64%.
+        assert box.n == 2
+        assert box.minimum == pytest.approx(50.0)
+        assert box.maximum == pytest.approx(64.0)
+
+    def test_empty_selection_rejected(self, synthetic_study):
+        with pytest.raises(ValueError):
+            simulation_errors(
+                synthetic_study, simulator="analytic", algorithm="cpa"
+            )

@@ -1,0 +1,59 @@
+"""Tests for the StudyContext wiring and caching."""
+
+import pytest
+
+from repro.experiments.context import StudyContext
+
+
+class TestStudyContext:
+    def test_platform_and_emulator_wiring(self, study_context):
+        assert study_context.platform.num_nodes == 32
+        assert study_context.emulator.platform is study_context.platform
+
+    def test_dags_are_table1(self, study_context):
+        assert len(study_context.dags) == 54
+
+    def test_components_cached(self, study_context):
+        assert study_context.platform is study_context.platform
+        assert study_context.dags is study_context.dags
+        assert study_context.analytic_suite is study_context.analytic_suite
+
+    def test_suite_lookup(self, study_context):
+        assert study_context.suite("analytic") is study_context.analytic_suite
+        assert study_context.suite("profile") is study_context.profile_suite
+        assert (
+            study_context.suite("empirical") is study_context.empirical_suite
+        )
+
+    def test_unknown_suite_rejected(self, study_context):
+        with pytest.raises(ValueError, match="unknown simulator suite"):
+            study_context.suite("neural")
+
+    def test_study_caching_per_suite(self, study_context):
+        a = study_context.study("analytic")
+        b = study_context.study("analytic")
+        # Records are reused, not recomputed (same underlying objects).
+        assert a.records[0] is b.records[0]
+
+    def test_study_merging(self, study_context):
+        merged = study_context.study("analytic", "profile")
+        simulators = {r.simulator for r in merged.records}
+        assert simulators == {"analytic", "profile"}
+        # 54 DAGs x 2 algorithms x 2 suites.
+        assert len(merged) == 54 * 2 * 2
+
+    def test_full_study_covers_three_simulators(self, study_context):
+        full = study_context.full_study()
+        assert {r.simulator for r in full.records} == {
+            "analytic", "profile", "empirical",
+        }
+
+    def test_different_seeds_produce_different_worlds(self):
+        a = StudyContext(seed=100)
+        b = StudyContext(seed=101)
+        ga = a.dags[0][1]
+        gb = b.dags[0][1]
+        assert ga.to_dict() != gb.to_dict() or (
+            a.emulator.kernels.mean_time("matmul", 2000, 4)
+            != b.emulator.kernels.mean_time("matmul", 2000, 4)
+        )

@@ -1,0 +1,62 @@
+"""Tests for the text reporting of figures."""
+
+import pytest
+
+from repro.experiments import figures, reporting
+from repro.experiments.comparison import AlgorithmComparison, DagComparison
+
+
+@pytest.fixture
+def comparison():
+    cmp = AlgorithmComparison(
+        simulator="analytic", n=2000, baseline="mcpa", challenger="hcpa"
+    )
+    cmp.dags = [
+        DagComparison("dag-a", 2000, rel_sim=-0.2, rel_exp=0.1),
+        DagComparison("dag-b", 2000, rel_sim=0.3, rel_exp=0.2),
+    ]
+    return cmp
+
+
+class TestRenderComparison:
+    def test_contains_counts_and_bars(self, comparison):
+        out = reporting.render_comparison(comparison, paper_wrong=16)
+        assert "wrong comparisons: 1 / 2" in out
+        assert "[paper: 16 / 27]" in out
+        assert "dag-a" in out and "dag-b" in out
+        assert "sim" in out and "exp" in out
+
+    def test_sorted_by_simulated_value(self, comparison):
+        out = reporting.render_comparison(comparison)
+        assert out.index("dag-a") < out.index("dag-b")
+
+
+class TestFigureRenderers:
+    def test_table1(self, study_context):
+        out = reporting.render_table1(figures.table1(study_context))
+        assert "total DAG instances    54" in out
+        assert "v2_r0.5_n2000_s0" in out
+
+    def test_figure3(self, study_context):
+        out = reporting.render_figure3(figures.figure3(study_context, trials=3))
+        assert "startup overhead" in out
+        assert "p= 1" in out and "p=32" in out
+
+    def test_figure4(self, study_context):
+        out = reporting.render_figure4(figures.figure4(study_context, trials=1))
+        assert "ms per dst proc" in out
+
+    def test_figure6(self, study_context):
+        out = reporting.render_figure6(figures.figure6(study_context))
+        assert "naive" in out and "final" in out
+        assert "outlier" in out
+
+    def test_figure8(self, study_context):
+        out = reporting.render_figure8(figures.figure8(study_context))
+        assert "analytic" in out and "profile" in out and "empirical" in out
+        assert "median" in out
+
+    def test_table2(self, study_context):
+        out = reporting.render_table2(figures.table2(study_context))
+        assert "task startup" in out
+        assert "paper (a, b)" in out

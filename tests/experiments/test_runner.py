@@ -1,0 +1,64 @@
+"""Tests for the study runner."""
+
+import pytest
+
+from repro.dag.generator import DagParameters, generate_dag
+from repro.experiments.runner import RunRecord, StudyResult, run_study
+from repro.profiling.calibration import build_analytical_suite
+
+
+@pytest.fixture(scope="module")
+def mini_study(platform, emulator):
+    dags = [
+        (p, generate_dag(p))
+        for p in (
+            DagParameters(num_input_matrices=2, add_ratio=0.5, n=2000, seed=4),
+            DagParameters(num_input_matrices=4, add_ratio=1.0, n=3000, seed=4),
+        )
+    ]
+    suite = build_analytical_suite(platform)
+    return run_study(dags, [suite], emulator)
+
+
+class TestRunStudy:
+    def test_record_count(self, mini_study):
+        # 2 DAGs x 2 algorithms x 1 suite.
+        assert len(mini_study) == 4
+
+    def test_records_have_positive_makespans(self, mini_study):
+        for rec in mini_study.records:
+            assert rec.sim_makespan > 0
+            assert rec.exp_makespan > 0
+            assert rec.total_alloc >= 10  # ten tasks, >= 1 proc each
+
+    def test_error_metric(self, mini_study):
+        rec = mini_study.records[0]
+        expected = abs(rec.sim_makespan - rec.exp_makespan) / rec.exp_makespan
+        assert rec.error == pytest.approx(expected)
+        assert rec.error_pct == pytest.approx(100 * expected)
+
+    def test_select_filters(self, mini_study):
+        hcpa = mini_study.select(algorithm="hcpa")
+        assert len(hcpa) == 2
+        assert all(r.algorithm == "hcpa" for r in hcpa)
+        n3000 = mini_study.select(n=3000)
+        assert len(n3000) == 2
+
+    def test_record_lookup(self, mini_study):
+        label = mini_study.records[0].dag_label
+        rec = mini_study.record(label, "hcpa", "analytic")
+        assert isinstance(rec, RunRecord)
+        with pytest.raises(KeyError):
+            mini_study.record("nope", "hcpa", "analytic")
+
+    def test_dag_labels_ordered_unique(self, mini_study):
+        labels = mini_study.dag_labels()
+        assert len(labels) == len(set(labels)) == 2
+
+    def test_custom_algorithm_list(self, platform, emulator):
+        params = DagParameters(num_input_matrices=2, add_ratio=0.5, n=2000, seed=9)
+        dags = [(params, generate_dag(params))]
+        suite = build_analytical_suite(platform)
+        study = run_study(dags, [suite], emulator, algorithms=("seq",))
+        assert len(study) == 1
+        assert study.records[0].algorithm == "seq"

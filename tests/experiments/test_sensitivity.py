@@ -1,0 +1,65 @@
+"""Tests for the overhead-sensitivity sweep (extension)."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    SensitivityPoint,
+    SensitivitySweep,
+    overhead_sensitivity,
+)
+
+
+class TestDataClasses:
+    def test_wrong_fraction(self):
+        p = SensitivityPoint(scale=1.0, num_wrong=9, num_dags=27,
+                             mean_error_pct=50.0)
+        assert p.wrong_fraction == pytest.approx(1 / 3)
+
+    def test_monotonicity_helper(self):
+        sweep = SensitivitySweep(parameter="x")
+        sweep.points = [
+            SensitivityPoint(1.0, 1, 10, 20.0),
+            SensitivityPoint(0.5, 1, 10, 10.0),
+            SensitivityPoint(2.0, 1, 10, 30.0),
+        ]
+        assert sweep.errors_increase_with_scale()
+        sweep.points.append(SensitivityPoint(4.0, 1, 10, 5.0))
+        assert not sweep.errors_increase_with_scale()
+
+    def test_point_lookup(self):
+        sweep = SensitivitySweep(parameter="x")
+        sweep.points = [SensitivityPoint(1.0, 0, 1, 0.0)]
+        assert sweep.point(1.0).scale == 1.0
+        with pytest.raises(KeyError):
+            sweep.point(9.0)
+
+
+class TestOverheadSensitivity:
+    @pytest.fixture(scope="class")
+    def sweep(self, study_context):
+        dags = [d for d in study_context.dags if d[0].sample == 0]
+        return overhead_sensitivity(
+            study_context.platform,
+            dags,
+            scales=(0.25, 1.0, 4.0),
+            seed=study_context.seed,
+        )
+
+    def test_three_points(self, sweep):
+        assert len(sweep.points) == 3
+
+    def test_analytic_error_tracks_overheads(self, sweep):
+        # The analytical simulator never models the overheads, so
+        # scaling them up must inflate its error.
+        assert sweep.errors_increase_with_scale()
+        assert sweep.point(4.0).mean_error_pct > sweep.point(0.25).mean_error_pct
+
+    def test_validation(self, study_context):
+        with pytest.raises(ValueError):
+            overhead_sensitivity(
+                study_context.platform, study_context.dags, scales=()
+            )
+        with pytest.raises(ValueError):
+            overhead_sensitivity(
+                study_context.platform, [], scales=(1.0,)
+            )

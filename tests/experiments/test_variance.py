@@ -1,0 +1,66 @@
+"""Tests for the repeated-runs variance analysis (extension)."""
+
+import pytest
+
+from repro.experiments.variance import DagVariance, run_variance_study
+
+
+class TestDagVariance:
+    def test_stability_all_same_sign(self):
+        d = DagVariance("x", 2000, rel_sim=0.1, rel_exp_runs=(0.2, 0.3, 0.1))
+        assert d.winner_stability == 1.0
+        assert not d.noise_dominated
+
+    def test_stability_mixed_signs(self):
+        d = DagVariance(
+            "x", 2000, rel_sim=0.1, rel_exp_runs=(0.2, -0.1, 0.3, -0.2, 0.1)
+        )
+        assert d.winner_stability == pytest.approx(0.6)
+        assert d.noise_dominated
+
+    def test_flip_vs_mean(self):
+        d = DagVariance("x", 2000, rel_sim=-0.1, rel_exp_runs=(0.2, 0.3))
+        assert d.sign_flipped_vs_mean
+        d2 = DagVariance("x", 2000, rel_sim=0.1, rel_exp_runs=(0.2, 0.3))
+        assert not d2.sign_flipped_vs_mean
+
+    def test_statistics(self):
+        d = DagVariance("x", 2000, rel_sim=0.0, rel_exp_runs=(0.1, 0.3))
+        assert d.rel_exp_mean == pytest.approx(0.2)
+        assert d.rel_exp_std == pytest.approx(0.1)
+
+
+class TestRunVarianceStudy:
+    @pytest.fixture(scope="class")
+    def study(self, study_context):
+        dags = [d for d in study_context.dags if d[0].n == 2000][:6]
+        return run_variance_study(
+            dags, study_context.analytic_suite, study_context.emulator,
+            runs=4,
+        )
+
+    def test_covers_all_dags_and_runs(self, study):
+        assert len(study.dags) == 6
+        assert all(len(d.rel_exp_runs) == 4 for d in study.dags)
+
+    def test_runs_actually_vary(self, study):
+        assert any(d.rel_exp_std > 0 for d in study.dags)
+
+    def test_counters_consistent(self, study):
+        assert 0 <= study.num_noise_dominated <= len(study.dags)
+        assert study.num_model_dominated_flips <= study.num_flips_vs_mean
+
+    def test_validation(self, study_context):
+        with pytest.raises(ValueError):
+            run_variance_study(
+                study_context.dags[:2],
+                study_context.analytic_suite,
+                study_context.emulator,
+                runs=1,
+            )
+        with pytest.raises(ValueError):
+            run_variance_study(
+                [],
+                study_context.analytic_suite,
+                study_context.emulator,
+            )

@@ -1,0 +1,72 @@
+"""Tests for the analytical task-time model."""
+
+import numpy as np
+import pytest
+
+from repro.dag.graph import Task
+from repro.dag.kernels import MATADD, MATMUL
+from repro.models.analytical import AnalyticalTaskModel
+from repro.models.base import ModelKind
+from repro.platform.personalities import bayreuth_cluster
+
+
+@pytest.fixture
+def model():
+    return AnalyticalTaskModel(bayreuth_cluster())
+
+
+class TestDurations:
+    def test_matmul_single_processor(self, model):
+        # 2 * 2000^3 flops at 250 MFlop/s = 64 s: the calibration point
+        # the paper derived its 250 MFlop/s from.
+        task = Task(task_id=0, kernel=MATMUL, n=2000)
+        assert model.duration(task, 1) == pytest.approx(2 * 2000**3 / 250e6)
+
+    def test_matmul_scales_inverse_p_when_compute_bound(self, model):
+        task = Task(task_id=0, kernel=MATMUL, n=2000)
+        t4 = model.duration(task, 4)
+        t8 = model.duration(task, 8)
+        assert t4 / t8 == pytest.approx(2.0, rel=0.01)
+
+    def test_matadd_adjusted_time(self, model):
+        task = Task(task_id=0, kernel=MATADD, n=2000)
+        # (n/4)*n^2 = 2e9 flops at 250 MFlop/s = 8 s sequential.
+        assert model.duration(task, 1) == pytest.approx(8.0)
+
+    def test_invalid_p_rejected(self, model):
+        task = Task(task_id=0, kernel=MATMUL, n=100)
+        with pytest.raises(ValueError):
+            model.duration(task, 0)
+
+    def test_comm_bound_duration(self):
+        # Starve the network so the ring exchange dominates.
+        from repro.platform.cluster import ClusterPlatform
+
+        slow_net = ClusterPlatform(
+            num_nodes=4, flops=1e15, link_bandwidth=1e6,
+            backbone_bandwidth=1e6, link_latency=0.0,
+        )
+        model = AnalyticalTaskModel(slow_net)
+        task = Task(task_id=0, kernel=MATMUL, n=1000)
+        p = 4
+        bytes_per_link = (p - 1) * (1000 * 1000 / p) * 8
+        assert model.duration(task, p) == pytest.approx(bytes_per_link / 1e6)
+
+
+class TestSpecComponents:
+    def test_kind_is_analytical(self, model):
+        assert model.kind is ModelKind.ANALYTICAL
+
+    def test_computation_vector(self, model):
+        task = Task(task_id=0, kernel=MATMUL, n=1000)
+        comp = model.computation(task, 4)
+        assert comp.shape == (4,)
+        assert np.all(comp == 2 * 1000**3 / 4)
+
+    def test_comm_matrix_shape(self, model):
+        task = Task(task_id=0, kernel=MATMUL, n=1000)
+        assert model.comm_matrix(task, 4).shape == (4, 4)
+
+    def test_matadd_no_communication(self, model):
+        task = Task(task_id=0, kernel=MATADD, n=1000)
+        assert np.all(model.comm_matrix(task, 4) == 0)

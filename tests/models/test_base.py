@@ -1,0 +1,37 @@
+"""Tests for the TaskTimeModel contract."""
+
+import pytest
+
+from repro.dag.graph import Task
+from repro.dag.kernels import MATMUL
+from repro.models.base import ModelKind, TaskTimeModel
+
+
+class MeasuredOnly(TaskTimeModel):
+    name = "measured-only"
+
+    @property
+    def kind(self):
+        return ModelKind.MEASURED
+
+    def duration(self, task, p):
+        return 1.0
+
+
+class TestContract:
+    def test_cannot_instantiate_abstract(self):
+        with pytest.raises(TypeError):
+            TaskTimeModel()
+
+    def test_measured_models_reject_analytical_queries(self):
+        model = MeasuredOnly()
+        task = Task(task_id=0, kernel=MATMUL, n=100)
+        with pytest.raises(NotImplementedError):
+            model.computation(task, 4)
+        with pytest.raises(NotImplementedError):
+            model.comm_matrix(task, 4)
+
+    def test_kind_enum_values(self):
+        assert ModelKind.ANALYTICAL.value == "analytical"
+        assert ModelKind.MEASURED.value == "measured"
+        assert len(ModelKind) == 2

@@ -1,0 +1,83 @@
+"""Tests for the empirical (piecewise regression) task-time model."""
+
+import pytest
+
+from repro.dag.graph import Task
+from repro.dag.kernels import MATADD, MATMUL
+from repro.models.base import ModelKind
+from repro.models.empirical import EmpiricalTaskModel, PiecewiseKernelModel
+from repro.models.regression import HyperbolicFit, LinearFit
+from repro.util.errors import CalibrationError
+
+
+@pytest.fixture
+def matmul_curve():
+    # The paper's n=3000 multiplication model (Table II).
+    return PiecewiseKernelModel(
+        low=HyperbolicFit(a=537.91, b=-25.55),
+        high=LinearFit(a=-0.09, b=11.47),
+        split=16,
+    )
+
+
+class TestPiecewise:
+    def test_low_branch_below_split(self, matmul_curve):
+        assert matmul_curve(4) == pytest.approx(537.91 / 4 - 25.55)
+
+    def test_boundary_uses_low_branch(self, matmul_curve):
+        assert matmul_curve(16) == pytest.approx(537.91 / 16 - 25.55)
+
+    def test_high_branch_above_split(self, matmul_curve):
+        assert matmul_curve(24) == pytest.approx(-0.09 * 24 + 11.47)
+
+    def test_hyperbolic_only_model(self):
+        curve = PiecewiseKernelModel(low=HyperbolicFit(a=73.59, b=0.38))
+        assert curve(24) == pytest.approx(73.59 / 24 + 0.38)
+
+    def test_negative_prediction_clamped(self):
+        # The n=3000 hyperbola goes negative past p=21 — the piecewise
+        # model must never return a non-positive duration.
+        curve = PiecewiseKernelModel(low=HyperbolicFit(a=537.91, b=-25.55))
+        assert curve(30) > 0
+
+    def test_invalid_p_rejected(self, matmul_curve):
+        with pytest.raises(ValueError):
+            matmul_curve(0)
+
+    def test_from_samples_fits_both_branches(self):
+        low = {p: 100.0 / p + 2.0 for p in (2, 4, 7, 15)}
+        high = {p: 0.1 * p + 5.0 for p in (15, 24, 31)}
+        curve = PiecewiseKernelModel.from_samples(low, high)
+        assert curve.low.a == pytest.approx(100.0)
+        assert curve.low.b == pytest.approx(2.0)
+        assert curve.high.a == pytest.approx(0.1)
+        assert curve.high.b == pytest.approx(5.0)
+
+    def test_from_samples_requires_low_branch(self):
+        with pytest.raises(CalibrationError):
+            PiecewiseKernelModel.from_samples({})
+
+
+class TestEmpiricalTaskModel:
+    def test_routes_by_kernel_and_size(self, matmul_curve):
+        add_curve = PiecewiseKernelModel(low=HyperbolicFit(a=73.59, b=0.38))
+        model = EmpiricalTaskModel(
+            {("matmul", 3000): matmul_curve, ("matadd", 3000): add_curve}
+        )
+        mm = Task(task_id=0, kernel=MATMUL, n=3000)
+        ma = Task(task_id=1, kernel=MATADD, n=3000)
+        assert model.duration(mm, 4) == pytest.approx(537.91 / 4 - 25.55)
+        assert model.duration(ma, 4) == pytest.approx(73.59 / 4 + 0.38)
+
+    def test_kind_is_measured(self, matmul_curve):
+        model = EmpiricalTaskModel({("matmul", 3000): matmul_curve})
+        assert model.kind is ModelKind.MEASURED
+
+    def test_missing_curve_raises(self, matmul_curve):
+        model = EmpiricalTaskModel({("matmul", 3000): matmul_curve})
+        with pytest.raises(CalibrationError):
+            model.duration(Task(task_id=0, kernel=MATMUL, n=2000), 4)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(CalibrationError):
+            EmpiricalTaskModel({})

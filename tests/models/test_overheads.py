@@ -1,0 +1,89 @@
+"""Tests for the startup and redistribution overhead models."""
+
+import pytest
+
+from repro.models.overheads import (
+    LinearRedistributionOverheadModel,
+    LinearStartupModel,
+    TableRedistributionOverheadModel,
+    TableStartupModel,
+    ZeroRedistributionOverheadModel,
+    ZeroStartupModel,
+)
+from repro.models.regression import LinearFit
+from repro.util.errors import CalibrationError
+
+
+class TestStartupModels:
+    def test_zero_model(self):
+        assert ZeroStartupModel().startup(16) == 0.0
+
+    def test_table_model_lookup(self):
+        model = TableStartupModel({1: 0.7, 2: 0.9})
+        assert model.startup(2) == 0.9
+
+    def test_table_model_missing_entry(self):
+        model = TableStartupModel({1: 0.7})
+        with pytest.raises(CalibrationError):
+            model.startup(5)
+
+    def test_table_model_validation(self):
+        with pytest.raises(CalibrationError):
+            TableStartupModel({})
+        with pytest.raises(CalibrationError):
+            TableStartupModel({0: 0.5})
+        with pytest.raises(CalibrationError):
+            TableStartupModel({1: -0.1})
+
+    def test_linear_model_paper_fit(self):
+        # Table II: 0.03 p + 0.65.
+        model = LinearStartupModel(LinearFit(a=0.03, b=0.65))
+        assert model.startup(32) == pytest.approx(1.61)
+
+    def test_linear_model_clamped_nonnegative(self):
+        model = LinearStartupModel(LinearFit(a=-1.0, b=0.5))
+        assert model.startup(10) == 0.0
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            ZeroStartupModel(),
+            TableStartupModel({1: 0.5}),
+            LinearStartupModel(LinearFit(a=0.0, b=0.1)),
+        ],
+    )
+    def test_invalid_p_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.startup(0)
+
+
+class TestRedistributionModels:
+    def test_zero_model(self):
+        assert ZeroRedistributionOverheadModel().overhead(4, 8) == 0.0
+
+    def test_table_model_keys_by_destination(self):
+        model = TableRedistributionOverheadModel({4: 0.2, 8: 0.3})
+        # Only p_dst matters (Section VI-C's averaging over p_src).
+        assert model.overhead(1, 8) == 0.3
+        assert model.overhead(32, 8) == 0.3
+
+    def test_table_model_missing_destination(self):
+        model = TableRedistributionOverheadModel({4: 0.2})
+        with pytest.raises(CalibrationError):
+            model.overhead(4, 16)
+
+    def test_linear_model_paper_fit(self):
+        # Table II: 7.88 ms * p_dst + 108.58 ms.
+        model = LinearRedistributionOverheadModel(
+            LinearFit(a=0.00788, b=0.10858)
+        )
+        assert model.overhead(10, 32) == pytest.approx(0.00788 * 32 + 0.10858)
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            TableRedistributionOverheadModel({})
+        model = ZeroRedistributionOverheadModel()
+        with pytest.raises(ValueError):
+            model.overhead(0, 1)
+        with pytest.raises(ValueError):
+            model.overhead(1, 0)

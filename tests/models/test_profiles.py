@@ -1,0 +1,64 @@
+"""Tests for the profile (lookup-table) task-time model."""
+
+import pytest
+
+from repro.dag.graph import Task
+from repro.dag.kernels import MATMUL
+from repro.models.base import ModelKind
+from repro.models.profiles import ProfileTaskModel
+from repro.util.errors import CalibrationError
+
+
+@pytest.fixture
+def model():
+    table = {
+        ("matmul", 2000, 1): 120.0,
+        ("matmul", 2000, 2): 65.0,
+        ("matmul", 2000, 3): 44.0,
+    }
+    return ProfileTaskModel(table)
+
+
+class TestLookup:
+    def test_exact_replay(self, model):
+        task = Task(task_id=0, kernel=MATMUL, n=2000)
+        assert model.duration(task, 2) == 65.0
+
+    def test_kind_is_measured(self, model):
+        assert model.kind is ModelKind.MEASURED
+
+    def test_missing_entry_raises_calibration_error(self, model):
+        task = Task(task_id=0, kernel=MATMUL, n=2000)
+        with pytest.raises(CalibrationError):
+            model.duration(task, 16)
+
+    def test_missing_size_raises(self, model):
+        task = Task(task_id=0, kernel=MATMUL, n=3000)
+        with pytest.raises(CalibrationError):
+            model.duration(task, 1)
+
+    def test_len_and_keys(self, model):
+        assert len(model) == 3
+        assert ("matmul", 2000, 1) in set(model.keys())
+
+
+class TestCoverage:
+    def test_covers_full_range(self, model):
+        assert model.covers("matmul", 2000, 3)
+        assert not model.covers("matmul", 2000, 4)
+        assert not model.covers("matadd", 2000, 1)
+
+
+class TestValidation:
+    def test_empty_table_rejected(self):
+        with pytest.raises(CalibrationError):
+            ProfileTaskModel({})
+
+    def test_nonpositive_time_rejected(self):
+        with pytest.raises(CalibrationError):
+            ProfileTaskModel({("matmul", 2000, 1): 0.0})
+
+    def test_keys_normalised_to_ints(self):
+        model = ProfileTaskModel({("matmul", 2000.0, 1.0): 5.0})
+        task = Task(task_id=0, kernel=MATMUL, n=2000)
+        assert model.duration(task, 1) == 5.0

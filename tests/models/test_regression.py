@@ -1,0 +1,107 @@
+"""Tests for the least-squares fitting utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.regression import (
+    detect_outliers,
+    fit_hyperbolic,
+    fit_linear,
+)
+from repro.util.errors import CalibrationError
+
+
+class TestLinearFit:
+    def test_exact_recovery(self):
+        ps = [1, 4, 9, 16]
+        ts = [0.5 * p + 2.0 for p in ps]
+        fit = fit_linear(ps, ts)
+        assert fit.a == pytest.approx(0.5)
+        assert fit.b == pytest.approx(2.0)
+        assert fit.rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_prediction(self):
+        fit = fit_linear([1, 2], [3.0, 5.0])
+        assert fit(10) == pytest.approx(21.0)
+
+    def test_rmse_positive_for_noisy_data(self):
+        fit = fit_linear([1, 2, 3, 4], [1.0, 2.1, 2.9, 4.2])
+        assert fit.rmse > 0
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([1], [1.0])
+
+    def test_degenerate_samples_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([3, 3, 3], [1.0, 2.0, 3.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([1, 2], [1.0])
+
+    @given(
+        a=st.floats(min_value=-10, max_value=10),
+        b=st.floats(min_value=-10, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_recovers_arbitrary_lines(self, a, b):
+        ps = [1.0, 5.0, 12.0, 30.0]
+        ts = [a * p + b for p in ps]
+        fit = fit_linear(ps, ts)
+        assert fit.a == pytest.approx(a, abs=1e-6)
+        assert fit.b == pytest.approx(b, abs=1e-5)
+
+
+class TestHyperbolicFit:
+    def test_exact_recovery(self):
+        ps = [1, 2, 4, 8]
+        ts = [100.0 / p + 3.0 for p in ps]
+        fit = fit_hyperbolic(ps, ts)
+        assert fit.a == pytest.approx(100.0)
+        assert fit.b == pytest.approx(3.0)
+
+    def test_recovers_paper_coefficients(self):
+        # Table II, matadd n=3000: 73.59/p + 0.38 sampled at the paper's
+        # points must round-trip.
+        ps = [2, 4, 7, 15, 24, 31]
+        ts = [73.59 / p + 0.38 for p in ps]
+        fit = fit_hyperbolic(ps, ts)
+        assert fit.a == pytest.approx(73.59, rel=1e-9)
+        assert fit.b == pytest.approx(0.38, abs=1e-9)
+
+    def test_nonpositive_p_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_hyperbolic([0, 1], [1.0, 2.0])
+
+    def test_prediction_rejects_nonpositive(self):
+        fit = fit_hyperbolic([1, 2], [2.0, 1.0])
+        with pytest.raises(ValueError):
+            fit(0)
+
+
+class TestDetectOutliers:
+    def test_flags_planted_outlier(self):
+        ps = [1, 2, 4, 8, 16, 32]
+        ts = [100.0 / p + 1.0 for p in ps]
+        ts[3] *= 2.5  # corrupt p=8, like the paper's memory-hierarchy outlier
+        flagged = detect_outliers(ps, ts, fit_hyperbolic)
+        assert 3 in flagged
+
+    def test_clean_data_unflagged(self):
+        ps = [1, 2, 4, 8, 16, 32]
+        ts = [100.0 / p + 1.0 for p in ps]
+        assert detect_outliers(ps, ts, fit_hyperbolic) == []
+
+    def test_requires_enough_samples(self):
+        with pytest.raises(CalibrationError):
+            detect_outliers([1, 2, 3], [1.0, 2.0, 3.0], fit_linear)
+
+    def test_linear_family(self):
+        ps = [1, 5, 10, 20, 30]
+        ts = [2.0 * p + 1.0 for p in ps]
+        ts[2] += 50.0
+        flagged = detect_outliers(ps, ts, fit_linear)
+        assert 2 in flagged

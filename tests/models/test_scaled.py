@@ -1,0 +1,143 @@
+"""Tests for hypothetical-platform suite scaling (paper extension)."""
+
+import pytest
+
+from repro.dag.graph import Task
+from repro.dag.kernels import MATMUL
+from repro.models.analytical import AnalyticalTaskModel
+from repro.models.overheads import (
+    LinearRedistributionOverheadModel,
+    LinearStartupModel,
+)
+from repro.models.profiles import ProfileTaskModel
+from repro.models.regression import LinearFit
+from repro.models.scaled import (
+    ScaledRedistributionModel,
+    ScaledStartupModel,
+    ScaledTaskModel,
+    scale_suite,
+)
+from repro.profiling.calibration import SimulatorSuite
+from repro.util.errors import CalibrationError
+
+
+@pytest.fixture
+def base_suite():
+    return SimulatorSuite(
+        name="base",
+        task_model=ProfileTaskModel({("matmul", 2000, 4): 40.0}),
+        startup_model=LinearStartupModel(LinearFit(a=0.0, b=1.0)),
+        redistribution_model=LinearRedistributionOverheadModel(
+            LinearFit(a=0.0, b=0.2)
+        ),
+    )
+
+
+class TestScaledWrappers:
+    def test_task_speedup(self, base_suite):
+        scaled = ScaledTaskModel(base_suite.task_model, speedup=2.0)
+        task = Task(task_id=0, kernel=MATMUL, n=2000)
+        assert scaled.duration(task, 4) == pytest.approx(20.0)
+
+    def test_startup_factor(self, base_suite):
+        scaled = ScaledStartupModel(base_suite.startup_model, factor=0.5)
+        assert scaled.startup(8) == pytest.approx(0.5)
+
+    def test_redistribution_factor(self, base_suite):
+        scaled = ScaledRedistributionModel(
+            base_suite.redistribution_model, factor=2.0
+        )
+        assert scaled.overhead(4, 8) == pytest.approx(0.4)
+
+    def test_analytical_model_refused(self, platform):
+        with pytest.raises(CalibrationError):
+            ScaledTaskModel(AnalyticalTaskModel(platform), speedup=2.0)
+
+    def test_invalid_factors_rejected(self, base_suite):
+        with pytest.raises(CalibrationError):
+            ScaledTaskModel(base_suite.task_model, speedup=0.0)
+        with pytest.raises(CalibrationError):
+            ScaledStartupModel(base_suite.startup_model, factor=-1.0)
+
+
+class TestScaleSuite:
+    def test_all_components_scaled(self, base_suite):
+        scaled = scale_suite(
+            base_suite,
+            compute_speedup=2.0,
+            startup_factor=0.5,
+            redistribution_factor=0.25,
+        )
+        task = Task(task_id=0, kernel=MATMUL, n=2000)
+        assert scaled.task_model.duration(task, 4) == pytest.approx(20.0)
+        assert scaled.startup_model.startup(1) == pytest.approx(0.5)
+        assert scaled.redistribution_model.overhead(1, 1) == pytest.approx(0.05)
+        assert scaled.name == "base-scaled"
+
+    def test_identity_scaling(self, base_suite):
+        scaled = scale_suite(base_suite)
+        task = Task(task_id=0, kernel=MATMUL, n=2000)
+        assert scaled.task_model.duration(task, 4) == pytest.approx(40.0)
+
+
+class TestEndToEndHypotheticalMachine:
+    """Scale a calibrated suite, validate against a scaled testbed."""
+
+    def test_scaled_suite_predicts_scaled_testbed(self, platform, emulator):
+        import dataclasses
+
+        from repro.dag.generator import DagParameters, generate_dag
+        from repro.experiments.runner import run_study
+        from repro.profiling.calibration import build_profile_suite
+        from repro.testbed.tgrid import TGridEmulator
+
+        base_suite = build_profile_suite(
+            emulator, kernel_trials=2, startup_trials=5,
+            redistribution_trials=2,
+        )
+        scaled_suite = dataclasses.replace(
+            scale_suite(
+                base_suite, compute_speedup=2.0, startup_factor=0.5,
+                redistribution_factor=0.5,
+            ),
+            name="hypothetical",
+        )
+        hypothetical = TGridEmulator(
+            platform,
+            seed=emulator.seed,
+            kernel_time_scale=0.5,
+            startup_scale=0.5,
+            redistribution_scale=0.5,
+        )
+        params = DagParameters(
+            num_input_matrices=4, add_ratio=0.5, n=2000, seed=21
+        )
+        dags = [(params, generate_dag(params))]
+        study = run_study(dags, [scaled_suite], hypothetical)
+        for rec in study.records:
+            # Refined-simulator accuracy class on the machine that does
+            # not exist yet.
+            assert rec.error_pct < 15.0
+
+    def test_unscaled_suite_mispredicts_hypothetical_machine(
+        self, platform, emulator
+    ):
+        from repro.dag.generator import DagParameters, generate_dag
+        from repro.experiments.runner import run_study
+        from repro.profiling.calibration import build_profile_suite
+        from repro.testbed.tgrid import TGridEmulator
+
+        base_suite = build_profile_suite(
+            emulator, kernel_trials=2, startup_trials=5,
+            redistribution_trials=2,
+        )
+        hypothetical = TGridEmulator(
+            platform, seed=emulator.seed, kernel_time_scale=0.5,
+        )
+        params = DagParameters(
+            num_input_matrices=4, add_ratio=0.5, n=2000, seed=21
+        )
+        dags = [(params, generate_dag(params))]
+        study = run_study(dags, [base_suite], hypothetical)
+        for rec in study.records:
+            assert rec.error_pct > 30.0  # ~2x compute mismatch

@@ -1,0 +1,148 @@
+"""Tests for the size-aware empirical models (paper extension)."""
+
+import pytest
+
+from repro.dag.graph import Task
+from repro.dag.kernels import MATADD, MATMUL
+from repro.models.base import ModelKind
+from repro.models.empirical import PiecewiseKernelModel
+from repro.models.regression import HyperbolicFit, LinearFit
+from repro.models.scaling import (
+    SizeAwareEmpiricalModel,
+    SizeInterpolatedKernelModel,
+)
+from repro.util.errors import CalibrationError
+
+
+@pytest.fixture
+def family():
+    """Two clean per-size curves: t = n^3/1e9 / p + n^2/1e7."""
+
+    def curve(n):
+        return PiecewiseKernelModel(
+            low=HyperbolicFit(a=n**3 / 1e9, b=n**2 / 1e7),
+            high=LinearFit(a=0.01, b=n**3 / 1e9 / 16 + n**2 / 1e7),
+            split=16,
+        )
+
+    return SizeInterpolatedKernelModel({2000: curve(2000), 3000: curve(3000)})
+
+
+class TestSizeInterpolatedKernelModel:
+    def test_exact_at_measured_sizes(self, family):
+        assert family(2000, 4) == pytest.approx(8.0 / 4 + 0.4)
+        assert family(3000, 4) == pytest.approx(27.0 / 4 + 0.9)
+
+    def test_interpolation_is_between_anchors(self, family):
+        for p in (1, 4, 15):
+            lo = family(2000, p)
+            hi = family(3000, p)
+            mid = family(2500, p)
+            assert lo < mid < hi
+
+    def test_interpolation_monotone_in_n(self, family):
+        values = [family(n, 8) for n in (2000, 2200, 2500, 2800, 3000)]
+        assert values == sorted(values)
+
+    def test_interpolation_accuracy_on_power_law(self, family):
+        # The underlying family is polynomial in n; log-space
+        # interpolation over [2000, 3000] tracks it within a few %.
+        n = 2500
+        truth = n**3 / 1e9 / 8 + n**2 / 1e7
+        assert family(n, 8) == pytest.approx(truth, rel=0.05)
+
+    def test_bounded_extrapolation_allowed(self, family):
+        assert family(1800, 4) > 0
+        assert family(3400, 4) > family(3000, 4)
+
+    def test_far_extrapolation_rejected(self, family):
+        with pytest.raises(CalibrationError):
+            family(1000, 4)
+        with pytest.raises(CalibrationError):
+            family(5000, 4)
+
+    def test_needs_two_sizes(self):
+        curve = PiecewiseKernelModel(low=HyperbolicFit(a=1.0, b=0.0))
+        with pytest.raises(CalibrationError):
+            SizeInterpolatedKernelModel({2000: curve})
+
+    def test_three_size_family_uses_right_segment(self):
+        def curve(value):
+            return PiecewiseKernelModel(low=HyperbolicFit(a=0.0, b=value))
+
+        family = SizeInterpolatedKernelModel(
+            {1000: curve(1.0), 2000: curve(2.0), 3000: curve(10.0)}
+        )
+        # Between 1000 and 2000 the prediction must ignore the 3000 curve.
+        assert 1.0 < family(1500, 4) < 2.0
+        assert 2.0 < family(2500, 4) < 10.0
+
+
+class TestSizeAwareEmpiricalModel:
+    def test_routes_by_kernel(self, family):
+        model = SizeAwareEmpiricalModel({"matmul": family})
+        task = Task(task_id=0, kernel=MATMUL, n=2500)
+        assert model.duration(task, 4) == pytest.approx(family(2500, 4))
+        with pytest.raises(CalibrationError):
+            model.duration(Task(task_id=1, kernel=MATADD, n=2500), 4)
+
+    def test_kind_is_measured(self, family):
+        assert (
+            SizeAwareEmpiricalModel({"matmul": family}).kind
+            is ModelKind.MEASURED
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(CalibrationError):
+            SizeAwareEmpiricalModel({})
+
+
+class TestCalibratedSuite:
+    """End-to-end: calibrate on {2000, 3000}, predict 2500."""
+
+    @pytest.fixture(scope="class")
+    def suite(self, emulator):
+        from repro.profiling.calibration import build_size_aware_suite
+
+        return build_size_aware_suite(emulator, kernel_trials=2,
+                                      startup_trials=5,
+                                      redistribution_trials=2)
+
+    def test_predicts_unmeasured_size(self, suite, emulator):
+        task = Task(task_id=0, kernel=MATMUL, n=2500)
+        for p in (2, 8):
+            pred = suite.task_model.duration(task, p)
+            truth = emulator.kernels.mean_time("matmul", 2500, p)
+            assert pred == pytest.approx(truth, rel=0.45)
+
+    def test_schedulable_at_unmeasured_size(self, suite, emulator):
+        from repro.dag.generator import DagParameters, generate_dag
+        from repro.scheduling.costs import SchedulingCosts
+        from repro.scheduling.driver import schedule_dag
+
+        graph = generate_dag(
+            DagParameters(num_input_matrices=4, add_ratio=0.5, n=2500, seed=5)
+        )
+        costs = SchedulingCosts(
+            graph,
+            emulator.platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+        )
+        schedule = schedule_dag(graph, costs, "mcpa")
+        schedule.validate(graph, emulator.platform)
+        # And the testbed can execute it (ground truth interpolates too).
+        assert emulator.makespan(graph, schedule) > 0
+
+    def test_profile_model_cannot_do_this(self, emulator):
+        """The contrast that motivates the extension: lookup tables
+        cannot serve sizes they never measured."""
+        from repro.profiling.calibration import build_profile_suite
+
+        suite = build_profile_suite(emulator, kernel_trials=1,
+                                    startup_trials=2,
+                                    redistribution_trials=1)
+        task = Task(task_id=0, kernel=MATMUL, n=2500)
+        with pytest.raises(CalibrationError):
+            suite.task_model.duration(task, 4)

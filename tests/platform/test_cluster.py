@@ -1,0 +1,74 @@
+"""Tests for the cluster platform model."""
+
+import pytest
+
+from repro.platform.cluster import ClusterPlatform
+from repro.platform.personalities import (
+    BAYREUTH_FLOPS,
+    CRAY_XT4_FLOPS,
+    bayreuth_cluster,
+    cray_xt4,
+)
+
+
+class TestClusterPlatform:
+    def test_defaults_match_paper(self):
+        plat = bayreuth_cluster()
+        assert plat.num_nodes == 32
+        assert plat.flops == BAYREUTH_FLOPS == 250e6
+        assert plat.link_bandwidth == pytest.approx(1.25e8)  # 1 Gb/s
+        assert plat.link_latency == pytest.approx(100e-6)
+
+    def test_processor_range(self):
+        plat = ClusterPlatform(num_nodes=4)
+        assert list(plat.processors) == [0, 1, 2, 3]
+
+    def test_route_latency_intra_node_is_free(self):
+        plat = bayreuth_cluster()
+        assert plat.route_latency(3, 3) == 0.0
+
+    def test_route_latency_crosses_two_links(self):
+        plat = bayreuth_cluster()
+        assert plat.route_latency(0, 1) == pytest.approx(2 * 100e-6)
+
+    def test_effective_bandwidth_bottleneck(self):
+        plat = ClusterPlatform(
+            num_nodes=2, link_bandwidth=10.0, backbone_bandwidth=4.0
+        )
+        assert plat.effective_bandwidth(0, 1) == 4.0
+
+    def test_intra_node_bandwidth_infinite(self):
+        plat = bayreuth_cluster()
+        assert plat.effective_bandwidth(2, 2) == float("inf")
+
+    def test_out_of_range_processor_rejected(self):
+        plat = ClusterPlatform(num_nodes=2)
+        with pytest.raises(ValueError):
+            plat.route_latency(0, 2)
+        with pytest.raises(ValueError):
+            plat.effective_bandwidth(-1, 0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_nodes": 0},
+            {"num_nodes": 4, "flops": 0.0},
+            {"num_nodes": 4, "link_bandwidth": -1.0},
+            {"num_nodes": 4, "link_latency": -1e-6},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterPlatform(**kwargs)
+
+
+class TestPersonalities:
+    def test_cray_speed(self):
+        assert cray_xt4().flops == CRAY_XT4_FLOPS == pytest.approx(4165.3e6)
+
+    def test_custom_size(self):
+        assert bayreuth_cluster(8).num_nodes == 8
+
+    def test_names(self):
+        assert bayreuth_cluster().name == "bayreuth"
+        assert cray_xt4().name == "cray_xt4"

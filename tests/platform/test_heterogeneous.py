@@ -1,0 +1,189 @@
+"""Tests for heterogeneous platform support (paper extension)."""
+
+import pytest
+
+from repro.platform.cluster import ClusterPlatform
+from repro.platform.personalities import heterogeneous_cluster
+
+
+class TestHeterogeneousPlatform:
+    def test_homogeneous_by_default(self, platform):
+        assert platform.is_homogeneous
+        assert platform.node_speed(5) == 1.0
+        assert platform.aggregate_speed == 32.0
+
+    def test_per_node_speeds(self):
+        plat = heterogeneous_cluster((1.0, 0.5, 2.0))
+        assert not plat.is_homogeneous
+        assert plat.node_speed(1) == 0.5
+        assert plat.node_flops(2) == pytest.approx(2.0 * plat.flops)
+        assert plat.aggregate_speed == pytest.approx(3.5)
+
+    def test_uniform_speeds_count_as_homogeneous(self):
+        plat = heterogeneous_cluster((1.0, 1.0, 1.0))
+        assert plat.is_homogeneous
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterPlatform(num_nodes=2, node_speeds=(1.0,))
+        with pytest.raises(ValueError):
+            ClusterPlatform(num_nodes=2, node_speeds=(1.0, 0.0))
+
+    def test_speed_lookup_bounds_checked(self):
+        plat = heterogeneous_cluster((1.0, 0.5))
+        with pytest.raises(ValueError):
+            plat.node_speed(2)
+
+
+class TestHeterogeneousSimulation:
+    @pytest.fixture
+    def het_platform(self):
+        # Two fast nodes, two half-speed nodes; fast network so compute
+        # dominates.
+        return ClusterPlatform(
+            num_nodes=4,
+            flops=1e9,
+            link_bandwidth=1e12,
+            backbone_bandwidth=1e12,
+            link_latency=0.0,
+            node_speeds=(1.0, 1.0, 0.5, 0.5),
+        )
+
+    def test_analytical_task_slows_on_slow_node(self, het_platform):
+        from repro.dag.graph import Task, TaskGraph
+        from repro.dag.kernels import MATADD
+        from repro.models.analytical import AnalyticalTaskModel
+        from repro.scheduling.schedule import Placement, Schedule
+        from repro.simgrid.simulator import ApplicationSimulator
+
+        g = TaskGraph()
+        g.add_task(Task(task_id=0, kernel=MATADD, n=2000))
+        model = AnalyticalTaskModel(het_platform)
+        sim = ApplicationSimulator(het_platform, model)
+
+        def run_on(host):
+            sched = Schedule(
+                {0: Placement(task_id=0, hosts=(host,))}, [0], algorithm="t"
+            )
+            return sim.run(g, sched).makespan
+
+        assert run_on(2) == pytest.approx(2.0 * run_on(0))
+
+    def test_coupled_task_bound_by_slowest_member(self, het_platform):
+        from repro.dag.graph import Task, TaskGraph
+        from repro.dag.kernels import MATADD
+        from repro.models.analytical import AnalyticalTaskModel
+        from repro.scheduling.schedule import Placement, Schedule
+        from repro.simgrid.simulator import ApplicationSimulator
+
+        g = TaskGraph()
+        g.add_task(Task(task_id=0, kernel=MATADD, n=2000))
+        model = AnalyticalTaskModel(het_platform)
+        sim = ApplicationSimulator(het_platform, model)
+        fast_pair = Schedule(
+            {0: Placement(task_id=0, hosts=(0, 1))}, [0], algorithm="t"
+        )
+        mixed_pair = Schedule(
+            {0: Placement(task_id=0, hosts=(0, 2))}, [0], algorithm="t"
+        )
+        t_fast = sim.run(g, fast_pair).makespan
+        t_mixed = sim.run(g, mixed_pair).makespan
+        # The equal 1D split leaves the slow node with half-speed work:
+        # the whole task takes twice as long despite one fast member.
+        assert t_mixed == pytest.approx(2.0 * t_fast)
+
+    def test_mapping_prefers_fast_hosts(self, het_platform):
+        from repro.dag.graph import Task, TaskGraph
+        from repro.dag.kernels import MATMUL
+        from repro.models.analytical import AnalyticalTaskModel
+        from repro.scheduling.costs import SchedulingCosts
+        from repro.scheduling.mapping import map_allocations
+
+        g = TaskGraph()
+        g.add_task(Task(task_id=0, kernel=MATMUL, n=2000))
+        costs = SchedulingCosts(g, het_platform, AnalyticalTaskModel(het_platform))
+        sched = map_allocations(g, costs, {0: 2})
+        assert set(sched.hosts(0)) == {0, 1}
+
+    def test_mapping_estimates_account_for_slow_nodes(self, het_platform):
+        from repro.dag.graph import Task, TaskGraph
+        from repro.dag.kernels import MATMUL
+        from repro.models.analytical import AnalyticalTaskModel
+        from repro.scheduling.costs import SchedulingCosts
+        from repro.scheduling.mapping import map_allocations
+
+        g = TaskGraph()
+        for i in range(2):
+            g.add_task(Task(task_id=i, kernel=MATMUL, n=2000))
+        costs = SchedulingCosts(g, het_platform, AnalyticalTaskModel(het_platform))
+        sched = map_allocations(g, costs, {0: 2, 1: 2})
+        # One task lands on the fast pair, the other on the slow pair;
+        # the slow task's estimated duration must be ~2x longer.
+        durations = {
+            t: sched.placements[t].est_finish - sched.placements[t].est_start
+            for t in (0, 1)
+        }
+        slow_task = max(durations, key=durations.get)
+        fast_task = min(durations, key=durations.get)
+        assert durations[slow_task] == pytest.approx(
+            2.0 * durations[fast_task], rel=0.01
+        )
+
+    def test_estimates_match_simulation_on_het_platform(self, het_platform):
+        from repro.dag.generator import DagParameters, generate_dag
+        from repro.models.analytical import AnalyticalTaskModel
+        from repro.scheduling.costs import SchedulingCosts
+        from repro.scheduling.driver import schedule_dag
+        from repro.simgrid.simulator import ApplicationSimulator
+
+        graph = generate_dag(
+            DagParameters(num_input_matrices=2, add_ratio=1.0, n=2000, seed=3)
+        )
+        model = AnalyticalTaskModel(het_platform)
+        costs = SchedulingCosts(graph, het_platform, model)
+        sched = schedule_dag(graph, costs, "hcpa")
+        trace = ApplicationSimulator(het_platform, model).run(graph, sched)
+        # The scheduler's Gantt estimate and the simulated makespan agree
+        # closely (same cost model, same execution discipline).
+        assert trace.makespan == pytest.approx(sched.makespan_estimate, rel=0.2)
+
+
+class TestHeterogeneousStudy:
+    def test_testbed_executes_het_schedules(self):
+        from repro.dag.generator import DagParameters, generate_dag
+        from repro.models.analytical import AnalyticalTaskModel
+        from repro.scheduling.costs import SchedulingCosts
+        from repro.scheduling.driver import schedule_dag
+        from repro.testbed.tgrid import TGridEmulator
+
+        plat = heterogeneous_cluster((1.0,) * 16 + (0.5,) * 16)
+        emu = TGridEmulator(plat, seed=7)
+        graph = generate_dag(
+            DagParameters(num_input_matrices=4, add_ratio=0.5, n=2000, seed=1)
+        )
+        costs = SchedulingCosts(graph, plat, AnalyticalTaskModel(plat))
+        sched = schedule_dag(graph, costs, "mcpa")
+        makespan_het = emu.makespan(graph, sched)
+        assert makespan_het > 0
+
+    def test_slower_half_makes_makespans_longer(self):
+        from repro.dag.generator import DagParameters, generate_dag
+        from repro.models.analytical import AnalyticalTaskModel
+        from repro.platform.personalities import bayreuth_cluster
+        from repro.scheduling.costs import SchedulingCosts
+        from repro.scheduling.driver import schedule_dag
+        from repro.testbed.tgrid import TGridEmulator
+
+        graph = generate_dag(
+            DagParameters(num_input_matrices=4, add_ratio=0.5, n=2000, seed=1)
+        )
+        results = {}
+        for label, plat in (
+            ("homogeneous", bayreuth_cluster()),
+            ("degraded", heterogeneous_cluster((1.0,) * 8 + (0.4,) * 24,
+                                               name="bayreuth")),
+        ):
+            costs = SchedulingCosts(graph, plat, AnalyticalTaskModel(plat))
+            sched = schedule_dag(graph, costs, "mcpa")
+            results[label] = TGridEmulator(plat, seed=7).makespan(graph, sched)
+        assert results["degraded"] > results["homogeneous"]

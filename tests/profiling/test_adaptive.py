@@ -1,0 +1,76 @@
+"""Tests for the adaptive outlier-aware calibration (paper extension)."""
+
+import pytest
+
+from repro.platform.personalities import bayreuth_cluster
+from repro.profiling.adaptive import adaptive_kernel_model, neighbour_point
+from repro.testbed.tgrid import TGridEmulator
+
+
+class TestNeighbourPoint:
+    def test_prefers_smaller_neighbour(self):
+        assert neighbour_point(8, {8}, max_p=32) == 7
+        assert neighbour_point(16, {16}, max_p=32) == 15
+
+    def test_skips_taken_points(self):
+        assert neighbour_point(8, {7, 8}, max_p=32) == 9
+        assert neighbour_point(8, {7, 8, 9}, max_p=32) == 6
+
+    def test_respects_bounds(self):
+        assert neighbour_point(1, {1}, max_p=32) == 2
+        assert neighbour_point(32, {31, 32}, max_p=32) == 30
+
+    def test_exhausted_range_returns_none(self):
+        assert neighbour_point(2, {1, 2, 3}, max_p=3) is None
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            neighbour_point(0, set(), max_p=32)
+
+
+class TestAdaptiveKernelModel:
+    @pytest.fixture(scope="class")
+    def result(self, emulator):
+        return adaptive_kernel_model(emulator, "matmul", 3000)
+
+    def test_confirms_the_strong_outlier(self, result):
+        # The x1.6 outlier at p = 16 must be confirmed and replaced.
+        assert 16 in result.flagged
+        assert result.replacements[16] == 15
+
+    def test_no_false_positives_among_clean_points(self, result):
+        assert all(p in (8, 16) for p in result.flagged)
+
+    def test_fit_tracks_the_clean_curve(self, result, emulator):
+        errs = []
+        for p in range(2, 16):
+            if p == 8:
+                continue
+            truth = emulator.kernels.mean_time("matmul", 3000, p)
+            errs.append(abs(result.model(p) - truth) / truth)
+        # Within the testbed's own fluctuation envelope.
+        assert sum(errs) / len(errs) < 0.5
+
+    def test_budget_far_below_full_profile(self, result, emulator):
+        assert result.measurements_used < emulator.platform.num_nodes // 2
+
+    def test_sample_bookkeeping_consistent(self, result):
+        for flagged in result.flagged:
+            assert flagged not in result.low_samples
+            assert result.replacements[flagged] in result.low_samples
+
+    def test_clean_environment_flags_nothing(self, platform):
+        clean = TGridEmulator(platform, seed=3, with_outliers=False,
+                              with_noise=False)
+        result = adaptive_kernel_model(clean, "matadd", 2000)
+        assert result.flagged == []
+        # matadd follows a/p + b exactly (modulo fluctuation): the fit
+        # must be close at unsampled points.
+        truth = clean.kernels.mean_time("matadd", 2000, 12)
+        assert result.model(12) == pytest.approx(truth, rel=0.4)
+
+    def test_deterministic(self, emulator):
+        a = adaptive_kernel_model(emulator, "matmul", 3000)
+        b = adaptive_kernel_model(emulator, "matmul", 3000)
+        assert a.flagged == b.flagged
+        assert a.low_samples == b.low_samples

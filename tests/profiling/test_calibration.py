@@ -1,0 +1,97 @@
+"""Tests for the calibration pipeline (measurements -> model suites)."""
+
+import numpy as np
+import pytest
+
+from repro.dag.graph import Task
+from repro.dag.kernels import MATADD, MATMUL
+from repro.models.base import ModelKind
+from repro.profiling.calibration import (
+    build_analytical_suite,
+    build_empirical_suite,
+    build_profile_suite,
+)
+from repro.profiling.sparse import PAPER_PLAN
+
+
+@pytest.fixture(scope="module")
+def profile_suite(emulator):
+    return build_profile_suite(emulator, kernel_trials=2, startup_trials=5,
+                               redistribution_trials=2)
+
+
+@pytest.fixture(scope="module")
+def empirical_suite(emulator):
+    return build_empirical_suite(emulator, kernel_trials=2, startup_trials=5,
+                                 redistribution_trials=2)
+
+
+class TestAnalyticalSuite:
+    def test_shape(self, platform):
+        suite = build_analytical_suite(platform)
+        assert suite.name == "analytic"
+        assert suite.task_model.kind is ModelKind.ANALYTICAL
+        assert suite.startup_model.startup(8) == 0.0
+        assert suite.redistribution_model.overhead(4, 8) == 0.0
+
+
+class TestProfileSuite:
+    def test_covers_every_allocation(self, profile_suite, platform):
+        model = profile_suite.task_model
+        for kernel in ("matmul", "matadd"):
+            for n in (2000, 3000):
+                assert model.covers(kernel, n, platform.num_nodes)
+
+    def test_durations_match_emulator_means(self, profile_suite, emulator):
+        task = Task(task_id=0, kernel=MATMUL, n=2000)
+        predicted = profile_suite.task_model.duration(task, 8)
+        truth = emulator.kernels.mean_time("matmul", 2000, 8)
+        assert predicted == pytest.approx(truth, rel=0.1)
+
+    def test_startup_table_covers_cluster(self, profile_suite, platform):
+        for p in range(1, platform.num_nodes + 1):
+            assert profile_suite.startup_model.startup(p) > 0
+
+    def test_redistribution_keyed_by_destination(self, profile_suite):
+        model = profile_suite.redistribution_model
+        assert model.overhead(1, 8) == model.overhead(32, 8)
+        # Larger destination counts cost more on average.
+        assert model.overhead(1, 32) > model.overhead(1, 1)
+
+
+class TestEmpiricalSuite:
+    def test_piecewise_structure(self, empirical_suite):
+        mm = empirical_suite.task_model.curve("matmul", 3000)
+        assert mm.high is not None
+        assert mm.split == PAPER_PLAN.split
+        ma = empirical_suite.task_model.curve("matadd", 3000)
+        assert ma.high is None
+
+    def test_predicts_sampled_points_well(self, empirical_suite, emulator):
+        # At the sample points themselves the fit must be close to the
+        # measurements (fluctuation-level tolerance).
+        task = Task(task_id=0, kernel=MATADD, n=2000)
+        for p in (2, 15, 31):
+            predicted = empirical_suite.task_model.duration(task, p)
+            truth = emulator.kernels.mean_time("matadd", 2000, p)
+            assert predicted == pytest.approx(truth, rel=0.35)
+
+    def test_startup_fit_near_ground_truth_trend(self, empirical_suite):
+        from repro.testbed.jvm import STARTUP_INTERCEPT, STARTUP_SLOPE
+
+        fit = empirical_suite.startup_model.fit
+        assert fit.a == pytest.approx(STARTUP_SLOPE, abs=0.02)
+        assert fit.b == pytest.approx(STARTUP_INTERCEPT, abs=0.25)
+
+    def test_redistribution_fit_near_table2(self, empirical_suite):
+        from repro.testbed.subnet import REDIST_INTERCEPT, REDIST_SLOPE
+
+        fit = empirical_suite.redistribution_model.fit
+        assert fit.a == pytest.approx(REDIST_SLOPE, rel=0.5)
+        assert fit.b == pytest.approx(REDIST_INTERCEPT, rel=0.5)
+
+    def test_durations_positive_over_whole_range(self, empirical_suite, platform):
+        for kernel, n in ((MATMUL, 2000), (MATMUL, 3000), (MATADD, 2000)):
+            task = Task(task_id=0, kernel=kernel, n=n)
+            for p in range(1, platform.num_nodes + 1):
+                assert empirical_suite.task_model.duration(task, p) > 0

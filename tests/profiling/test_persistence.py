@@ -1,0 +1,104 @@
+"""Tests for calibration persistence (save/load suites as JSON)."""
+
+import json
+
+import pytest
+
+from repro.dag.graph import Task
+from repro.dag.kernels import MATADD, MATMUL
+from repro.profiling.calibration import (
+    build_analytical_suite,
+    build_empirical_suite,
+    build_profile_suite,
+    build_size_aware_suite,
+)
+from repro.profiling.persistence import (
+    load_suite,
+    save_suite,
+    suite_from_dict,
+    suite_to_dict,
+)
+from repro.util.errors import CalibrationError
+
+
+def _probe_tasks():
+    return [
+        (Task(task_id=0, kernel=MATMUL, n=2000), 4),
+        (Task(task_id=1, kernel=MATMUL, n=3000), 17),
+        (Task(task_id=2, kernel=MATADD, n=2000), 9),
+    ]
+
+
+def assert_suites_equivalent(a, b):
+    for task, p in _probe_tasks():
+        assert a.task_model.duration(task, p) == pytest.approx(
+            b.task_model.duration(task, p)
+        )
+    for p in (1, 8, 32):
+        assert a.startup_model.startup(p) == pytest.approx(
+            b.startup_model.startup(p)
+        )
+        assert a.redistribution_model.overhead(4, p) == pytest.approx(
+            b.redistribution_model.overhead(4, p)
+        )
+
+
+class TestRoundTrips:
+    def test_profile_suite(self, emulator, tmp_path):
+        suite = build_profile_suite(emulator, kernel_trials=1,
+                                    startup_trials=2, redistribution_trials=1)
+        path = save_suite(suite, tmp_path / "profile.json")
+        clone = load_suite(path)
+        assert clone.name == suite.name
+        assert_suites_equivalent(suite, clone)
+
+    def test_empirical_suite(self, emulator, tmp_path):
+        suite = build_empirical_suite(emulator, kernel_trials=1,
+                                      startup_trials=2,
+                                      redistribution_trials=1)
+        clone = load_suite(save_suite(suite, tmp_path / "emp.json"))
+        assert_suites_equivalent(suite, clone)
+
+    def test_size_aware_suite(self, emulator, tmp_path):
+        suite = build_size_aware_suite(emulator, kernel_trials=1,
+                                       startup_trials=2,
+                                       redistribution_trials=1)
+        clone = load_suite(save_suite(suite, tmp_path / "sa.json"))
+        # Probe at an unmeasured size too.
+        task = Task(task_id=0, kernel=MATMUL, n=2500)
+        assert clone.task_model.duration(task, 4) == pytest.approx(
+            suite.task_model.duration(task, 4)
+        )
+        assert_suites_equivalent(suite, clone)
+
+    def test_file_is_plain_json(self, emulator, tmp_path):
+        suite = build_empirical_suite(emulator, kernel_trials=1,
+                                      startup_trials=2,
+                                      redistribution_trials=1)
+        path = save_suite(suite, tmp_path / "emp.json")
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert payload["task_model"]["type"] == "empirical"
+
+
+class TestValidation:
+    def test_analytical_suite_refused(self, platform):
+        suite = build_analytical_suite(platform)
+        with pytest.raises(CalibrationError):
+            suite_to_dict(suite)
+
+    def test_unknown_version_refused(self):
+        with pytest.raises(CalibrationError):
+            suite_from_dict({"format_version": 99})
+
+    def test_unknown_model_type_refused(self):
+        with pytest.raises(CalibrationError):
+            suite_from_dict(
+                {
+                    "format_version": 1,
+                    "name": "x",
+                    "task_model": {"type": "neural"},
+                    "startup_model": {"type": "zero"},
+                    "redistribution_model": {"type": "zero"},
+                }
+            )

@@ -1,0 +1,69 @@
+"""Tests for the brute-force profiler."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.profiler import (
+    profile_kernels,
+    profile_redistribution,
+    profile_startup,
+)
+
+
+class TestProfileKernels:
+    def test_full_sweep_coverage(self, emulator):
+        profile = profile_kernels(
+            emulator, kernels=("matmul",), sizes=(2000,), procs=range(1, 5),
+            trials=2,
+        )
+        assert len(profile) == 4
+        assert ("matmul", 2000, 3) in profile.means
+
+    def test_means_are_trial_averages(self, emulator):
+        profile = profile_kernels(
+            emulator, kernels=("matadd",), sizes=(3000,), procs=[2], trials=4
+        )
+        key = ("matadd", 3000, 2)
+        assert profile.means[key] == pytest.approx(
+            float(np.mean(profile.samples[key]))
+        )
+        assert len(profile.samples[key]) == 4
+
+    def test_default_procs_cover_whole_cluster(self, emulator):
+        profile = profile_kernels(
+            emulator, kernels=("matmul",), sizes=(2000,), trials=1
+        )
+        assert len(profile) == emulator.platform.num_nodes
+
+    def test_mean_accessor(self, emulator):
+        profile = profile_kernels(
+            emulator, kernels=("matmul",), sizes=(2000,), procs=[1], trials=1
+        )
+        assert profile.mean("matmul", 2000, 1) > 0
+
+
+class TestProfileStartup:
+    def test_coverage_and_positivity(self, emulator):
+        table = profile_startup(emulator, procs=range(1, 9), trials=5)
+        assert set(table) == set(range(1, 9))
+        assert all(v > 0 for v in table.values())
+
+    def test_averaging_reduces_variance(self, emulator):
+        few = profile_startup(emulator, procs=[4], trials=2)[4]
+        many = profile_startup(emulator, procs=[4], trials=200)[4]
+        truth = emulator.jvm.mean_overhead(4)
+        assert abs(many - truth) <= abs(few - truth) + 0.05
+
+
+class TestProfileRedistribution:
+    def test_grid_coverage(self, emulator):
+        grid = profile_redistribution(
+            emulator, src_procs=[1, 2], dst_procs=[1, 2, 3], trials=2
+        )
+        assert set(grid) == {(a, b) for a in (1, 2) for b in (1, 2, 3)}
+
+    def test_values_positive(self, emulator):
+        grid = profile_redistribution(
+            emulator, src_procs=[4], dst_procs=[8], trials=3
+        )
+        assert grid[(4, 8)] > 0

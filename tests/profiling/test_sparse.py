@@ -1,0 +1,47 @@
+"""Tests for the sparse sampling plans."""
+
+import pytest
+
+from repro.profiling.sparse import (
+    NAIVE_POWER_OF_TWO_PLAN,
+    PAPER_PLAN,
+    SamplingPlan,
+)
+
+
+class TestPaperPlan:
+    def test_matches_table2_points(self):
+        assert PAPER_PLAN.matmul_low == (2, 4, 7, 15)
+        assert PAPER_PLAN.matmul_high == (15, 24, 31)
+        assert PAPER_PLAN.matadd == (2, 4, 7, 15, 24, 31)
+        assert PAPER_PLAN.overheads == (1, 16, 32)
+
+    def test_avoids_the_outlier_points(self):
+        # The paper replaced 8 and 16 by 7 and 15.
+        assert 8 not in PAPER_PLAN.matmul_low
+        assert 16 not in PAPER_PLAN.matmul_low
+
+    def test_six_measurements_claim(self):
+        # "This regressive model is based on only 6 measurements as
+        # opposed to 32" — distinct matmul sample points.
+        assert PAPER_PLAN.total_measurements == 6
+
+
+class TestNaivePlan:
+    def test_contains_the_outlier_points(self):
+        assert 8 in NAIVE_POWER_OF_TWO_PLAN.matmul_low
+        assert 16 in NAIVE_POWER_OF_TWO_PLAN.matmul_low
+
+
+class TestValidation:
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingPlan(matmul_low=(4,))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingPlan(matadd=(2, 2, 4))
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingPlan(overheads=(0, 16))

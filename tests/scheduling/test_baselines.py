@@ -1,0 +1,45 @@
+"""Tests for the baseline allocation strategies."""
+
+import pytest
+
+from repro.dag.graph import Task, TaskGraph
+from repro.dag.kernels import MATMUL
+from repro.models.analytical import AnalyticalTaskModel
+from repro.models.base import ModelKind, TaskTimeModel
+from repro.platform.personalities import bayreuth_cluster
+from repro.scheduling.baselines import full_parallel_allocate, sequential_allocate
+from repro.scheduling.costs import SchedulingCosts
+
+
+class KneeModel(TaskTimeModel):
+    """Fastest at p = 4; slower on either side (overhead knee)."""
+
+    name = "knee"
+
+    @property
+    def kind(self):
+        return ModelKind.MEASURED
+
+    def duration(self, task, p):
+        return 10.0 / min(p, 4) + 0.5 * max(0, p - 4)
+
+
+class TestSequential:
+    def test_all_ones(self, small_dag, platform):
+        costs = SchedulingCosts(small_dag, platform, AnalyticalTaskModel(platform))
+        alloc = sequential_allocate(small_dag, costs)
+        assert all(a == 1 for a in alloc.values())
+        assert set(alloc) == set(small_dag.task_ids)
+
+
+class TestFullParallel:
+    def test_analytical_prefers_whole_machine(self, chain_dag, platform):
+        costs = SchedulingCosts(chain_dag, platform, AnalyticalTaskModel(platform))
+        alloc = full_parallel_allocate(chain_dag, costs)
+        # Near-perfect analytical scaling: the per-task optimum is P.
+        assert all(a == platform.num_nodes for a in alloc.values())
+
+    def test_knee_model_stops_at_optimum(self, chain_dag, platform):
+        costs = SchedulingCosts(chain_dag, platform, KneeModel())
+        alloc = full_parallel_allocate(chain_dag, costs)
+        assert all(a == 4 for a in alloc.values())

@@ -1,0 +1,65 @@
+"""Tests for the SchedulingCosts estimate provider."""
+
+import pytest
+
+from repro.models.analytical import AnalyticalTaskModel
+from repro.models.overheads import LinearRedistributionOverheadModel, LinearStartupModel
+from repro.models.regression import LinearFit
+from repro.scheduling.costs import SchedulingCosts
+
+
+class TestTaskTime:
+    def test_matches_model_without_overheads(self, small_dag, platform):
+        model = AnalyticalTaskModel(platform)
+        costs = SchedulingCosts(small_dag, platform, model)
+        t = small_dag.task_ids[0]
+        assert costs.task_time(t, 4) == pytest.approx(
+            model.duration(small_dag.task(t), 4)
+        )
+
+    def test_includes_startup_overhead(self, small_dag, platform):
+        model = AnalyticalTaskModel(platform)
+        startup = LinearStartupModel(LinearFit(a=0.0, b=1.5))
+        costs = SchedulingCosts(small_dag, platform, model, startup_model=startup)
+        t = small_dag.task_ids[0]
+        assert costs.task_time(t, 4) == pytest.approx(
+            model.duration(small_dag.task(t), 4) + 1.5
+        )
+
+    def test_work_is_area(self, analytical_costs, small_dag):
+        t = small_dag.task_ids[0]
+        assert analytical_costs.work(t, 8) == pytest.approx(
+            8 * analytical_costs.task_time(t, 8)
+        )
+
+    def test_caching_returns_same_value(self, analytical_costs, small_dag):
+        t = small_dag.task_ids[0]
+        assert analytical_costs.task_time(t, 4) == analytical_costs.task_time(t, 4)
+
+
+class TestRedistributionTime:
+    def test_same_hosts_only_overhead(self, small_dag, platform):
+        model = AnalyticalTaskModel(platform)
+        redist = LinearRedistributionOverheadModel(LinearFit(a=0.0, b=0.2))
+        costs = SchedulingCosts(
+            small_dag, platform, model, redistribution_model=redist
+        )
+        src = small_dag.task_ids[0]
+        assert costs.redistribution_time(src, 4, 4, same_hosts=True) == 0.2
+
+    def test_transfer_parallelises_over_ports(self, analytical_costs, small_dag):
+        src = small_dag.task_ids[0]
+        t11 = analytical_costs.redistribution_time(src, 1, 1)
+        t44 = analytical_costs.redistribution_time(src, 4, 4)
+        assert t44 < t11
+        # 4 concurrent port pairs => ~4x faster transfer.
+        assert t11 / t44 == pytest.approx(4.0, rel=0.05)
+
+    def test_ports_bounded_by_smaller_side(self, analytical_costs, small_dag):
+        src = small_dag.task_ids[0]
+        assert analytical_costs.redistribution_time(
+            src, 1, 32
+        ) == pytest.approx(analytical_costs.redistribution_time(src, 32, 1))
+
+    def test_num_procs(self, analytical_costs, platform):
+        assert analytical_costs.num_procs == platform.num_nodes

@@ -1,0 +1,60 @@
+"""Tests for the schedule_dag driver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.generator import DagParameters, generate_dag
+from repro.models.analytical import AnalyticalTaskModel
+from repro.platform.personalities import bayreuth_cluster
+from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.driver import ALGORITHMS, schedule_dag
+
+
+class TestDriver:
+    def test_unknown_algorithm_rejected(self, small_dag, platform):
+        costs = SchedulingCosts(small_dag, platform, AnalyticalTaskModel(platform))
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            schedule_dag(small_dag, costs, "heft")
+
+    def test_registry_contents(self):
+        assert {"cpa", "hcpa", "mcpa", "seq", "maxpar"} <= set(ALGORITHMS)
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_all_algorithms_produce_valid_schedules(
+        self, small_dag, platform, algorithm
+    ):
+        costs = SchedulingCosts(small_dag, platform, AnalyticalTaskModel(platform))
+        sched = schedule_dag(small_dag, costs, algorithm)
+        sched.validate(small_dag, platform)
+        assert sched.algorithm == algorithm
+
+    def test_algorithms_differ_in_makespan_estimates(self, platform):
+        params = DagParameters(
+            num_input_matrices=8, add_ratio=0.5, n=3000, seed=2
+        )
+        graph = generate_dag(params)
+        costs = SchedulingCosts(graph, platform, AnalyticalTaskModel(platform))
+        estimates = {
+            alg: schedule_dag(graph, costs, alg).makespan_estimate
+            for alg in ("seq", "cpa", "maxpar")
+        }
+        # CPA should beat the pure-task-parallel baseline on a 10-task
+        # DAG over 32 nodes (data parallelism matters).
+        assert estimates["cpa"] < estimates["seq"]
+
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        v=st.sampled_from((2, 4, 8)),
+        alg=st.sampled_from(("cpa", "hcpa", "mcpa")),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_dags_always_schedulable(self, seed, v, alg):
+        platform = bayreuth_cluster()
+        graph = generate_dag(
+            DagParameters(num_input_matrices=v, add_ratio=0.75, seed=seed)
+        )
+        costs = SchedulingCosts(graph, platform, AnalyticalTaskModel(platform))
+        sched = schedule_dag(graph, costs, alg)
+        sched.validate(graph, platform)
+        assert len(sched) == len(graph)

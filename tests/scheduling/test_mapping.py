@@ -1,0 +1,86 @@
+"""Tests for the list-scheduling mapping phase."""
+
+import pytest
+
+from repro.models.analytical import AnalyticalTaskModel
+from repro.platform.personalities import bayreuth_cluster
+from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.mapping import map_allocations
+from repro.util.errors import InvalidScheduleError
+
+
+def costs_for(graph, num_nodes=32):
+    platform = bayreuth_cluster(num_nodes)
+    return SchedulingCosts(graph, platform, AnalyticalTaskModel(platform)), platform
+
+
+class TestMapping:
+    def test_schedule_validates(self, small_dag):
+        costs, platform = costs_for(small_dag)
+        alloc = {t: 2 for t in small_dag.task_ids}
+        sched = map_allocations(small_dag, costs, alloc, algorithm="x")
+        sched.validate(small_dag, platform)
+        assert sched.algorithm == "x"
+
+    def test_allocation_respected(self, small_dag):
+        costs, _ = costs_for(small_dag)
+        alloc = {t: 3 for t in small_dag.task_ids}
+        sched = map_allocations(small_dag, costs, alloc)
+        assert all(sched.allocation(t) == 3 for t in small_dag.task_ids)
+
+    def test_order_respects_precedence(self, small_dag):
+        costs, _ = costs_for(small_dag)
+        alloc = {t: 1 for t in small_dag.task_ids}
+        sched = map_allocations(small_dag, costs, alloc)
+        pos = {t: i for i, t in enumerate(sched.order)}
+        for u, v in small_dag.edges():
+            assert pos[u] < pos[v]
+
+    def test_independent_tasks_use_disjoint_hosts(self, diamond_dag):
+        costs, _ = costs_for(diamond_dag)
+        alloc = {t: 2 for t in diamond_dag.task_ids}
+        sched = map_allocations(diamond_dag, costs, alloc)
+        h1 = set(sched.hosts(1))
+        h2 = set(sched.hosts(2))
+        # The parallel branches should not share processors (plenty free).
+        assert not (h1 & h2)
+
+    def test_makespan_estimate_positive(self, small_dag):
+        costs, _ = costs_for(small_dag)
+        alloc = {t: 2 for t in small_dag.task_ids}
+        sched = map_allocations(small_dag, costs, alloc)
+        assert sched.makespan_estimate > 0
+        finishes = [p.est_finish for p in sched.placements.values()]
+        assert sched.makespan_estimate == pytest.approx(max(finishes))
+
+    def test_estimates_respect_data_dependencies(self, small_dag):
+        costs, _ = costs_for(small_dag)
+        alloc = {t: 2 for t in small_dag.task_ids}
+        sched = map_allocations(small_dag, costs, alloc)
+        for u, v in small_dag.edges():
+            assert (
+                sched.placements[v].est_start
+                >= sched.placements[u].est_finish - 1e-9
+            )
+
+    def test_invalid_allocation_rejected(self, small_dag):
+        costs, _ = costs_for(small_dag)
+        with pytest.raises(InvalidScheduleError):
+            map_allocations(small_dag, costs, {t: 0 for t in small_dag.task_ids})
+        with pytest.raises(InvalidScheduleError):
+            map_allocations(small_dag, costs, {t: 99 for t in small_dag.task_ids})
+
+    def test_sequential_allocation_on_one_node_cluster(self, chain_dag):
+        costs, platform = costs_for(chain_dag, num_nodes=1)
+        alloc = {t: 1 for t in chain_dag.task_ids}
+        sched = map_allocations(chain_dag, costs, alloc)
+        sched.validate(chain_dag, platform)
+        assert all(sched.hosts(t) == (0,) for t in chain_dag.task_ids)
+
+    def test_locality_tiebreak_prefers_predecessor_hosts(self, chain_dag):
+        # All hosts free at t=0: the chain should stay where its data is.
+        costs, _ = costs_for(chain_dag)
+        alloc = {t: 4 for t in chain_dag.task_ids}
+        sched = map_allocations(chain_dag, costs, alloc)
+        assert set(sched.hosts(1)) == set(sched.hosts(0))
+        assert set(sched.hosts(2)) == set(sched.hosts(1))

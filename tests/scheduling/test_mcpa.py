@@ -1,0 +1,77 @@
+"""Tests for the MCPA (level-bounded) allocation phase."""
+
+import pytest
+
+from repro.dag.analysis import precedence_levels
+from repro.dag.graph import Task, TaskGraph
+from repro.dag.kernels import MATMUL
+from repro.models.analytical import AnalyticalTaskModel
+from repro.platform.personalities import bayreuth_cluster
+from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.cpa import cpa_allocate
+from repro.scheduling.mcpa import mcpa_allocate
+
+
+def costs_for(graph, num_nodes=32):
+    platform = bayreuth_cluster(num_nodes)
+    return SchedulingCosts(graph, platform, AnalyticalTaskModel(platform))
+
+
+def level_sums(graph, alloc):
+    levels = precedence_levels(graph)
+    sums = {}
+    for t, lvl in levels.items():
+        sums[lvl] = sums.get(lvl, 0) + alloc[t]
+    return sums
+
+
+@pytest.fixture
+def wide_dag():
+    """One source feeding eight parallel multiplications."""
+    g = TaskGraph(name="wide")
+    g.add_task(Task(task_id=0, kernel=MATMUL, n=3000))
+    for i in range(1, 9):
+        g.add_task(Task(task_id=i, kernel=MATMUL, n=3000))
+        g.add_edge(0, i)
+    return g
+
+
+class TestLevelConstraint:
+    def test_level_sums_never_exceed_p(self, wide_dag):
+        costs = costs_for(wide_dag, num_nodes=16)
+        alloc = mcpa_allocate(wide_dag, costs)
+        for lvl, total in level_sums(wide_dag, alloc).items():
+            assert total <= 16
+
+    def test_constraint_holds_on_paper_dags(self):
+        from repro.dag.generator import generate_paper_dags
+
+        for params, graph in generate_paper_dags(seed=0, sizes=(2000,))[:6]:
+            costs = costs_for(graph)
+            alloc = mcpa_allocate(graph, costs)
+            for lvl, total in level_sums(graph, alloc).items():
+                assert total <= 32
+
+    def test_mcpa_never_allocates_more_total_than_cpa_on_tight_levels(
+        self, wide_dag
+    ):
+        costs = costs_for(wide_dag, num_nodes=16)
+        cpa = cpa_allocate(wide_dag, costs)
+        mcpa = mcpa_allocate(wide_dag, costs)
+        # CPA may violate the level budget; MCPA may not.
+        assert sum(mcpa.values()) <= sum(cpa.values())
+
+    def test_reduces_to_cpa_for_chain(self, chain_dag):
+        # Every level holds one task, so the budget never binds.
+        costs = costs_for(chain_dag)
+        assert mcpa_allocate(chain_dag, costs) == cpa_allocate(chain_dag, costs)
+
+    def test_allocations_valid(self, small_dag):
+        costs = costs_for(small_dag)
+        alloc = mcpa_allocate(small_dag, costs)
+        assert set(alloc) == set(small_dag.task_ids)
+        assert all(1 <= a <= 32 for a in alloc.values())
+
+    def test_deterministic(self, small_dag):
+        costs = costs_for(small_dag)
+        assert mcpa_allocate(small_dag, costs) == mcpa_allocate(small_dag, costs)

@@ -1,0 +1,101 @@
+"""Tests for M-HEFT (one-phase mixed-parallel scheduling)."""
+
+import pytest
+
+from repro.models.analytical import AnalyticalTaskModel
+from repro.models.base import ModelKind, TaskTimeModel
+from repro.platform.personalities import bayreuth_cluster, heterogeneous_cluster
+from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.driver import schedule_dag
+from repro.scheduling.mheft import mheft_schedule
+from repro.util.errors import InvalidScheduleError
+
+
+class KneeModel(TaskTimeModel):
+    """Fastest at p = 4; overheads grow linearly past that."""
+
+    name = "knee"
+
+    @property
+    def kind(self):
+        return ModelKind.MEASURED
+
+    def duration(self, task, p):
+        return 20.0 / min(p, 4) + 1.0 * max(0, p - 4)
+
+
+def costs_for(graph, platform=None, model=None):
+    platform = platform or bayreuth_cluster()
+    model = model or AnalyticalTaskModel(platform)
+    return SchedulingCosts(graph, platform, model), platform
+
+
+class TestMheftSchedule:
+    def test_valid_schedule(self, small_dag):
+        costs, platform = costs_for(small_dag)
+        sched = mheft_schedule(small_dag, costs)
+        sched.validate(small_dag, platform)
+        assert sched.algorithm == "mheft"
+        assert len(sched) == len(small_dag)
+
+    def test_registered_in_driver(self, small_dag):
+        costs, platform = costs_for(small_dag)
+        sched = schedule_dag(small_dag, costs, "mheft")
+        sched.validate(small_dag, platform)
+
+    def test_knee_model_stops_allocation_at_optimum(self, chain_dag):
+        # EFT with a knee model never grows beyond the knee: extra
+        # processors only delay the finish.
+        costs, _ = costs_for(chain_dag, model=KneeModel())
+        sched = mheft_schedule(chain_dag, costs)
+        assert all(sched.allocation(t) == 4 for t in chain_dag.task_ids)
+
+    def test_independent_tasks_spread_over_machine(self, diamond_dag):
+        costs, _ = costs_for(diamond_dag, model=KneeModel())
+        sched = mheft_schedule(diamond_dag, costs)
+        h1, h2 = set(sched.hosts(1)), set(sched.hosts(2))
+        assert not (h1 & h2)  # parallel branches on disjoint hosts
+
+    def test_max_alloc_fraction_cap(self, chain_dag):
+        costs, _ = costs_for(chain_dag)
+        sched = mheft_schedule(chain_dag, costs, max_alloc_fraction=0.25)
+        assert all(sched.allocation(t) <= 8 for t in chain_dag.task_ids)
+
+    def test_invalid_fraction_rejected(self, chain_dag):
+        costs, _ = costs_for(chain_dag)
+        with pytest.raises(InvalidScheduleError):
+            mheft_schedule(chain_dag, costs, max_alloc_fraction=0.0)
+
+    def test_prefers_fast_hosts_on_heterogeneous_machine(self, chain_dag):
+        platform = heterogeneous_cluster((1.0, 1.0, 0.25, 0.25))
+        costs, _ = costs_for(chain_dag, platform=platform)
+        sched = mheft_schedule(chain_dag, costs, max_alloc_fraction=0.5)
+        for t in chain_dag.task_ids:
+            assert set(sched.hosts(t)) <= {0, 1}
+
+    def test_deterministic(self, small_dag):
+        costs, _ = costs_for(small_dag)
+        a = mheft_schedule(small_dag, costs)
+        b = mheft_schedule(small_dag, costs)
+        assert a.allocations() == b.allocations()
+        assert a.order == b.order
+
+    def test_competitive_with_cpa_family(self, study_context):
+        # M-HEFT's greedy EFT should land in the same makespan class as
+        # the CPA family under realistic (profile) estimates.
+        ctx = study_context
+        suite = ctx.profile_suite
+        wins = 0
+        total = 0
+        for params, graph in [d for d in ctx.dags if d[0].sample == 0][:6]:
+            costs = SchedulingCosts(
+                graph, ctx.platform, suite.task_model,
+                startup_model=suite.startup_model,
+                redistribution_model=suite.redistribution_model,
+            )
+            mheft = ctx.emulator.makespan(graph, schedule_dag(graph, costs, "mheft"))
+            mcpa = ctx.emulator.makespan(graph, schedule_dag(graph, costs, "mcpa"))
+            total += 1
+            if mheft <= 1.5 * mcpa:
+                wins += 1
+        assert wins >= total - 1  # at most one blow-up allowed

@@ -1,0 +1,105 @@
+"""Tests for the Schedule/Placement data structures."""
+
+import pytest
+
+from repro.platform.cluster import ClusterPlatform
+from repro.scheduling.schedule import Placement, Schedule
+from repro.util.errors import InvalidScheduleError
+
+
+@pytest.fixture
+def small_platform():
+    return ClusterPlatform(num_nodes=4)
+
+
+def chain_schedule(chain_dag, hosts=(0,)):
+    placements = {
+        t: Placement(task_id=t, hosts=hosts, est_start=float(t), est_finish=t + 1.0)
+        for t in chain_dag.task_ids
+    }
+    return Schedule(placements, chain_dag.topological_order(), algorithm="t")
+
+
+class TestPlacement:
+    def test_empty_hosts_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            Placement(task_id=0, hosts=())
+
+    def test_duplicate_hosts_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            Placement(task_id=0, hosts=(1, 1))
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(InvalidScheduleError):
+            Placement(task_id=0, hosts=(0,), est_start=5.0, est_finish=4.0)
+
+    def test_num_procs(self):
+        assert Placement(task_id=0, hosts=(0, 3, 5)).num_procs == 3
+
+
+class TestSchedule:
+    def test_accessors(self, chain_dag):
+        sched = chain_schedule(chain_dag, hosts=(0, 2))
+        assert sched.hosts(1) == (0, 2)
+        assert sched.allocation(1) == 2
+        assert sched.allocations() == {0: 2, 1: 2, 2: 2}
+        assert len(sched) == 3
+
+    def test_unknown_task_raises(self, chain_dag):
+        sched = chain_schedule(chain_dag)
+        with pytest.raises(InvalidScheduleError):
+            sched.hosts(99)
+
+    def test_order_must_match_placements(self, chain_dag):
+        placements = {
+            t: Placement(task_id=t, hosts=(0,)) for t in chain_dag.task_ids
+        }
+        with pytest.raises(InvalidScheduleError):
+            Schedule(placements, [0, 1])  # missing 2
+        with pytest.raises(InvalidScheduleError):
+            Schedule(placements, [0, 1, 2, 2])  # duplicate
+
+
+class TestValidate:
+    def test_valid_schedule_passes(self, chain_dag, small_platform):
+        chain_schedule(chain_dag).validate(chain_dag, small_platform)
+
+    def test_missing_task_detected(self, chain_dag, small_platform):
+        placements = {
+            0: Placement(task_id=0, hosts=(0,)),
+            1: Placement(task_id=1, hosts=(0,)),
+        }
+        sched = Schedule(placements, [0, 1])
+        with pytest.raises(InvalidScheduleError):
+            sched.validate(chain_dag, small_platform)
+
+    def test_out_of_range_host_detected(self, chain_dag, small_platform):
+        sched = chain_schedule(chain_dag, hosts=(7,))
+        with pytest.raises(InvalidScheduleError):
+            sched.validate(chain_dag, small_platform)
+
+    def test_precedence_violation_detected(self, chain_dag, small_platform):
+        placements = {
+            t: Placement(task_id=t, hosts=(t,)) for t in chain_dag.task_ids
+        }
+        sched = Schedule(placements, [1, 0, 2])
+        with pytest.raises(InvalidScheduleError):
+            sched.validate(chain_dag, small_platform)
+
+    def test_gantt_overlap_detected(self, chain_dag, small_platform):
+        placements = {
+            t: Placement(
+                task_id=t, hosts=(0,), est_start=0.0, est_finish=10.0
+            )
+            for t in chain_dag.task_ids
+        }
+        sched = Schedule(placements, chain_dag.topological_order())
+        with pytest.raises(InvalidScheduleError):
+            sched.validate(chain_dag, small_platform)
+
+    def test_zero_length_estimates_allowed(self, chain_dag, small_platform):
+        placements = {
+            t: Placement(task_id=t, hosts=(0,)) for t in chain_dag.task_ids
+        }
+        sched = Schedule(placements, chain_dag.topological_order())
+        sched.validate(chain_dag, small_platform)

@@ -1,0 +1,154 @@
+"""Tests for the ptask_L07 parallel-task action model."""
+
+import numpy as np
+import pytest
+
+from repro.platform.cluster import ClusterPlatform
+from repro.simgrid.engine import SimulationEngine
+from repro.simgrid.ptask import (
+    ParallelTaskSpec,
+    build_ptask_action,
+    comm_matrix_to_flows,
+    redistribution_flows,
+)
+from repro.simgrid.resources import NetworkTopology
+from repro.util.errors import SimulationError
+
+
+@pytest.fixture
+def topo():
+    return NetworkTopology(
+        ClusterPlatform(
+            num_nodes=4,
+            flops=100.0,
+            link_bandwidth=10.0,
+            link_latency=0.0,
+            backbone_bandwidth=100.0,
+        )
+    )
+
+
+class TestFlowMapping:
+    def test_comm_matrix_to_flows_skips_zero_and_intra_host(self):
+        B = np.array([[0.0, 5.0], [3.0, 0.0]])
+        flows = comm_matrix_to_flows(B, [0, 0])
+        assert flows == []  # both ranks on host 0
+        flows = comm_matrix_to_flows(B, [0, 1])
+        assert sorted(flows) == [(0, 1, 5.0), (1, 0, 3.0)]
+
+    def test_comm_matrix_shape_checked(self):
+        with pytest.raises(ValueError):
+            comm_matrix_to_flows(np.zeros((2, 3)), [0, 1])
+
+    def test_redistribution_flows(self):
+        M = np.array([[4.0, 0.0], [0.0, 6.0]])
+        flows = redistribution_flows(M, [0, 1], [2, 1])
+        # (1 -> 1) is intra-host and dropped.
+        assert flows == [(0, 2, 4.0)]
+
+    def test_redistribution_shape_checked(self):
+        with pytest.raises(ValueError):
+            redistribution_flows(np.zeros((2, 2)), [0], [1, 2])
+
+
+class TestPtaskDurations:
+    def test_compute_bound_duration(self, topo):
+        # 2 hosts x 300 flops at 100 flop/s => 3 s.
+        spec = ParallelTaskSpec(name="t", comp={0: 300.0, 1: 300.0})
+        eng = SimulationEngine()
+        eng.add_action(build_ptask_action(topo, spec))
+        assert eng.run() == pytest.approx(3.0)
+
+    def test_slowest_processor_bounds_the_task(self, topo):
+        spec = ParallelTaskSpec(name="t", comp={0: 100.0, 1: 500.0})
+        eng = SimulationEngine()
+        eng.add_action(build_ptask_action(topo, spec))
+        assert eng.run() == pytest.approx(5.0)
+
+    def test_communication_bound_duration(self, topo):
+        # 50 bytes over a 10 B/s link => 5 s.
+        spec = ParallelTaskSpec(name="t", flows=[(0, 1, 50.0)])
+        eng = SimulationEngine()
+        eng.add_action(build_ptask_action(topo, spec))
+        assert eng.run() == pytest.approx(5.0)
+
+    def test_max_of_compute_and_comm(self, topo):
+        spec = ParallelTaskSpec(
+            name="t", comp={0: 800.0}, flows=[(0, 1, 20.0)]
+        )
+        eng = SimulationEngine()
+        eng.add_action(build_ptask_action(topo, spec))
+        assert eng.run() == pytest.approx(8.0)  # compute dominates
+
+    def test_extra_latency_prepended(self, topo):
+        spec = ParallelTaskSpec(name="t", comp={0: 100.0}, extra_latency=2.0)
+        eng = SimulationEngine()
+        eng.add_action(build_ptask_action(topo, spec))
+        assert eng.run() == pytest.approx(3.0)
+
+    def test_route_latency_included(self):
+        topo = NetworkTopology(
+            ClusterPlatform(
+                num_nodes=2,
+                flops=100.0,
+                link_bandwidth=10.0,
+                link_latency=0.5,
+            )
+        )
+        spec = ParallelTaskSpec(name="t", flows=[(0, 1, 10.0)])
+        eng = SimulationEngine()
+        eng.add_action(build_ptask_action(topo, spec))
+        assert eng.run() == pytest.approx(1.0 + 1.0)  # 2*0.5 latency + 1 s
+
+    def test_empty_task_completes_instantly(self, topo):
+        spec = ParallelTaskSpec(name="t")
+        assert spec.is_empty
+        eng = SimulationEngine()
+        eng.add_action(build_ptask_action(topo, spec))
+        assert eng.run() == 0.0
+
+    def test_two_redistributions_contend_on_shared_link(self, topo):
+        # Both flows leave host 0: its uplink (10 B/s) is shared.
+        eng = SimulationEngine()
+        eng.add_action(
+            build_ptask_action(
+                topo, ParallelTaskSpec(name="a", flows=[(0, 1, 50.0)])
+            )
+        )
+        eng.add_action(
+            build_ptask_action(
+                topo, ParallelTaskSpec(name="b", flows=[(0, 2, 50.0)])
+            )
+        )
+        assert eng.run() == pytest.approx(10.0)  # halved bandwidth each
+
+    def test_disjoint_transfers_do_not_contend(self, topo):
+        eng = SimulationEngine()
+        eng.add_action(
+            build_ptask_action(
+                topo, ParallelTaskSpec(name="a", flows=[(0, 1, 50.0)])
+            )
+        )
+        eng.add_action(
+            build_ptask_action(
+                topo, ParallelTaskSpec(name="b", flows=[(2, 3, 50.0)])
+            )
+        )
+        assert eng.run() == pytest.approx(5.0)
+
+
+class TestValidation:
+    def test_negative_computation_rejected(self, topo):
+        spec = ParallelTaskSpec(name="t", comp={0: -1.0})
+        with pytest.raises(SimulationError):
+            build_ptask_action(topo, spec)
+
+    def test_negative_flow_rejected(self, topo):
+        spec = ParallelTaskSpec(name="t", flows=[(0, 1, -5.0)])
+        with pytest.raises(SimulationError):
+            build_ptask_action(topo, spec)
+
+    def test_negative_latency_rejected(self, topo):
+        spec = ParallelTaskSpec(name="t", extra_latency=-1.0)
+        with pytest.raises(SimulationError):
+            build_ptask_action(topo, spec)

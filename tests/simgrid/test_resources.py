@@ -1,0 +1,62 @@
+"""Tests for the resource view of the platform (star topology)."""
+
+import pytest
+
+from repro.platform.cluster import ClusterPlatform
+from repro.simgrid.resources import NetworkTopology, Resource
+
+
+class TestResource:
+    def test_identity_semantics(self):
+        a = Resource("x", 1.0)
+        b = Resource("x", 1.0)
+        assert a != b  # same spec, different resources
+        assert a == a
+
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError):
+            Resource("x", 0.0)
+
+
+class TestNetworkTopology:
+    @pytest.fixture
+    def topo(self):
+        return NetworkTopology(
+            ClusterPlatform(
+                num_nodes=3, flops=100.0, link_bandwidth=10.0,
+                backbone_bandwidth=25.0, link_latency=0.001,
+            )
+        )
+
+    def test_one_cpu_per_node(self, topo):
+        assert len(topo.cpus) == 3
+        assert all(c.capacity == 100.0 for c in topo.cpus)
+        assert topo.cpu(2) is topo.cpus[2]
+
+    def test_heterogeneous_cpu_capacities(self):
+        topo = NetworkTopology(
+            ClusterPlatform(num_nodes=2, flops=100.0, node_speeds=(1.0, 0.5))
+        )
+        assert topo.cpu(0).capacity == 100.0
+        assert topo.cpu(1).capacity == 50.0
+
+    def test_route_crosses_three_resources(self, topo):
+        route = topo.route(0, 2)
+        assert route == [topo.uplinks[0], topo.backbone, topo.downlinks[2]]
+
+    def test_intra_node_route_empty(self, topo):
+        assert topo.route(1, 1) == []
+
+    def test_route_latency_delegates_to_platform(self, topo):
+        assert topo.route_latency(0, 1) == pytest.approx(0.002)
+        assert topo.route_latency(1, 1) == 0.0
+
+    def test_duplex_links_are_distinct(self, topo):
+        # Full duplex: the uplink and downlink of a node never contend.
+        assert topo.uplinks[0] is not topo.downlinks[0]
+
+    def test_all_resources_enumeration(self, topo):
+        resources = list(topo.all_resources())
+        # 3 cpus + 3 uplinks + 3 downlinks + 1 backbone.
+        assert len(resources) == 10
+        assert topo.backbone in resources

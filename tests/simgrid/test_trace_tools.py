@@ -1,0 +1,124 @@
+"""Tests for trace rendering and export."""
+
+import json
+
+import pytest
+
+from repro.models.analytical import AnalyticalTaskModel
+from repro.platform.personalities import bayreuth_cluster
+from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.driver import schedule_dag
+from repro.simgrid.simulator import ApplicationSimulator
+from repro.simgrid.trace_tools import render_gantt, trace_to_dict, trace_to_json
+
+
+@pytest.fixture(scope="module")
+def trace_and_platform(request):
+    platform = bayreuth_cluster(8)
+    from repro.dag.generator import DagParameters, generate_dag
+
+    graph = generate_dag(
+        DagParameters(num_input_matrices=2, add_ratio=0.5, n=2000, seed=5)
+    )
+    model = AnalyticalTaskModel(platform)
+    costs = SchedulingCosts(graph, platform, model)
+    schedule = schedule_dag(graph, costs, "mcpa")
+    trace = ApplicationSimulator(platform, model).run(graph, schedule)
+    return trace, platform, graph
+
+
+class TestRenderGantt:
+    def test_one_row_per_host(self, trace_and_platform):
+        trace, platform, _g = trace_and_platform
+        out = render_gantt(trace, num_hosts=platform.num_nodes)
+        host_rows = [l for l in out.splitlines() if l.startswith("host")]
+        assert len(host_rows) == platform.num_nodes
+
+    def test_busy_hosts_show_task_glyphs(self, trace_and_platform):
+        trace, platform, _g = trace_and_platform
+        out = render_gantt(trace, num_hosts=platform.num_nodes)
+        busy_hosts = {h for rec in trace.tasks.values() for h in rec.hosts}
+        for line in out.splitlines():
+            if line.startswith("host"):
+                host = int(line.split("|")[0].split()[1])
+                body = line.split("|")[1]
+                if host in busy_hosts:
+                    assert any(c.isdigit() for c in body)
+
+    def test_redistribution_listing(self, trace_and_platform):
+        trace, platform, graph = trace_and_platform
+        out = render_gantt(trace, num_hosts=platform.num_nodes)
+        if graph.num_edges:
+            assert "redistributions:" in out
+
+    def test_width_controls_columns(self, trace_and_platform):
+        trace, platform, _g = trace_and_platform
+        out = render_gantt(trace, num_hosts=platform.num_nodes, width=30)
+        row = next(l for l in out.splitlines() if l.startswith("host"))
+        assert len(row.split("|")[1]) == 30
+
+    def test_invalid_arguments(self, trace_and_platform):
+        trace, *_ = trace_and_platform
+        with pytest.raises(ValueError):
+            render_gantt(trace, num_hosts=0)
+        with pytest.raises(ValueError):
+            render_gantt(trace, num_hosts=4, width=5)
+
+
+class TestTraceExport:
+    def test_dict_structure(self, trace_and_platform):
+        trace, _p, graph = trace_and_platform
+        data = trace_to_dict(trace)
+        assert data["makespan"] == trace.makespan
+        assert len(data["tasks"]) == len(graph)
+        assert len(data["redistributions"]) == graph.num_edges
+
+    def test_json_roundtrip(self, trace_and_platform):
+        trace, *_ = trace_and_platform
+        payload = json.loads(trace_to_json(trace))
+        assert payload == trace_to_dict(trace)
+
+    def test_task_records_carry_hosts(self, trace_and_platform):
+        trace, *_ = trace_and_platform
+        data = trace_to_dict(trace)
+        for rec in data["tasks"]:
+            assert rec["hosts"]
+            assert rec["finish"] >= rec["start"]
+
+
+class TestRenderScheduleGantt:
+    def test_planned_chart_matches_estimates(self, trace_and_platform):
+        from repro.simgrid.trace_tools import render_schedule_gantt
+        from repro.dag.generator import DagParameters, generate_dag
+        from repro.models.analytical import AnalyticalTaskModel
+        from repro.platform.personalities import bayreuth_cluster
+        from repro.scheduling.costs import SchedulingCosts
+        from repro.scheduling.driver import schedule_dag
+
+        platform = bayreuth_cluster(8)
+        graph = generate_dag(
+            DagParameters(num_input_matrices=2, add_ratio=0.5, n=2000, seed=5)
+        )
+        costs = SchedulingCosts(graph, platform, AnalyticalTaskModel(platform))
+        schedule = schedule_dag(graph, costs, "mcpa")
+        out = render_schedule_gantt(schedule, num_hosts=platform.num_nodes)
+        assert "Planned Gantt chart" in out
+        assert "mcpa" in out
+        host_rows = [l for l in out.splitlines() if l.startswith("host")]
+        assert len(host_rows) == platform.num_nodes
+
+    def test_invalid_arguments(self, trace_and_platform):
+        from repro.scheduling.schedule import Placement, Schedule
+        from repro.simgrid.trace_tools import render_schedule_gantt
+
+        sched = Schedule(
+            {0: Placement(task_id=0, hosts=(0,), est_start=0.0,
+                          est_finish=1.0)},
+            [0],
+        )
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            render_schedule_gantt(sched, num_hosts=0)
+        with _pytest.raises(ValueError):
+            render_schedule_gantt(sched, num_hosts=1, width=3)

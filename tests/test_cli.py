@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["study"])
+        assert args.simulator == "analytic"
+        assert args.n == 2000
+        assert args.seed == 0
+
+    def test_unknown_figure_rejected_at_runtime(self, capsys):
+        rc = main(["figures", "--only", "fig99"])
+        assert rc == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+
+class TestDagCommand:
+    def test_table_output(self, capsys):
+        assert main(["dag", "--width", "2", "--ratio", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "10 tasks" in out
+        assert "matmul" in out or "matadd" in out
+
+    def test_json_output_roundtrips(self, capsys):
+        assert main(["dag", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["tasks"]) == 10
+        from repro.dag.graph import TaskGraph
+
+        TaskGraph.from_dict(payload).validate()
+
+    def test_seed_changes_dag(self, capsys):
+        main(["--seed", "1", "dag", "--json"])
+        a = capsys.readouterr().out
+        main(["--seed", "2", "dag", "--json"])
+        b = capsys.readouterr().out
+        assert a != b
+
+
+class TestSimulateCommand:
+    def test_analytic_simulation(self, capsys):
+        rc = main(["simulate", "--algorithm", "cpa"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated makespan" in out
+        assert "experimental makespan" in out
+
+    def test_gantt_flag(self, capsys):
+        rc = main(["simulate", "--gantt"])
+        assert rc == 0
+        assert "Gantt chart" in capsys.readouterr().out
+
+    def test_trace_json_flag(self, capsys):
+        rc = main(["simulate", "--trace-json"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # The JSON document starts at the first line that is exactly "{"
+        # (the allocations line also contains braces, but inline).
+        start = out.index("\n{") + 1
+        payload = json.loads(out[start:])
+        assert payload["makespan"] > 0
+
+
+class TestStudyCommand:
+    def test_analytic_study(self, capsys):
+        rc = main(["study", "--simulator", "analytic", "--n", "2000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrong comparisons" in out
+
+
+class TestFiguresCommand:
+    def test_single_figure_to_directory(self, capsys, tmp_path):
+        rc = main(["figures", "--only", "fig3", "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "fig3.txt").exists()
+        assert "startup overhead" in capsys.readouterr().out
+
+    def test_comparison_figure_writes_both_sizes(self, capsys, tmp_path):
+        rc = main(["figures", "--only", "fig1", "--out", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "fig1_2000.txt").exists()
+        assert (tmp_path / "fig1_3000.txt").exists()
+
+
+class TestProfileCommand:
+    def test_startup_table(self, capsys):
+        rc = main(["profile", "--what", "startup", "--trials", "3"])
+        assert rc == 0
+        assert "startup overhead" in capsys.readouterr().out
+
+    def test_redistribution_table(self, capsys):
+        rc = main(["profile", "--what", "redistribution", "--trials", "1"])
+        assert rc == 0
+        assert "redistribution overhead" in capsys.readouterr().out
+
+
+class TestVarianceCommand:
+    def test_runs_and_reports(self, capsys):
+        rc = main(["variance", "--runs", "3", "--dags", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "noise-dominated" in out
+        assert "stability" in out
+
+
+class TestAttributionCommand:
+    def test_decomposition_printed(self, capsys):
+        rc = main(["attribution", "--algorithm", "hcpa"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kernel time" in out
+        assert "startup overhead" in out
+        assert "redistribution" in out
+        assert "residual" in out

@@ -1,0 +1,65 @@
+"""Sanity checks of the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.util",
+    "repro.platform",
+    "repro.dag",
+    "repro.simgrid",
+    "repro.models",
+    "repro.scheduling",
+    "repro.testbed",
+    "repro.profiling",
+    "repro.experiments",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("module", SUBPACKAGES)
+    def test_subpackage_importable(self, module):
+        importlib.import_module(module)
+
+    @pytest.mark.parametrize("module", SUBPACKAGES + ["repro"])
+    def test_all_names_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_docstring_example(self):
+        # The package docstring promises this snippet works.
+        from repro import StudyContext, figures
+
+        ctx = StudyContext(seed=0)
+        comparison = figures.figure1(ctx, n=2000)
+        assert comparison.num_wrong <= comparison.num_dags
+
+    def test_key_entry_points_exposed(self):
+        for name in (
+            "TaskGraph",
+            "generate_dag",
+            "schedule_dag",
+            "ApplicationSimulator",
+            "TGridEmulator",
+            "bayreuth_cluster",
+            "heterogeneous_cluster",
+        ):
+            assert hasattr(repro, name) or hasattr(
+                importlib.import_module("repro.platform"), name
+            )
+
+    def test_every_public_item_documented(self):
+        """Every name in each subpackage's __all__ has a docstring."""
+        for module in SUBPACKAGES:
+            mod = importlib.import_module(module)
+            for name in getattr(mod, "__all__", []):
+                obj = getattr(mod, name)
+                if callable(obj) or isinstance(obj, type):
+                    assert obj.__doc__, f"{module}.{name} lacks a docstring"

@@ -1,0 +1,60 @@
+"""Tests for the JVM startup-overhead ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.models.regression import fit_linear
+from repro.testbed.jvm import (
+    STARTUP_INTERCEPT,
+    STARTUP_SLOPE,
+    JvmStartupGroundTruth,
+)
+
+
+class TestMeanOverhead:
+    def test_tracks_table2_trend(self):
+        jvm = JvmStartupGroundTruth(seed=0)
+        for p in (1, 8, 16, 32):
+            trend = STARTUP_SLOPE * p + STARTUP_INTERCEPT
+            assert abs(jvm.mean_overhead(p) - trend) <= jvm.wiggle + 1e-9
+
+    def test_non_monotone(self):
+        # Fig 3: "the average startup time is not monotonically
+        # increasing with the number of processors".
+        jvm = JvmStartupGroundTruth(seed=0)
+        values = [jvm.mean_overhead(p) for p in range(1, 33)]
+        increasing = all(b >= a for a, b in zip(values, values[1:]))
+        assert not increasing
+
+    def test_overall_range_plausible(self):
+        # Fig 3 y-range: roughly 0.8-1.6 s over p = 1..32.
+        jvm = JvmStartupGroundTruth(seed=0)
+        values = [jvm.mean_overhead(p) for p in range(1, 33)]
+        assert min(values) > 0.4
+        assert max(values) < 2.0
+
+    def test_regression_recovers_paper_fit(self):
+        # A linear fit over the full mean curve lands near (0.03, 0.65).
+        jvm = JvmStartupGroundTruth(seed=0)
+        ps = list(range(1, 33))
+        fit = fit_linear(ps, [jvm.mean_overhead(p) for p in ps])
+        assert fit.a == pytest.approx(STARTUP_SLOPE, abs=0.01)
+        assert fit.b == pytest.approx(STARTUP_INTERCEPT, abs=0.1)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            JvmStartupGroundTruth().mean_overhead(0)
+
+
+class TestSampling:
+    def test_samples_positive_and_near_mean(self):
+        jvm = JvmStartupGroundTruth(seed=0)
+        rng = np.random.default_rng(1)
+        samples = [jvm.sample(8, rng) for _ in range(200)]
+        assert all(s > 0 for s in samples)
+        assert np.mean(samples) == pytest.approx(jvm.mean_overhead(8), rel=0.05)
+
+    def test_noise_free_when_sigma_zero(self):
+        jvm = JvmStartupGroundTruth(seed=0, noise_sigma=0.0)
+        rng = np.random.default_rng(1)
+        assert jvm.sample(4, rng) == jvm.mean_overhead(4)

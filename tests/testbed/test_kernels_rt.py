@@ -1,0 +1,168 @@
+"""Tests for the ground-truth kernel time curves."""
+
+import pytest
+
+from repro.testbed.kernels_rt import (
+    CrayPdgemmGroundTruth,
+    GroundTruthKernels,
+    OUTLIER_P8_FACTOR,
+    REGIME_SPLIT,
+    TABLE2_CURVES,
+)
+from repro.util.errors import SimulationError
+
+
+@pytest.fixture
+def clean():
+    """Ground truth with no fluctuation or outliers (pure Table II curves)."""
+    return GroundTruthKernels(
+        seed=0,
+        fluctuation={},
+        with_outliers=False,
+    )
+
+
+class TestTable2Curves:
+    def test_matmul_2000_hyperbolic_branch(self, clean):
+        # 239.44/(2p) + 3.43 at p = 4.
+        assert clean.mean_time("matmul", 2000, 4) == pytest.approx(
+            239.44 / 8 + 3.43, rel=1e-6
+        )
+
+    def test_matmul_3000_hyperbolic_branch(self, clean):
+        assert clean.mean_time("matmul", 3000, 4) == pytest.approx(
+            537.91 / 4 - 25.55, rel=1e-6
+        )
+
+    def test_matmul_3000_linear_branch(self, clean):
+        assert clean.mean_time("matmul", 3000, 24) == pytest.approx(
+            -0.09 * 24 + 11.47, rel=1e-6
+        )
+
+    def test_matadd_hyperbolic_everywhere(self, clean):
+        assert clean.mean_time("matadd", 2000, 24) == pytest.approx(
+            22.99 / 24 + 0.03, rel=1e-6
+        )
+        assert clean.mean_time("matadd", 3000, 8) == pytest.approx(
+            73.59 / 8 + 0.38, rel=1e-6
+        )
+
+    def test_matmul_2000_linear_branch_is_continuity_reconciled(self, clean):
+        # The printed (0.08, 1.93) intercept is inconsistent with the
+        # hyperbolic branch at p = 16; we keep the slope and join the
+        # branches continuously.
+        boundary = clean.mean_time("matmul", 2000, REGIME_SPLIT)
+        just_after = clean.mean_time("matmul", 2000, REGIME_SPLIT + 1)
+        assert just_after == pytest.approx(boundary + 0.08, rel=1e-3)
+
+    def test_unknown_kernel_or_size_rejected(self, clean):
+        with pytest.raises(SimulationError):
+            clean.mean_time("fft", 2000, 4)
+        with pytest.raises(SimulationError):
+            clean.mean_time("matmul", 1024, 4)
+
+    def test_invalid_p_rejected(self, clean):
+        with pytest.raises(ValueError):
+            clean.mean_time("matmul", 2000, 0)
+
+    def test_times_always_positive(self, clean):
+        # The n=3000 hyperbola would be negative beyond p=21 if the
+        # linear branch did not take over; the floor protects all cases.
+        for p in range(1, 33):
+            for kernel in ("matmul", "matadd"):
+                for n in (2000, 3000):
+                    assert clean.mean_time(kernel, n, p) > 0
+
+
+class TestOutliers:
+    def test_p8_outlier_present_for_3000(self):
+        base = GroundTruthKernels(seed=0, fluctuation={}, with_outliers=False)
+        out = GroundTruthKernels(seed=0, fluctuation={}, with_outliers=True)
+        ratio = out.mean_time("matmul", 3000, 8) / base.mean_time(
+            "matmul", 3000, 8
+        )
+        assert ratio == pytest.approx(OUTLIER_P8_FACTOR)
+
+    def test_p16_outlier_present_for_3000(self):
+        base = GroundTruthKernels(seed=0, fluctuation={}, with_outliers=False)
+        out = GroundTruthKernels(seed=0, fluctuation={}, with_outliers=True)
+        assert out.mean_time("matmul", 3000, 16) > base.mean_time(
+            "matmul", 3000, 16
+        ) * 1.3
+
+    def test_no_outliers_for_2000(self):
+        base = GroundTruthKernels(seed=0, fluctuation={}, with_outliers=False)
+        out = GroundTruthKernels(seed=0, fluctuation={}, with_outliers=True)
+        for p in (8, 16):
+            assert out.mean_time("matmul", 2000, p) == base.mean_time(
+                "matmul", 2000, p
+            )
+
+    def test_no_outliers_for_addition(self):
+        base = GroundTruthKernels(seed=0, fluctuation={}, with_outliers=False)
+        out = GroundTruthKernels(seed=0, fluctuation={}, with_outliers=True)
+        assert out.mean_time("matadd", 3000, 8) == base.mean_time(
+            "matadd", 3000, 8
+        )
+
+
+class TestFluctuation:
+    def test_fluctuation_bounded(self):
+        amp = 0.3
+        noisy = GroundTruthKernels(
+            seed=0,
+            fluctuation={("matmul", 2000): amp},
+            with_outliers=False,
+        )
+        clean = GroundTruthKernels(seed=0, fluctuation={}, with_outliers=False)
+        for p in range(1, 33):
+            ratio = noisy.mean_time("matmul", 2000, p) / clean.mean_time(
+                "matmul", 2000, p
+            )
+            assert 1 - amp <= ratio <= 1 + amp
+
+    def test_seed_changes_pattern(self):
+        a = GroundTruthKernels(seed=0)
+        b = GroundTruthKernels(seed=1)
+        diffs = [
+            a.mean_time("matmul", 2000, p) != b.mean_time("matmul", 2000, p)
+            for p in range(1, 33)
+        ]
+        assert any(diffs)
+
+    def test_deterministic_across_instances(self):
+        a = GroundTruthKernels(seed=5)
+        b = GroundTruthKernels(seed=5)
+        for p in (1, 7, 16, 32):
+            assert a.mean_time("matmul", 3000, p) == b.mean_time(
+                "matmul", 3000, p
+            )
+
+
+class TestCrayPdgemm:
+    def test_error_band(self):
+        ground = CrayPdgemmGroundTruth(seed=0)
+        for n in (1024, 2048, 4096):
+            for p in range(1, 33):
+                analytical = 2 * n**3 / (p * ground.flops)
+                err = (ground.mean_time(n, p) - analytical) / analytical
+                assert ground.min_error <= err <= ground.max_error
+
+    def test_mean_error_near_ten_percent(self):
+        # Paper: "The average prediction error oscillates at about 10%".
+        import numpy as np
+
+        ground = CrayPdgemmGroundTruth(seed=0)
+        errs = []
+        for n in (1024, 2048, 4096):
+            for p in range(1, 33):
+                analytical = 2 * n**3 / (p * ground.flops)
+                errs.append(abs(ground.mean_time(n, p) - analytical) / analytical)
+        assert 0.05 < np.mean(errs) < 0.15
+
+    def test_invalid_arguments(self):
+        ground = CrayPdgemmGroundTruth()
+        with pytest.raises(ValueError):
+            ground.mean_time(0, 1)
+        with pytest.raises(ValueError):
+            ground.mean_time(1024, 0)

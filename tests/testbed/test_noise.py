@@ -1,0 +1,66 @@
+"""Tests for the testbed's noise helpers."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.noise import lognormal_noise, structural_factor, structural_uniform
+
+
+class TestStructuralFactor:
+    def test_deterministic(self):
+        a = structural_factor(1, 0.2, "kernel", "matmul", 2000, 4)
+        b = structural_factor(1, 0.2, "kernel", "matmul", 2000, 4)
+        assert a == b
+
+    def test_bounded(self):
+        for p in range(1, 50):
+            f = structural_factor(3, 0.25, "x", p)
+            assert 0.75 <= f <= 1.25
+
+    def test_labels_decorrelate(self):
+        values = {structural_factor(3, 0.25, "x", p) for p in range(20)}
+        assert len(values) == 20
+
+    def test_zero_amplitude_is_identity(self):
+        assert structural_factor(3, 0.0, "x") == 1.0
+
+    def test_invalid_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            structural_factor(3, 1.0, "x")
+        with pytest.raises(ValueError):
+            structural_factor(3, -0.1, "x")
+
+
+class TestStructuralUniform:
+    def test_range(self):
+        for i in range(100):
+            u = structural_uniform(5, "u", i)
+            assert -1.0 < u < 1.0
+
+    def test_deterministic(self):
+        assert structural_uniform(5, "a") == structural_uniform(5, "a")
+
+    def test_roughly_zero_mean(self):
+        vals = [structural_uniform(5, "m", i) for i in range(500)]
+        assert abs(np.mean(vals)) < 0.1
+
+
+class TestLognormalNoise:
+    def test_zero_sigma_is_identity(self):
+        rng = np.random.default_rng(0)
+        assert lognormal_noise(rng, 0.0) == 1.0
+
+    def test_positive(self):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            assert lognormal_noise(rng, 0.3) > 0
+
+    def test_median_near_one(self):
+        rng = np.random.default_rng(0)
+        vals = [lognormal_noise(rng, 0.1) for _ in range(2000)]
+        assert np.median(vals) == pytest.approx(1.0, abs=0.02)
+
+    def test_negative_sigma_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            lognormal_noise(rng, -0.1)

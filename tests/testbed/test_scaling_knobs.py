@@ -1,0 +1,64 @@
+"""Tests for the testbed's hypothetical-machine scaling knobs."""
+
+import numpy as np
+import pytest
+
+from repro.testbed.tgrid import TGridEmulator
+
+
+class TestScalingKnobs:
+    def test_kernel_scale_halves_measurements(self, platform):
+        base = TGridEmulator(platform, seed=3, with_noise=False)
+        fast = TGridEmulator(
+            platform, seed=3, with_noise=False, kernel_time_scale=0.5
+        )
+        t_base = np.mean(base.measure_kernel("matmul", 2000, 4, 3))
+        t_fast = np.mean(fast.measure_kernel("matmul", 2000, 4, 3))
+        assert t_fast == pytest.approx(0.5 * t_base)
+
+    def test_startup_scale(self, platform):
+        base = TGridEmulator(platform, seed=3, with_noise=False)
+        snappy = TGridEmulator(
+            platform, seed=3, with_noise=False, startup_scale=0.25
+        )
+        assert np.mean(snappy.measure_startup(8, 4)) == pytest.approx(
+            0.25 * np.mean(base.measure_startup(8, 4))
+        )
+
+    def test_redistribution_scale(self, platform):
+        base = TGridEmulator(platform, seed=3, with_noise=False)
+        snappy = TGridEmulator(
+            platform, seed=3, with_noise=False, redistribution_scale=0.5
+        )
+        assert np.mean(
+            snappy.measure_redistribution_overhead(4, 8, 2)
+        ) == pytest.approx(
+            0.5 * np.mean(base.measure_redistribution_overhead(4, 8, 2))
+        )
+
+    def test_execution_reflects_scaling(self, platform, small_dag):
+        from repro.models.analytical import AnalyticalTaskModel
+        from repro.scheduling.costs import SchedulingCosts
+        from repro.scheduling.driver import schedule_dag
+
+        costs = SchedulingCosts(
+            small_dag, platform, AnalyticalTaskModel(platform)
+        )
+        sched = schedule_dag(small_dag, costs, "mcpa")
+        base = TGridEmulator(platform, seed=3, with_noise=False)
+        fast = TGridEmulator(
+            platform, seed=3, with_noise=False,
+            kernel_time_scale=0.5, startup_scale=0.5,
+            redistribution_scale=0.5,
+        )
+        m_base = base.makespan(small_dag, sched)
+        m_fast = fast.makespan(small_dag, sched)
+        # Everything scaled by half except network transfers: close to
+        # but not exactly half.
+        assert 0.45 * m_base < m_fast < 0.65 * m_base
+
+    def test_invalid_scales_rejected(self, platform):
+        with pytest.raises(ValueError):
+            TGridEmulator(platform, kernel_time_scale=0.0)
+        with pytest.raises(ValueError):
+            TGridEmulator(platform, startup_scale=-1.0)

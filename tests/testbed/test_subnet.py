@@ -1,0 +1,61 @@
+"""Tests for the subnet-manager redistribution-overhead ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.models.regression import fit_linear
+from repro.testbed.subnet import (
+    REDIST_INTERCEPT,
+    REDIST_SLOPE,
+    SubnetManagerGroundTruth,
+)
+
+
+class TestMeanOverhead:
+    def test_depends_mostly_on_destination(self):
+        # Fig 4: "the overhead depends mostly on p(dst)".
+        subnet = SubnetManagerGroundTruth(seed=0)
+        dst_span = subnet.mean_overhead(16, 32) - subnet.mean_overhead(16, 1)
+        src_span = subnet.mean_overhead(32, 16) - subnet.mean_overhead(1, 16)
+        assert dst_span > 3 * abs(src_span)
+
+    def test_src_average_recovers_table2_fit(self):
+        # Averaging over p_src and fitting vs p_dst lands on
+        # (7.88 ms, 108.58 ms) by construction.
+        subnet = SubnetManagerGroundTruth(seed=0)
+        dsts = list(range(1, 33))
+        means = [
+            np.mean([subnet.mean_overhead(ps, pd) for ps in range(1, 33)])
+            for pd in dsts
+        ]
+        fit = fit_linear(dsts, means)
+        assert fit.a == pytest.approx(REDIST_SLOPE, abs=0.002)
+        assert fit.b == pytest.approx(REDIST_INTERCEPT, abs=0.02)
+
+    def test_positive_everywhere(self):
+        subnet = SubnetManagerGroundTruth(seed=0)
+        for ps in (1, 8, 32):
+            for pd in (1, 8, 32):
+                assert subnet.mean_overhead(ps, pd) > 0
+
+    def test_invalid_counts_rejected(self):
+        subnet = SubnetManagerGroundTruth()
+        with pytest.raises(ValueError):
+            subnet.mean_overhead(0, 1)
+        with pytest.raises(ValueError):
+            subnet.mean_overhead(1, 0)
+
+
+class TestSampling:
+    def test_samples_scatter_around_mean(self):
+        subnet = SubnetManagerGroundTruth(seed=0)
+        rng = np.random.default_rng(2)
+        samples = [subnet.sample(4, 8, rng) for _ in range(300)]
+        assert np.mean(samples) == pytest.approx(
+            subnet.mean_overhead(4, 8), rel=0.05
+        )
+
+    def test_deterministic_mean_across_instances(self):
+        a = SubnetManagerGroundTruth(seed=3)
+        b = SubnetManagerGroundTruth(seed=3)
+        assert a.mean_overhead(5, 9) == b.mean_overhead(5, 9)

@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.util.errors import (
+    CalibrationError,
+    InvalidDAGError,
+    InvalidScheduleError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [InvalidDAGError, InvalidScheduleError, SimulationError,
+         CalibrationError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_catchable_at_api_boundary(self):
+        """A caller can catch every intentional library error with one
+        except clause."""
+        from repro.dag.graph import TaskGraph
+
+        try:
+            TaskGraph().task(42)
+        except ReproError as err:
+            assert "42" in str(err)
+        else:  # pragma: no cover
+            pytest.fail("expected a ReproError")
+
+    def test_distinct_types(self):
+        assert not issubclass(InvalidDAGError, SimulationError)
+        assert not issubclass(CalibrationError, InvalidScheduleError)

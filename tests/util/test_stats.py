@@ -1,0 +1,128 @@
+"""Tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    box_stats,
+    mean_absolute_percentage_error,
+    relative_error,
+    sign_agreement,
+)
+
+
+class TestRelativeError:
+    def test_exact_prediction(self):
+        assert relative_error(10.0, 10.0) == 0.0
+
+    def test_under_and_over_prediction_symmetric(self):
+        assert relative_error(5.0, 10.0) == pytest.approx(0.5)
+        assert relative_error(15.0, 10.0) == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_actual(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+
+class TestMape:
+    def test_simple(self):
+        assert mean_absolute_percentage_error([9, 11], [10, 10]) == pytest.approx(10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([1.0], [1.0, 2.0])
+
+    def test_nonpositive_actual_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_percentage_error([1.0], [0.0])
+
+
+class TestSignAgreement:
+    def test_full_agreement(self):
+        assert sign_agreement([1, -2, 3], [4, -5, 6]) == 1.0
+
+    def test_full_disagreement(self):
+        assert sign_agreement([1, -2], [-1, 2]) == 0.0
+
+    def test_partial(self):
+        assert sign_agreement([1, 1, -1, -1], [1, -1, -1, 1]) == pytest.approx(0.5)
+
+    def test_zero_counts_as_agreeing(self):
+        # A tie predicts nothing and is not a wrong prediction.
+        assert sign_agreement([0.0, 1.0], [5.0, 2.0]) == 1.0
+
+    def test_tolerance(self):
+        assert sign_agreement([0.001, 1.0], [-1.0, 1.0], tol=0.01) == 1.0
+        assert sign_agreement([0.001, 1.0], [-1.0, 1.0], tol=0.0) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sign_agreement([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sign_agreement([1.0], [1.0, 2.0])
+
+
+class TestBoxStats:
+    def test_five_numbers_on_known_data(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        b = box_stats(data)
+        assert b.minimum == 1.0
+        assert b.median == 3.0
+        assert b.maximum == 5.0
+        assert b.mean == 3.0
+        assert b.n == 5
+
+    def test_whiskers_exclude_outlier(self):
+        data = [1.0, 2.0, 3.0, 4.0, 100.0]
+        b = box_stats(data)
+        assert b.whisker_high < 100.0
+        assert 100.0 in b.outliers(data)
+
+    def test_single_point(self):
+        b = box_stats([7.0])
+        assert b.minimum == b.median == b.maximum == 7.0
+        assert b.iqr == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            box_stats([])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_ordering_invariants(self, data):
+        b = box_stats(data)
+        assert b.minimum <= b.whisker_low <= b.q1 + 1e-9
+        assert b.q1 <= b.median <= b.q3
+        assert b.q3 - 1e-9 <= b.whisker_high <= b.maximum
+        # np.mean can round a hair past the extremes (1 ulp).
+        span = max(abs(b.minimum), abs(b.maximum), 1e-300)
+        assert b.minimum - 1e-9 * span <= b.mean <= b.maximum + 1e-9 * span
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy_percentiles(self, data):
+        b = box_stats(data)
+        q1, med, q3 = np.percentile(data, [25, 50, 75])
+        assert b.q1 == pytest.approx(q1)
+        assert b.median == pytest.approx(med)
+        assert b.q3 == pytest.approx(q3)

@@ -1,0 +1,51 @@
+"""Tests for the plain-text rendering helpers."""
+
+import pytest
+
+from repro.util.text import format_signed_bars, format_table, hbar
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["long-name", 22.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "---" in lines[1]
+        # All data lines align on the second column start.
+        col = lines[2].index("1.500")
+        assert lines[3][col - 1] != " " or "22.250" in lines[3]
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159]], float_fmt="{:.1f}")
+        assert "3.1" in out
+        assert "3.14159" not in out
+
+    def test_non_float_cells_pass_through(self):
+        out = format_table(["a", "b"], [[True, "txt"]])
+        assert "True" in out and "txt" in out
+
+
+class TestHbar:
+    def test_full_scale(self):
+        assert hbar(10, 10, width=8) == "#" * 8
+
+    def test_half_scale(self):
+        assert hbar(5, 10, width=8) == "#" * 4
+
+    def test_clamps_above_max(self):
+        assert hbar(50, 10, width=8) == "#" * 8
+
+    def test_rejects_bad_vmax(self):
+        with pytest.raises(ValueError):
+            hbar(1, 0)
+
+
+class TestSignedBars:
+    def test_renders_both_series(self):
+        out = format_signed_bars(["d1"], [-0.2], [0.3])
+        assert "sim" in out and "exp" in out
+        assert "-0.200" in out and "+0.300" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_signed_bars(["a"], [1.0], [1.0, 2.0])
