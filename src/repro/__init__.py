@@ -15,7 +15,9 @@ scratch:
   cluster (:mod:`repro.testbed`);
 * the profiling/calibration harness (:mod:`repro.profiling`);
 * the study driver reproducing every table and figure
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`);
+* a structured observability layer — event tracing, metrics, run
+  provenance — spanning all of the above (:mod:`repro.obs`).
 
 Quickstart
 ----------
@@ -26,6 +28,18 @@ Quickstart
 True
 """
 
+from importlib import metadata as _metadata
+
+#: Fallback when the package is used straight off PYTHONPATH=src without
+#: installed distribution metadata; kept in sync with pyproject.toml.
+_FALLBACK_VERSION = "1.1.0"
+
+try:
+    __version__ = _metadata.version("repro")
+except _metadata.PackageNotFoundError:  # pragma: no cover - env dependent
+    __version__ = _FALLBACK_VERSION
+
+from repro import obs
 from repro.dag import (
     DagParameters,
     Task,
@@ -53,8 +67,6 @@ from repro.scheduling import ALGORITHMS, Schedule, SchedulingCosts, schedule_dag
 from repro.simgrid import ApplicationSimulator, SimulationTrace
 from repro.testbed import TGridEmulator
 
-__version__ = "1.0.0"
-
 __all__ = [
     "DagParameters",
     "Task",
@@ -80,5 +92,6 @@ __all__ = [
     "ApplicationSimulator",
     "SimulationTrace",
     "TGridEmulator",
+    "obs",
     "__version__",
 ]

@@ -15,6 +15,13 @@ Commands
 ``profile``
     Print the raw measurement tables (kernels / startup /
     redistribution) of the emulated environment.
+``report``
+    Summarise a JSONL trace produced with ``--trace-out`` (counters,
+    span timings, per-algorithm makespans).
+
+Global observability flags (before the subcommand): ``--trace-out PATH``
+streams typed events to a JSONL file and appends a provenance manifest;
+``--metrics`` prints the counter/span rollup after the command.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+import repro
 from repro.dag.generator import DagParameters, generate_dag
 from repro.experiments import figures as fig_mod
 from repro.experiments.comparison import compare_algorithms
@@ -32,6 +40,15 @@ from repro.experiments.context import StudyContext
 from repro.experiments import reporting
 from repro.scheduling.costs import SchedulingCosts
 from repro.scheduling.driver import ALGORITHMS, schedule_dag
+from repro.obs import (
+    JsonlSink,
+    Recorder,
+    RunManifest,
+    TraceReadError,
+    emit_manifest,
+    report_file,
+    set_recorder,
+)
 from repro.simgrid.simulator import ApplicationSimulator
 from repro.simgrid.trace_tools import render_gantt, trace_to_json
 from repro.util.text import format_table
@@ -63,7 +80,22 @@ def build_parser() -> argparse.ArgumentParser:
             "on Multiprocessor Task Scheduling' (APDCM 2011)"
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {repro.__version__}"
+    )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--trace-out",
+        default="",
+        metavar="PATH",
+        help="stream observability events to a JSONL trace file "
+        "(with a trailing provenance manifest)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the counter/span metric rollup after the command",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_fig = sub.add_parser("figures", help="regenerate tables/figures")
@@ -133,6 +165,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_att.add_argument("--ratio", type=float, default=0.5)
     p_att.add_argument("--n", type=int, default=2000)
     p_att.add_argument("--sample", type=int, default=0)
+
+    p_rep = sub.add_parser(
+        "report", help="summarise a JSONL observability trace"
+    )
+    p_rep.add_argument("trace", help="path to a --trace-out JSONL file")
+    p_rep.add_argument(
+        "--top", type=int, default=15, help="how many counters to list"
+    )
     return parser
 
 
@@ -316,6 +356,15 @@ def _cmd_attribution(ctx: StudyContext, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(ctx: StudyContext, args: argparse.Namespace) -> int:
+    try:
+        print(report_file(args.trace, top=args.top))
+    except TraceReadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
     "study": _cmd_study,
@@ -324,14 +373,60 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "variance": _cmd_variance,
     "attribution": _cmd_attribution,
+    "report": _cmd_report,
 }
+
+
+def _render_metrics(recorder: Recorder) -> str:
+    metrics = recorder.metrics()
+    lines = ["===== metrics ====="]
+    if metrics["counters"]:
+        lines.append(
+            format_table(
+                ["counter", "value"],
+                [[k, f"{v:g}"] for k, v in metrics["counters"].items()],
+            )
+        )
+    if metrics["spans"]:
+        lines.append(
+            format_table(
+                ["span", "count", "total [s]", "mean [ms]"],
+                [
+                    [k, s["count"], f"{s['total_s']:.4f}",
+                     f"{1e3 * s['mean_s']:.3f}"]
+                    for k, s in metrics["spans"].items()
+                ],
+            )
+        )
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    recorder: Recorder | None = None
+    if args.trace_out or args.metrics:
+        sink = JsonlSink(args.trace_out) if args.trace_out else None
+        recorder = Recorder(sink) if sink else Recorder.to_memory()
+        set_recorder(recorder)
     ctx = StudyContext(seed=args.seed)
-    return _COMMANDS[args.command](ctx, args)
+    try:
+        return _COMMANDS[args.command](ctx, args)
+    finally:
+        if recorder is not None:
+            manifest = RunManifest.collect(
+                seed=args.seed,
+                cluster=ctx.platform,
+                command=args.command,
+                recorder=recorder,
+            )
+            emit_manifest(recorder, manifest)
+            recorder.close()
+            set_recorder(None)
+            if args.metrics:
+                print(_render_metrics(recorder))
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

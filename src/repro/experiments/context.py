@@ -90,17 +90,21 @@ class StudyContext:
         )
 
     def suite(self, name: str) -> SimulatorSuite:
+        # Dispatch through thunks: a dict of attribute reads would
+        # evaluate (and calibrate) all three cached suites just to
+        # return one — the observability traces caught exactly that.
         try:
-            return {
-                "analytic": self.analytic_suite,
-                "profile": self.profile_suite,
-                "empirical": self.empirical_suite,
+            builder = {
+                "analytic": lambda: self.analytic_suite,
+                "profile": lambda: self.profile_suite,
+                "empirical": lambda: self.empirical_suite,
             }[name]
         except KeyError:
             raise ValueError(
                 f"unknown simulator suite {name!r}; "
                 "choose analytic, profile or empirical"
             ) from None
+        return builder()
 
     # ------------------------------------------------------------------
     # studies
@@ -120,6 +124,22 @@ class StudyContext:
                 cached = run_study(self.dags, [self.suite(name)], self.emulator)
                 self._studies[key] = cached
             merged.records.extend(cached.records)
+        # Merged provenance: same seed/platform for every sub-study, so
+        # re-collect with the union of suite names.
+        from repro.obs.manifest import RunManifest
+        from repro.obs.recorder import get_recorder
+
+        rec = get_recorder()
+        merged.manifest = RunManifest.collect(
+            seed=self.seed,
+            cluster=self.platform,
+            simulators=list(names),
+            algorithms=sorted(
+                {r.algorithm for r in merged.records}
+            ),
+            num_records=len(merged.records),
+            recorder=rec if rec.enabled else None,
+        )
         return merged
 
     def full_study(self) -> StudyResult:

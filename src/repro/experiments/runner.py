@@ -20,6 +20,8 @@ from typing import Iterable, Sequence
 
 from repro.dag.generator import DagParameters
 from repro.dag.graph import TaskGraph
+from repro.obs.manifest import RunManifest
+from repro.obs.recorder import get_recorder
 from repro.profiling.calibration import SimulatorSuite
 from repro.scheduling.costs import SchedulingCosts
 from repro.scheduling.driver import schedule_dag
@@ -58,6 +60,10 @@ class StudyResult:
     """All records of one study sweep, with convenience accessors."""
 
     records: list[RunRecord] = field(default_factory=list)
+    #: Provenance of the sweep that produced these records (seed,
+    #: platform, suites, package version, metric rollups); attached by
+    #: :func:`run_study`, None for hand-built results.
+    manifest: RunManifest | None = None
 
     def __len__(self) -> int:
         return len(self.records)
@@ -108,6 +114,8 @@ def run_study(
     """Run the full grid; returns every (DAG, algorithm, suite) record."""
     result = StudyResult()
     platform = emulator.platform
+    obs = get_recorder()
+    suites = list(suites)
     for suite in suites:
         for params, graph in dags:
             costs = SchedulingCosts(
@@ -118,24 +126,53 @@ def run_study(
                 redistribution_model=suite.redistribution_model,
             )
             for algorithm in algorithms:
-                schedule = schedule_dag(graph, costs, algorithm)
+                with obs.span(
+                    "study.schedule", algorithm=algorithm, simulator=suite.name
+                ):
+                    schedule = schedule_dag(graph, costs, algorithm)
                 simulator = ApplicationSimulator(
                     platform,
                     suite.task_model,
                     startup_model=suite.startup_model,
                     redistribution_model=suite.redistribution_model,
                 )
-                sim_trace = simulator.run(graph, schedule)
-                exp_trace = emulator.execute(graph, schedule)
-                result.records.append(
-                    RunRecord(
-                        dag_label=graph.name,
-                        n=params.n,
-                        algorithm=algorithm,
-                        simulator=suite.name,
-                        sim_makespan=sim_trace.makespan,
-                        exp_makespan=exp_trace.makespan,
-                        total_alloc=sum(schedule.allocations().values()),
-                    )
+                with obs.span(
+                    "study.simulate", algorithm=algorithm, simulator=suite.name
+                ):
+                    sim_trace = simulator.run(graph, schedule)
+                with obs.span(
+                    "study.execute", algorithm=algorithm, simulator=suite.name
+                ):
+                    exp_trace = emulator.execute(graph, schedule)
+                record = RunRecord(
+                    dag_label=graph.name,
+                    n=params.n,
+                    algorithm=algorithm,
+                    simulator=suite.name,
+                    sim_makespan=sim_trace.makespan,
+                    exp_makespan=exp_trace.makespan,
+                    total_alloc=sum(schedule.allocations().values()),
                 )
+                result.records.append(record)
+                if obs.enabled:
+                    obs.count("study.runs")
+                    obs.event(
+                        "study.record",
+                        dag=record.dag_label,
+                        n=record.n,
+                        algorithm=record.algorithm,
+                        simulator=record.simulator,
+                        sim_makespan=record.sim_makespan,
+                        exp_makespan=record.exp_makespan,
+                        error_pct=record.error_pct,
+                        total_alloc=record.total_alloc,
+                    )
+    result.manifest = RunManifest.collect(
+        seed=emulator.seed,
+        cluster=platform,
+        simulators=[s.name for s in suites],
+        algorithms=list(algorithms),
+        num_records=len(result.records),
+        recorder=obs if obs.enabled else None,
+    )
     return result

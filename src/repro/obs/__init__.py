@@ -1,0 +1,68 @@
+"""Structured observability: event tracing, metrics and run provenance.
+
+The paper's thesis is that simulator accuracy must be *measured*, not
+assumed; this layer applies the same standard to the reproduction
+itself.  It is a zero-dependency instrumentation substrate with a hard
+guarantee: **disabled is free**.  The process-global recorder starts
+over a null sink, reports ``enabled = False``, and every instrumented
+hot path (the engine step loop above all) guards emission behind that
+flag — no event objects are constructed, no sink is called.
+
+Pieces
+------
+:class:`Recorder`
+    Typed events (``event``), in-memory counters (``count``) and timed
+    ``span()`` blocks over a pluggable :class:`Sink`.
+:class:`NullSink` / :class:`MemorySink` / :class:`JsonlSink`
+    Discard, buffer, or stream records as JSON lines.
+:class:`RunManifest`
+    Provenance record (seed, platform, suites, version, metric rollups)
+    attached to study results and appended to JSONL traces.
+:func:`report_file`
+    Human-readable summary of a trace (the ``repro report`` command).
+
+Usage
+-----
+>>> from repro import obs
+>>> rec = obs.Recorder.to_memory()
+>>> with obs.recording(rec):
+...     with rec.span("phase"):
+...         rec.count("things", 3)
+>>> rec.counters["things"]
+3
+"""
+
+from repro.obs.manifest import RunManifest, emit_manifest, platform_info
+from repro.obs.recorder import (
+    Recorder,
+    SpanStats,
+    get_recorder,
+    recording,
+    set_recorder,
+)
+from repro.obs.report import (
+    TraceReadError,
+    load_trace,
+    render_report,
+    report_file,
+)
+from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink
+
+__all__ = [
+    "Recorder",
+    "SpanStats",
+    "get_recorder",
+    "set_recorder",
+    "recording",
+    "Sink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "RunManifest",
+    "platform_info",
+    "emit_manifest",
+    "TraceReadError",
+    "load_trace",
+    "render_report",
+    "report_file",
+]

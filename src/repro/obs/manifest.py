@@ -1,0 +1,123 @@
+"""Run provenance: what produced a result, under which configuration.
+
+A :class:`RunManifest` pins down everything needed to re-run (or audit)
+a study: the seed, the platform description, the simulator suites and
+algorithms involved, the package version, wall-clock timestamps and the
+recorder's metric rollups.  It rides on :class:`StudyResult.manifest`
+and — when tracing to a file — is appended as the final ``"manifest"``
+record of the JSONL stream, where ``repro report`` picks it up.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from repro.obs.recorder import Recorder
+
+__all__ = ["RunManifest", "platform_info", "emit_manifest"]
+
+
+def platform_info(cluster) -> dict:
+    """JSON-able description of a :class:`ClusterPlatform`."""
+    return {
+        "name": cluster.name,
+        "num_nodes": cluster.num_nodes,
+        "flops": cluster.flops,
+        "link_bandwidth": cluster.link_bandwidth,
+        "link_latency": cluster.link_latency,
+        "backbone_bandwidth": cluster.backbone_bandwidth,
+        "backbone_latency": cluster.backbone_latency,
+        "heterogeneous": cluster.node_speeds is not None,
+    }
+
+
+def _now_iso() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime())
+
+
+@dataclass
+class RunManifest:
+    """Provenance record of one run / study sweep."""
+
+    seed: int = 0
+    platform: dict = field(default_factory=dict)
+    simulators: list[str] = field(default_factory=list)
+    algorithms: list[str] = field(default_factory=list)
+    version: str = ""
+    command: str = ""
+    created: str = field(default_factory=_now_iso)
+    python: str = field(default_factory=_platform.python_version)
+    num_records: int = 0
+    metrics: dict = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        *,
+        seed: int,
+        cluster=None,
+        simulators: list[str] | None = None,
+        algorithms: list[str] | None = None,
+        command: str = "",
+        num_records: int = 0,
+        recorder: Recorder | None = None,
+    ) -> "RunManifest":
+        """Build a manifest from live objects (platform, recorder)."""
+        from repro import __version__
+
+        return cls(
+            seed=seed,
+            platform=platform_info(cluster) if cluster is not None else {},
+            simulators=list(simulators or []),
+            algorithms=list(algorithms or []),
+            version=__version__,
+            command=command,
+            num_records=num_records,
+            metrics=recorder.metrics() if recorder is not None else {},
+        )
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "platform": self.platform,
+            "simulators": self.simulators,
+            "algorithms": self.algorithms,
+            "version": self.version,
+            "command": self.command,
+            "created": self.created,
+            "python": self.python,
+            "num_records": self.num_records,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "RunManifest":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def emit_manifest(recorder: Recorder, manifest: RunManifest) -> None:
+    """Append ``manifest`` as the trace's final ``"manifest"`` record."""
+    if not recorder.enabled:
+        return
+    record = {"type": "manifest"}
+    record.update(manifest.to_dict())
+    recorder.sink.write(record)

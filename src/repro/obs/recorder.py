@@ -1,0 +1,200 @@
+"""The Recorder: typed events, counters and span timers over a sink.
+
+Design rules (the layer's contract, see ``docs/observability.md``):
+
+* **Disabled by default.**  The process-global recorder starts over a
+  :class:`~repro.obs.sinks.NullSink` and reports ``enabled = False``.
+  Instrumented hot paths guard every emission with ``if rec.enabled:``
+  so a disabled recorder costs one attribute load and a branch — no
+  event dicts, no string formatting, no sink calls.
+* **Counters are in-memory.**  ``count()`` accumulates into a dict and
+  never touches the sink; the rollup travels in the manifest and via
+  :meth:`Recorder.metrics`.  (Counters stay live even when the recorder
+  is *enabled but span/event volume matters* — they are the cheap tier.)
+* **Events and spans stream to the sink** as plain dicts with a
+  ``type`` field (``"event"`` / ``"span"``), ready for JSONL.
+* **Determinism.**  Nothing here feeds back into simulation state; wall
+  clocks only ever appear in trace records and manifests, never in
+  simulated quantities.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.sinks import MemorySink, NullSink, Sink
+
+__all__ = [
+    "Recorder",
+    "SpanStats",
+    "get_recorder",
+    "set_recorder",
+    "recording",
+]
+
+
+class SpanStats:
+    """Aggregated timings of one span name (count / total / min / max)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager for disabled recorders."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Times a ``with`` block; emits a span record and updates stats."""
+
+    __slots__ = ("_recorder", "_name", "_fields", "_t0")
+
+    def __init__(self, recorder: "Recorder", name: str, fields: dict) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._fields = fields
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._recorder._finish_span(
+            self._name, time.perf_counter() - self._t0, self._fields
+        )
+        return False
+
+
+class Recorder:
+    """Emits typed events / counters / spans to a pluggable sink.
+
+    A recorder over a :class:`NullSink` (the default) is *disabled*:
+    ``enabled`` is False, ``span()`` returns a shared no-op context
+    manager, and ``event()`` / ``count()`` return immediately.  Hot
+    paths should still guard with ``if rec.enabled:`` so not even the
+    call happens.
+    """
+
+    def __init__(self, sink: Sink | None = None) -> None:
+        self.sink: Sink = sink if sink is not None else NullSink()
+        self.enabled: bool = not isinstance(self.sink, NullSink)
+        self.counters: dict[str, float] = {}
+        self.spans: dict[str, SpanStats] = {}
+
+    # -- construction helpers ------------------------------------------
+    @classmethod
+    def to_memory(cls) -> "Recorder":
+        """An enabled recorder buffering into a :class:`MemorySink`."""
+        return cls(MemorySink())
+
+    # -- emission ------------------------------------------------------
+    def event(self, name: str, **fields: object) -> None:
+        """Emit one typed event record to the sink."""
+        if not self.enabled:
+            return
+        record = {"type": "event", "name": name}
+        record.update(fields)
+        self.sink.write(record)
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Accumulate an in-memory counter (never touches the sink)."""
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def span(self, name: str, **fields: object):
+        """Context manager timing a block; records a span on exit."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, fields)
+
+    def _finish_span(self, name: str, seconds: float, fields: dict) -> None:
+        stats = self.spans.get(name)
+        if stats is None:
+            stats = self.spans[name] = SpanStats()
+        stats.add(seconds)
+        record = {"type": "span", "name": name, "dur_s": seconds}
+        record.update(fields)
+        self.sink.write(record)
+
+    # -- rollups -------------------------------------------------------
+    def metrics(self) -> dict:
+        """Counter values plus per-span aggregate timings."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "spans": {
+                name: stats.to_dict()
+                for name, stats in sorted(self.spans.items())
+            },
+        }
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+#: Process-global recorder; disabled (null sink) unless the CLI or a test
+#: installs an enabled one.
+_ACTIVE = Recorder()
+
+
+def get_recorder() -> Recorder:
+    """The process-global recorder (disabled by default)."""
+    return _ACTIVE
+
+
+def set_recorder(recorder: Recorder | None) -> Recorder:
+    """Install ``recorder`` globally (None resets to disabled); returns it."""
+    global _ACTIVE
+    _ACTIVE = recorder if recorder is not None else Recorder()
+    return _ACTIVE
+
+
+@contextmanager
+def recording(recorder: Recorder) -> Iterator[Recorder]:
+    """Temporarily install ``recorder`` as the global one."""
+    previous = get_recorder()
+    set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)

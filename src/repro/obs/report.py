@@ -1,0 +1,212 @@
+"""Load a JSONL trace and summarise it (the ``repro report`` command).
+
+The report is computed from two complementary sources:
+
+* the trailing ``"manifest"`` record, whose metric rollups (counters,
+  span aggregates) are authoritative for the whole run;
+* the event stream itself, from which per-(algorithm, simulator)
+  makespan breakdowns and event-name frequencies are rebuilt — so a
+  trace remains useful even if the process died before the manifest was
+  written.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.obs.manifest import RunManifest
+from repro.util.errors import ReproError
+from repro.util.stats import relative_error
+from repro.util.text import format_table
+
+__all__ = ["TraceReadError", "load_trace", "render_report", "report_file"]
+
+
+class TraceReadError(ReproError):
+    """A trace file is missing or malformed."""
+
+
+def load_trace(
+    path: Union[str, Path]
+) -> tuple[list[dict], RunManifest | None]:
+    """Parse a JSONL trace into (records, manifest-or-None)."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceReadError(f"trace file not found: {path}")
+    records: list[dict] = []
+    manifest: RunManifest | None = None
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceReadError(
+                f"{path}:{lineno}: invalid JSON ({exc.msg})"
+            ) from None
+        if not isinstance(record, dict):
+            raise TraceReadError(f"{path}:{lineno}: record is not an object")
+        if record.get("type") == "manifest":
+            manifest = RunManifest.from_dict(record)
+        else:
+            records.append(record)
+    return records, manifest
+
+
+def _event_counts(records: list[dict]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for rec in records:
+        if rec.get("type") == "event":
+            name = str(rec.get("name", "?"))
+            counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def _span_rollup(records: list[dict]) -> dict[str, dict]:
+    rollup: dict[str, dict] = {}
+    for rec in records:
+        if rec.get("type") != "span":
+            continue
+        name = str(rec.get("name", "?"))
+        dur = float(rec.get("dur_s", 0.0))
+        agg = rollup.setdefault(
+            name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        agg["count"] += 1
+        agg["total_s"] += dur
+        agg["max_s"] = max(agg["max_s"], dur)
+    for agg in rollup.values():
+        agg["mean_s"] = agg["total_s"] / agg["count"]
+    return rollup
+
+
+def _study_breakdown(records: list[dict]) -> list[list[object]]:
+    """Per-(algorithm, simulator) rows from ``study.record`` events."""
+    groups: dict[tuple[str, str], list[dict]] = {}
+    for rec in records:
+        if rec.get("type") == "event" and rec.get("name") == "study.record":
+            key = (str(rec.get("algorithm")), str(rec.get("simulator")))
+            groups.setdefault(key, []).append(rec)
+    rows: list[list[object]] = []
+    for (algorithm, simulator), recs in sorted(groups.items()):
+        sims = [float(r["sim_makespan"]) for r in recs]
+        exps = [float(r["exp_makespan"]) for r in recs]
+        errors = [
+            abs(relative_error(s, e)) for s, e in zip(sims, exps) if e > 0
+        ]
+        rows.append(
+            [
+                algorithm,
+                simulator,
+                len(recs),
+                sum(sims) / len(sims),
+                sum(exps) / len(exps),
+                100.0 * sum(errors) / len(errors) if errors else 0.0,
+            ]
+        )
+    return rows
+
+
+def render_report(
+    records: list[dict],
+    manifest: RunManifest | None,
+    *,
+    top: int = 15,
+) -> str:
+    """Human-readable summary of one trace."""
+    lines: list[str] = []
+    if manifest is not None:
+        lines.append(
+            f"run: repro {manifest.version}  seed={manifest.seed}  "
+            f"python={manifest.python}  created={manifest.created}"
+        )
+        if manifest.command:
+            lines.append(f"command: {manifest.command}")
+        if manifest.platform:
+            plat = manifest.platform
+            lines.append(
+                f"platform: {plat.get('name', '?')} "
+                f"({plat.get('num_nodes', '?')} nodes, "
+                f"{plat.get('flops', 0) / 1e6:.0f} MFlop/s)"
+            )
+        if manifest.simulators:
+            lines.append(f"simulators: {', '.join(manifest.simulators)}")
+        if manifest.algorithms:
+            lines.append(f"algorithms: {', '.join(manifest.algorithms)}")
+    else:
+        lines.append("(no manifest record in trace)")
+    lines.append(f"records: {len(records)}")
+
+    # Counters: manifest rollup first, event frequencies as fallback.
+    counters: dict[str, float] = {}
+    if manifest is not None:
+        counters.update(manifest.metrics.get("counters", {}))
+    if not counters:
+        counters = dict(_event_counts(records))
+    if counters:
+        lines.append("")
+        lines.append(f"top counters (of {len(counters)}):")
+        ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        lines.append(
+            format_table(
+                ["counter", "value"],
+                [[name, f"{value:g}"] for name, value in ranked[:top]],
+            )
+        )
+
+    spans = (
+        manifest.metrics.get("spans", {}) if manifest is not None else {}
+    ) or _span_rollup(records)
+    if spans:
+        lines.append("")
+        lines.append("span timings:")
+        rows = [
+            [
+                name,
+                agg["count"],
+                f"{agg['total_s']:.4f}",
+                f"{1e3 * agg.get('mean_s', 0.0):.3f}",
+                f"{1e3 * agg['max_s']:.3f}",
+            ]
+            for name, agg in sorted(
+                spans.items(), key=lambda kv: -kv[1]["total_s"]
+            )
+        ]
+        lines.append(
+            format_table(
+                ["span", "count", "total [s]", "mean [ms]", "max [ms]"], rows
+            )
+        )
+
+    breakdown = _study_breakdown(records)
+    if breakdown:
+        lines.append("")
+        lines.append("per-(algorithm, simulator) makespans:")
+        lines.append(
+            format_table(
+                [
+                    "algorithm",
+                    "simulator",
+                    "runs",
+                    "mean sim [s]",
+                    "mean exp [s]",
+                    "mean |err| %",
+                ],
+                [
+                    row[:3] + [f"{row[3]:.2f}", f"{row[4]:.2f}", f"{row[5]:.1f}"]
+                    for row in breakdown
+                ],
+            )
+        )
+    return "\n".join(lines)
+
+
+def report_file(path: Union[str, Path], *, top: int = 15) -> str:
+    """Convenience: load ``path`` and render its report."""
+    records, manifest = load_trace(path)
+    return render_report(records, manifest, top=top)

@@ -1,0 +1,87 @@
+"""Trace sinks: where the recorder's event stream goes.
+
+A sink receives plain-dict records (already typed and timestamped by the
+:class:`~repro.obs.recorder.Recorder`) and persists or buffers them.
+Three implementations cover the layer's whole design space:
+
+* :class:`NullSink` — the default; a recorder over a null sink is
+  *disabled* and instrumented code never constructs event records for it
+  (the zero-overhead guarantee the engine relies on);
+* :class:`MemorySink` — buffers records in a list, for tests and the
+  in-process benchmark harness;
+* :class:`JsonlSink` — appends one JSON object per line to a file, the
+  on-disk format ``repro report`` consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Union
+
+__all__ = ["Sink", "NullSink", "MemorySink", "JsonlSink"]
+
+
+class Sink:
+    """Abstract record consumer."""
+
+    def write(self, record: dict) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class NullSink(Sink):
+    """Discards everything.  Recorders over a null sink are disabled."""
+
+    def write(self, record: dict) -> None:  # pragma: no cover - never called
+        pass
+
+
+class MemorySink(Sink):
+    """Buffers records in memory (``sink.records``)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def write(self, record: dict) -> None:
+        self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class JsonlSink(Sink):
+    """Writes one compact JSON object per line to ``path`` (or a handle).
+
+    Records must be JSON-serialisable; the recorder only emits plain
+    ``str``/``int``/``float``/``bool`` fields, so this holds by
+    construction for the built-in instrumentation.
+    """
+
+    def __init__(self, path: Union[str, Path, IO[str]]) -> None:
+        if hasattr(path, "write"):
+            self._fh: IO[str] = path  # type: ignore[assignment]
+            self._owns = False
+            self.path: Path | None = None
+        else:
+            self.path = Path(path)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w", encoding="utf-8")
+            self._owns = True
+
+    def write(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":")))
+        self._fh.write("\n")
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        self.flush()
+        if self._owns:
+            self._fh.close()

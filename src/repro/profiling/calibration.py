@@ -32,6 +32,7 @@ from repro.models.overheads import (
 )
 from repro.models.profiles import ProfileTaskModel
 from repro.models.regression import fit_linear
+from repro.obs.recorder import get_recorder
 from repro.profiling.profiler import (
     profile_kernels,
     profile_redistribution,
@@ -84,15 +85,25 @@ def build_profile_suite(
     trials) and averages it over the source count, since Fig 4 shows the
     overhead "depends mostly on p(dst)".
     """
-    profile = profile_kernels(
-        emulator, sizes=sizes, trials=kernel_trials
-    )
-    startup_table = profile_startup(emulator, trials=startup_trials)
-    grid = profile_redistribution(emulator, trials=redistribution_trials)
+    obs = get_recorder()
+    with obs.span("calib.profile_suite"):
+        profile = profile_kernels(
+            emulator, sizes=sizes, trials=kernel_trials
+        )
+        startup_table = profile_startup(emulator, trials=startup_trials)
+        grid = profile_redistribution(emulator, trials=redistribution_trials)
     by_dst: dict[int, list[float]] = {}
     for (_ps, pd), value in grid.items():
         by_dst.setdefault(pd, []).append(value)
     redist_table = {pd: float(np.mean(vals)) for pd, vals in by_dst.items()}
+    if obs.enabled:
+        obs.event(
+            "calib.suite",
+            suite="profile",
+            kernel_points=len(profile.means),
+            startup_points=len(startup_table),
+            redistribution_points=len(grid),
+        )
     return SimulatorSuite(
         name="profile",
         task_model=ProfileTaskModel(profile.means),
@@ -111,53 +122,75 @@ def build_empirical_suite(
     redistribution_trials: int = 3,
 ) -> SimulatorSuite:
     """The Section VII simulator: sparse measurements + regressions."""
+    obs = get_recorder()
 
     def measure(kernel: str, n: int, ps: Sequence[int]) -> dict[int, float]:
+        if obs.enabled:
+            obs.count("calib.sparse_kernel_samples", kernel_trials * len(ps))
         return {
             p: float(np.mean(emulator.measure_kernel(kernel, n, p, kernel_trials)))
             for p in ps
         }
 
-    curves: dict[tuple[str, int], PiecewiseKernelModel] = {}
-    for n in sizes:
-        curves[("matmul", n)] = PiecewiseKernelModel.from_samples(
-            measure("matmul", n, plan.matmul_low),
-            measure("matmul", n, plan.matmul_high),
-            split=plan.split,
-        )
-        curves[("matadd", n)] = PiecewiseKernelModel.from_samples(
-            measure("matadd", n, plan.matadd),
-            None,
-            split=plan.split,
+    with obs.span("calib.empirical_suite"):
+        curves: dict[tuple[str, int], PiecewiseKernelModel] = {}
+        for n in sizes:
+            curves[("matmul", n)] = PiecewiseKernelModel.from_samples(
+                measure("matmul", n, plan.matmul_low),
+                measure("matmul", n, plan.matmul_high),
+                split=plan.split,
+            )
+            curves[("matadd", n)] = PiecewiseKernelModel.from_samples(
+                measure("matadd", n, plan.matadd),
+                None,
+                split=plan.split,
+            )
+
+        startup_samples = {
+            p: float(np.mean(emulator.measure_startup(p, startup_trials)))
+            for p in plan.overheads
+        }
+        startup_fit = fit_linear(
+            list(startup_samples.keys()), list(startup_samples.values())
         )
 
-    startup_samples = {
-        p: float(np.mean(emulator.measure_startup(p, startup_trials)))
-        for p in plan.overheads
-    }
-    startup_fit = fit_linear(
-        list(startup_samples.keys()), list(startup_samples.values())
-    )
-
-    # Redistribution overhead at the plan's destination counts, averaged
-    # over the same source counts (Section VI-C's averaging, applied to
-    # the sparse grid).
-    redist_samples: dict[int, float] = {}
-    for pd in plan.overheads:
-        vals = [
-            float(
-                np.mean(
-                    emulator.measure_redistribution_overhead(
-                        ps, pd, redistribution_trials
+        # Redistribution overhead at the plan's destination counts, averaged
+        # over the same source counts (Section VI-C's averaging, applied to
+        # the sparse grid).
+        redist_samples: dict[int, float] = {}
+        for pd in plan.overheads:
+            vals = [
+                float(
+                    np.mean(
+                        emulator.measure_redistribution_overhead(
+                            ps, pd, redistribution_trials
+                        )
                     )
                 )
+                for ps in plan.overheads
+            ]
+            redist_samples[pd] = float(np.mean(vals))
+        redist_fit = fit_linear(
+            list(redist_samples.keys()), list(redist_samples.values())
+        )
+
+    if obs.enabled:
+        for (kernel, n), curve in curves.items():
+            obs.event(
+                "calib.fit",
+                target=f"{kernel}/{n}",
+                kind="piecewise",
+                low_rmse=curve.low.rmse,
+                high_rmse=curve.high.rmse if curve.high else None,
             )
-            for ps in plan.overheads
-        ]
-        redist_samples[pd] = float(np.mean(vals))
-    redist_fit = fit_linear(
-        list(redist_samples.keys()), list(redist_samples.values())
-    )
+        obs.event(
+            "calib.fit", target="startup", kind="linear",
+            a=startup_fit.a, b=startup_fit.b, rmse=startup_fit.rmse,
+        )
+        obs.event(
+            "calib.fit", target="redistribution", kind="linear",
+            a=redist_fit.a, b=redist_fit.b, rmse=redist_fit.rmse,
+        )
 
     return SimulatorSuite(
         name="empirical",

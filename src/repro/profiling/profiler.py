@@ -13,6 +13,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.obs.recorder import get_recorder
 from repro.testbed.tgrid import TGridEmulator
 
 __all__ = [
@@ -52,14 +53,19 @@ def profile_kernels(
     """Measure every (kernel, n, p) combination on the testbed."""
     if procs is None:
         procs = range(1, emulator.platform.num_nodes + 1)
+    obs = get_recorder()
     profile = KernelProfile()
-    for kernel in kernels:
-        for n in sizes:
-            for p in procs:
-                raw = emulator.measure_kernel(kernel, n, p, trials=trials)
-                key = (kernel, int(n), int(p))
-                profile.samples[key] = raw
-                profile.means[key] = float(np.mean(raw))
+    with obs.span("profiling.kernels", trials=trials):
+        for kernel in kernels:
+            for n in sizes:
+                for p in procs:
+                    raw = emulator.measure_kernel(kernel, n, p, trials=trials)
+                    key = (kernel, int(n), int(p))
+                    profile.samples[key] = raw
+                    profile.means[key] = float(np.mean(raw))
+    if obs.enabled:
+        obs.count("profiling.kernel_points", len(profile.means))
+        obs.count("profiling.kernel_samples", trials * len(profile.means))
     return profile
 
 
@@ -72,10 +78,15 @@ def profile_startup(
     """Mean no-op task startup overhead per processor count (Fig 3)."""
     if procs is None:
         procs = range(1, emulator.platform.num_nodes + 1)
-    return {
-        int(p): float(np.mean(emulator.measure_startup(p, trials=trials)))
-        for p in procs
-    }
+    obs = get_recorder()
+    with obs.span("profiling.startup", trials=trials):
+        table = {
+            int(p): float(np.mean(emulator.measure_startup(p, trials=trials)))
+            for p in procs
+        }
+    if obs.enabled:
+        obs.count("profiling.startup_samples", trials * len(table))
+    return table
 
 
 def profile_redistribution(
@@ -91,9 +102,15 @@ def profile_redistribution(
     if dst_procs is None:
         dst_procs = range(1, emulator.platform.num_nodes + 1)
     dst_list = list(dst_procs)
+    obs = get_recorder()
     grid: dict[tuple[int, int], float] = {}
-    for ps in src_procs:
-        for pd in dst_list:
-            raw = emulator.measure_redistribution_overhead(ps, pd, trials=trials)
-            grid[(int(ps), int(pd))] = float(np.mean(raw))
+    with obs.span("profiling.redistribution", trials=trials):
+        for ps in src_procs:
+            for pd in dst_list:
+                raw = emulator.measure_redistribution_overhead(
+                    ps, pd, trials=trials
+                )
+                grid[(int(ps), int(pd))] = float(np.mean(raw))
+    if obs.enabled:
+        obs.count("profiling.redistribution_samples", trials * len(grid))
     return grid

@@ -27,6 +27,7 @@ from typing import Callable
 
 from repro.dag.analysis import critical_path, critical_path_length
 from repro.dag.graph import TaskGraph
+from repro.obs.recorder import get_recorder
 from repro.scheduling.costs import SchedulingCosts
 
 __all__ = ["cpa_allocate", "average_area", "allocation_loop"]
@@ -88,6 +89,8 @@ def allocation_loop(
     if not alloc:
         return alloc
     stop = stop or (lambda t_cp, t_a, _alloc: t_cp <= t_a)
+    obs = get_recorder()
+    stop_reason = "iteration_budget"
 
     # Upper bound on iterations: every step adds one processor to one task.
     for _ in range(len(alloc) * cap + 1):
@@ -95,15 +98,38 @@ def allocation_loop(
         t_cp = critical_path_length(graph, task_cost)
         t_a = average_area(costs, alloc)
         if stop(t_cp, t_a, alloc):
+            stop_reason = "criterion"
             break
         cp = critical_path(graph, task_cost)
         growable = [t for t in cp if alloc[t] < cap]
         if not growable:
+            stop_reason = "critical_path_capped"
             break
         chosen = select(growable, alloc)
         if chosen is None:
+            stop_reason = "no_beneficial_candidate"
             break
         alloc[chosen] += 1
+        if obs.enabled:
+            # Per-decision record: which task grew, to what allocation,
+            # and the bounds that justified growing it.
+            obs.count("sched.alloc_grow_steps")
+            obs.event(
+                "sched.alloc_grow",
+                dag=graph.name,
+                task=chosen,
+                p=alloc[chosen],
+                t_cp=t_cp,
+                t_a=t_a,
+            )
+    if obs.enabled:
+        obs.event(
+            "sched.alloc_done",
+            dag=graph.name,
+            reason=stop_reason,
+            total_alloc=sum(alloc.values()),
+            tasks=len(alloc),
+        )
     return alloc
 
 

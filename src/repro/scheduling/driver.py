@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.dag.graph import TaskGraph
+from repro.obs.recorder import get_recorder
 from repro.scheduling.baselines import full_parallel_allocate, sequential_allocate
 from repro.scheduling.costs import SchedulingCosts
 from repro.scheduling.cpa import cpa_allocate
@@ -52,8 +53,10 @@ def schedule_dag(
         ``"seq"``, ``"maxpar"``).
     """
     graph.validate()
+    obs = get_recorder()
     if algorithm in ONE_PHASE_ALGORITHMS:
-        return ONE_PHASE_ALGORITHMS[algorithm](graph, costs)
+        with obs.span("sched.one_phase", algorithm=algorithm, dag=graph.name):
+            return ONE_PHASE_ALGORITHMS[algorithm](graph, costs)
     try:
         allocator = ALGORITHMS[algorithm]
     except KeyError:
@@ -61,7 +64,19 @@ def schedule_dag(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {known}"
         ) from None
-    alloc = allocator(graph, costs)
-    schedule = map_allocations(graph, costs, alloc, algorithm=algorithm)
+    with obs.span("sched.allocate", algorithm=algorithm, dag=graph.name):
+        alloc = allocator(graph, costs)
+    with obs.span("sched.map", algorithm=algorithm, dag=graph.name):
+        schedule = map_allocations(graph, costs, alloc, algorithm=algorithm)
     schedule.validate(graph, costs.platform)
+    if obs.enabled:
+        obs.count("sched.schedules")
+        obs.event(
+            "sched.schedule",
+            algorithm=algorithm,
+            dag=graph.name,
+            tasks=len(graph),
+            total_alloc=sum(alloc.values()),
+            makespan_estimate=schedule.makespan_estimate,
+        )
     return schedule

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 from repro.dag.analysis import precedence_levels
 from repro.dag.graph import TaskGraph
+from repro.obs.recorder import get_recorder
 from repro.scheduling.costs import SchedulingCosts
 from repro.scheduling.cpa import _cpa_gain, allocation_loop
 
@@ -95,6 +96,16 @@ def hcpa_allocate(
     cap: dict[int, int] = {
         t: max(1, math.ceil(P / level_size[levels[t]])) for t in graph.task_ids
     }
+    obs = get_recorder()
+    if obs.enabled:
+        obs.event(
+            "sched.hcpa.caps",
+            dag=graph.name,
+            beta=beta,
+            min_cap=min(cap.values()),
+            max_cap=max(cap.values()),
+            widest_level=max(level_size.values()),
+        )
 
     def stop(t_cp: float, t_a: float, _alloc: dict[int, int]) -> bool:
         return t_cp <= beta * t_a
@@ -104,6 +115,10 @@ def hcpa_allocate(
         best_gain = 0.0
         for t in candidates:
             if alloc[t] >= cap[t]:
+                # The concurrency cap is HCPA's over-allocation fix in
+                # action; count how often it actually binds.
+                if obs.enabled:
+                    obs.count("sched.hcpa.cap_hits")
                 continue
             gain = _cpa_gain(costs, t, alloc[t])
             if gain > best_gain:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.dag.analysis import precedence_levels
 from repro.dag.graph import TaskGraph
+from repro.obs.recorder import get_recorder
 from repro.scheduling.costs import SchedulingCosts
 from repro.scheduling.cpa import _cpa_gain, allocation_loop
 
@@ -32,6 +33,8 @@ def mcpa_allocate(graph: TaskGraph, costs: SchedulingCosts) -> dict[int, int]:
         members.setdefault(lvl, []).append(task_id)
     P = costs.num_procs
 
+    obs = get_recorder()
+
     def level_load(task_id: int, alloc: dict[int, int]) -> int:
         return sum(alloc[t] for t in members[levels[task_id]])
 
@@ -40,7 +43,11 @@ def mcpa_allocate(graph: TaskGraph, costs: SchedulingCosts) -> dict[int, int]:
         best_gain = 0.0
         for t in candidates:
             if level_load(t, alloc) >= P:
-                continue  # the level already saturates the machine
+                # MCPA's width constraint binding: the level already
+                # saturates the machine, so this task cannot grow.
+                if obs.enabled:
+                    obs.count("sched.mcpa.level_saturated")
+                continue
             gain = _cpa_gain(costs, t, alloc[t])
             if gain > best_gain:
                 best_gain = gain

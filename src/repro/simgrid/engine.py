@@ -24,6 +24,7 @@ import itertools
 import math
 from typing import Callable, Optional
 
+from repro.obs.recorder import get_recorder
 from repro.simgrid.resources import Resource
 from repro.simgrid.sharing import solve_rates
 from repro.util.errors import SimulationError
@@ -116,6 +117,13 @@ class SimulationEngine:
         self.now = 0.0
         self._actions: list[Action] = []
         self._capacity: dict[Resource, float] = {}
+        # Observability: the recorder is sampled once per engine (cheap)
+        # and every emission below is guarded by ``_obs.enabled`` so the
+        # hot loop pays one attribute load + branch when tracing is off —
+        # no event dicts are ever built on the disabled path.
+        self._obs = get_recorder()
+        self.steps_taken = 0
+        self.solver_calls = 0
 
     # ------------------------------------------------------------------
     def add_action(self, action: Action) -> Action:
@@ -124,6 +132,8 @@ class SimulationEngine:
         for res in action.consumption:
             self._capacity[res] = res.capacity
         self._actions.append(action)
+        if self._obs.enabled:
+            self._obs.count("engine.actions_started")
         return action
 
     def add_timer(
@@ -151,6 +161,7 @@ class SimulationEngine:
         }
         if not working:
             return
+        self.solver_calls += 1
         rates = solve_rates(
             {a: cons for a, cons in working.items()},
             self._capacity,
@@ -208,6 +219,18 @@ class SimulationEngine:
         completed.sort(key=lambda a: a._seq)
         for action in completed:
             self._actions.remove(action)
+        self.steps_taken += 1
+        if self._obs.enabled:
+            # Queue depth here is post-removal, pre-callback: the still
+            # running actions, before completions enqueue follow-ups.
+            self._obs.count("engine.completions", len(completed))
+            self._obs.event(
+                "engine.step",
+                t=self.now,
+                dt=dt,
+                queue=len(self._actions),
+                completed=len(completed),
+            )
         for action in completed:
             action.finish_time = self.now
             if action.on_complete is not None:
@@ -223,4 +246,7 @@ class SimulationEngine:
                 raise SimulationError(
                     f"exceeded {max_steps} steps; livelock suspected"
                 )
+        if self._obs.enabled:
+            self._obs.count("engine.steps", steps)
+            self._obs.count("engine.solver_calls", self.solver_calls)
         return self.now

@@ -36,6 +36,7 @@ from repro.models.overheads import (
     ZeroRedistributionOverheadModel,
     ZeroStartupModel,
 )
+from repro.obs.recorder import get_recorder
 from repro.platform.cluster import ClusterPlatform
 from repro.scheduling.schedule import Schedule
 from repro.simgrid.engine import Action, SimulationEngine
@@ -287,4 +288,20 @@ class ApplicationSimulator:
             )
         trace.makespan = makespan
         trace.validate_against(graph, schedule)
+        obs = get_recorder()
+        if obs.enabled:
+            obs.count("sim.runs")
+            obs.count("sim.tasks_executed", len(trace.tasks))
+            obs.count("sim.redistributions", len(trace.edges))
+            obs.event(
+                "sim.run",
+                dag=graph.name,
+                algorithm=schedule.algorithm,
+                model=self.task_model.name,
+                makespan=makespan,
+                tasks=len(trace.tasks),
+                redistributions=len(trace.edges),
+                engine_steps=engine.steps_taken,
+                solver_calls=engine.solver_calls,
+            )
         return trace

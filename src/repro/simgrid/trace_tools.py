@@ -11,9 +11,16 @@ from __future__ import annotations
 import json
 
 from repro.scheduling.schedule import Schedule
-from repro.simgrid.simulator import SimulationTrace
+from repro.simgrid.simulator import EdgeRecord, SimulationTrace, TaskRecord
 
-__all__ = ["render_gantt", "render_schedule_gantt", "trace_to_dict", "trace_to_json"]
+__all__ = [
+    "render_gantt",
+    "render_schedule_gantt",
+    "trace_to_dict",
+    "trace_from_dict",
+    "trace_to_json",
+    "trace_from_json",
+]
 
 
 def render_gantt(
@@ -85,9 +92,39 @@ def trace_to_dict(trace: SimulationTrace) -> dict:
     }
 
 
+def trace_from_dict(data: dict) -> SimulationTrace:
+    """Inverse of :func:`trace_to_dict` (full JSON round-trip)."""
+    trace = SimulationTrace(makespan=float(data["makespan"]))
+    for rec in data.get("tasks", []):
+        record = TaskRecord(
+            task_id=int(rec["task_id"]),
+            hosts=tuple(int(h) for h in rec["hosts"]),
+            start=float(rec["start"]),
+            finish=float(rec["finish"]),
+            startup_overhead=float(rec["startup_overhead"]),
+        )
+        trace.tasks[record.task_id] = record
+    for rec in data.get("redistributions", []):
+        record = EdgeRecord(
+            src=int(rec["src"]),
+            dst=int(rec["dst"]),
+            start=float(rec["start"]),
+            finish=float(rec["finish"]),
+            overhead=float(rec["overhead"]),
+            volume_bytes=float(rec["volume_bytes"]),
+        )
+        trace.edges[(record.src, record.dst)] = record
+    return trace
+
+
 def trace_to_json(trace: SimulationTrace, *, indent: int = 2) -> str:
     """JSON form of a trace."""
     return json.dumps(trace_to_dict(trace), indent=indent)
+
+
+def trace_from_json(text: str) -> SimulationTrace:
+    """Inverse of :func:`trace_to_json`."""
+    return trace_from_dict(json.loads(text))
 
 
 def render_schedule_gantt(

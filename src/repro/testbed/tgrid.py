@@ -32,6 +32,7 @@ import numpy as np
 from repro.dag.graph import Task, TaskGraph
 from repro.models.base import ModelKind, TaskTimeModel
 from repro.models.overheads import RedistributionOverheadModel, StartupOverheadModel
+from repro.obs.recorder import get_recorder
 from repro.platform.cluster import ClusterPlatform
 from repro.scheduling.schedule import Schedule
 from repro.simgrid.simulator import ApplicationSimulator, SimulationTrace
@@ -209,7 +210,13 @@ class TGridEmulator:
                 self.subnet, rng, self.redistribution_scale
             ),
         )
-        return executor.run(graph, schedule)
+        obs = get_recorder()
+        if obs.enabled:
+            obs.count("testbed.executions")
+        with obs.span(
+            "testbed.execute", dag=graph.name, algorithm=schedule.algorithm
+        ):
+            return executor.run(graph, schedule)
 
     def makespan(
         self, graph: TaskGraph, schedule: Schedule, run_label: object = 0
@@ -232,6 +239,9 @@ class TGridEmulator:
         """Time ``trials`` standalone executions of a kernel (seconds)."""
         if trials < 1:
             raise ValueError("trials must be >= 1")
+        obs = get_recorder()
+        if obs.enabled:
+            obs.count("testbed.bench_kernel_trials", trials)
         sigma = self._kernel_sigma(n)
         rng = spawn_rng(self._env_seed, "bench-kernel", kernel_name, n, p)
         mean = self.kernel_time_scale * self.kernels.mean_time(kernel_name, n, p)
@@ -245,6 +255,9 @@ class TGridEmulator:
         """
         if trials < 1:
             raise ValueError("trials must be >= 1")
+        obs = get_recorder()
+        if obs.enabled:
+            obs.count("testbed.bench_startup_trials", trials)
         rng = spawn_rng(self._env_seed, "bench-startup", p)
         return [self.startup_scale * self.jvm.sample(p, rng) for _ in range(trials)]
 
@@ -259,6 +272,9 @@ class TGridEmulator:
         """
         if trials < 1:
             raise ValueError("trials must be >= 1")
+        obs = get_recorder()
+        if obs.enabled:
+            obs.count("testbed.bench_redistribution_trials", trials)
         rng = spawn_rng(self._env_seed, "bench-redist", p_src, p_dst)
         return [
             self.redistribution_scale * self.subnet.sample(p_src, p_dst, rng)

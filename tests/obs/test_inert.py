@@ -1,0 +1,86 @@
+"""Observability must be inert by default (the zero-overhead guarantee).
+
+With the default null sink the instrumentation must (a) never call the
+sink, (b) never build span objects on the hot path, and (c) leave every
+simulated number bit-identical to an instrumented run — tracing observes
+the computation, it never participates in it.
+"""
+
+from repro.dag.generator import generate_paper_dags
+from repro.obs.recorder import Recorder, get_recorder, recording
+from repro.obs.sinks import NullSink
+from repro.platform.personalities import bayreuth_cluster
+from repro.profiling.calibration import build_analytical_suite
+from repro.experiments.runner import run_study
+from repro.testbed.tgrid import TGridEmulator
+
+
+class CountingNullSink(NullSink):
+    """A null sink that notices if anything ever reaches it."""
+
+    def __init__(self):
+        self.writes = 0
+
+    def write(self, record):
+        self.writes += 1
+
+
+def _small_study(recorder=None):
+    emulator = TGridEmulator(bayreuth_cluster(8), seed=0)
+    suite = build_analytical_suite(emulator.platform)
+    dags = generate_paper_dags(seed=0)[:3]
+    if recorder is None:
+        return run_study(dags, [suite], emulator)
+    with recording(recorder):
+        return run_study(dags, [suite], emulator)
+
+
+class TestNullSinkIsNeverCalled:
+    def test_engine_and_study_never_touch_the_sink(self):
+        sink = CountingNullSink()
+        recorder = Recorder(sink)
+        assert recorder.enabled is False  # NullSink subclass => disabled
+        result = _small_study(recorder)
+        assert len(result) == 6  # 3 dags x 2 algorithms
+        assert sink.writes == 0
+        # Guarded emission: not even in-memory state accumulates.
+        assert recorder.counters == {}
+        assert recorder.spans == {}
+
+    def test_global_default_recorder_stays_clean(self):
+        _small_study()
+        rec = get_recorder()
+        assert rec.enabled is False
+        assert rec.counters == {}
+
+
+class TestResultsAreIdenticalEitherWay:
+    def test_traced_and_untraced_studies_agree_exactly(self):
+        baseline = _small_study()
+        traced = _small_study(Recorder.to_memory())
+        assert len(baseline) == len(traced)
+        for a, b in zip(baseline.records, traced.records):
+            # Bit-identical, not approximately equal: the recorder must
+            # not perturb RNG streams or float evaluation order.
+            assert a.sim_makespan == b.sim_makespan
+            assert a.exp_makespan == b.exp_makespan
+            assert a.total_alloc == b.total_alloc
+            assert a.dag_label == b.dag_label
+
+    def test_traced_study_actually_recorded_something(self):
+        recorder = Recorder.to_memory()
+        _small_study(recorder)
+        assert recorder.counters["engine.steps"] > 0
+        assert recorder.counters["study.runs"] == 6
+        names = {r.get("name") for r in recorder.sink.records}
+        assert "study.record" in names
+
+    def test_manifest_attached_in_both_modes(self):
+        untraced = _small_study()
+        traced = _small_study(Recorder.to_memory())
+        assert untraced.manifest is not None
+        assert untraced.manifest.metrics == {}  # disabled => no rollup
+        assert traced.manifest is not None
+        assert traced.manifest.metrics["counters"]["study.runs"] == 6
+        assert untraced.manifest.simulators == ["analytic"]
+        assert untraced.manifest.algorithms == ["hcpa", "mcpa"]

@@ -1,0 +1,74 @@
+"""Tests for run provenance (RunManifest)."""
+
+import json
+
+import repro
+from repro.obs.manifest import RunManifest, emit_manifest, platform_info
+from repro.obs.recorder import Recorder
+from repro.platform.personalities import bayreuth_cluster
+
+
+class TestPlatformInfo:
+    def test_describes_cluster(self):
+        info = platform_info(bayreuth_cluster(8))
+        assert info["name"] == "bayreuth"
+        assert info["num_nodes"] == 8
+        assert info["heterogeneous"] is False
+        json.dumps(info)  # must be JSON-able
+
+
+class TestRunManifest:
+    def test_collect_records_version_and_metrics(self):
+        rec = Recorder.to_memory()
+        rec.count("x", 3)
+        manifest = RunManifest.collect(
+            seed=7,
+            cluster=bayreuth_cluster(4),
+            simulators=["analytic"],
+            algorithms=["hcpa", "mcpa"],
+            command="study",
+            num_records=12,
+            recorder=rec,
+        )
+        assert manifest.seed == 7
+        assert manifest.version == repro.__version__
+        assert manifest.platform["num_nodes"] == 4
+        assert manifest.metrics["counters"]["x"] == 3
+        assert manifest.num_records == 12
+        assert manifest.command == "study"
+        assert manifest.created  # timestamped
+
+    def test_dict_roundtrip(self):
+        manifest = RunManifest.collect(seed=1, cluster=bayreuth_cluster(2))
+        clone = RunManifest.from_dict(manifest.to_dict())
+        assert clone == manifest
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = RunManifest(seed=3).to_dict()
+        data["type"] = "manifest"  # as found in a JSONL trace record
+        data["future_field"] = "whatever"
+        assert RunManifest.from_dict(data).seed == 3
+
+    def test_json_roundtrip(self):
+        manifest = RunManifest.collect(seed=2, cluster=bayreuth_cluster(2))
+        assert RunManifest.from_dict(json.loads(manifest.to_json())) == manifest
+
+    def test_file_roundtrip(self, tmp_path):
+        manifest = RunManifest(seed=9, simulators=["profile"])
+        path = manifest.write(tmp_path / "manifest.json")
+        assert RunManifest.read(path) == manifest
+
+
+class TestEmitManifest:
+    def test_appends_typed_record(self):
+        rec = Recorder.to_memory()
+        emit_manifest(rec, RunManifest(seed=5))
+        (record,) = rec.sink.records
+        assert record["type"] == "manifest"
+        assert record["seed"] == 5
+
+    def test_noop_when_disabled(self):
+        rec = Recorder()
+        emit_manifest(rec, RunManifest())
+        # Disabled recorder has a NullSink; nothing observable happened.
+        assert rec.counters == {} and rec.spans == {}

@@ -1,0 +1,154 @@
+"""Tests for the Recorder core: sinks, events, counters, spans."""
+
+import json
+
+import pytest
+
+from repro.obs.recorder import (
+    Recorder,
+    get_recorder,
+    recording,
+    set_recorder,
+)
+from repro.obs.sinks import JsonlSink, MemorySink, NullSink
+
+
+class TestDisabledRecorder:
+    def test_default_recorder_is_disabled(self):
+        assert Recorder().enabled is False
+
+    def test_null_sink_recorder_is_disabled(self):
+        assert Recorder(NullSink()).enabled is False
+
+    def test_null_sink_subclass_is_disabled(self):
+        class CountingNull(NullSink):
+            pass
+
+        assert Recorder(CountingNull()).enabled is False
+
+    def test_disabled_event_and_count_do_nothing(self):
+        rec = Recorder()
+        rec.event("x", a=1)
+        rec.count("x")
+        assert rec.counters == {}
+
+    def test_disabled_span_is_shared_noop(self):
+        rec = Recorder()
+        # Must not allocate a fresh object per call (hot-path guarantee).
+        assert rec.span("a") is rec.span("b")
+        with rec.span("a"):
+            pass
+        assert rec.spans == {}
+
+    def test_global_default_is_disabled(self):
+        assert get_recorder().enabled is False
+
+
+class TestEnabledRecorder:
+    def test_event_reaches_sink(self):
+        rec = Recorder.to_memory()
+        rec.event("engine.step", t=1.5, queue=3)
+        (record,) = rec.sink.records
+        assert record == {
+            "type": "event", "name": "engine.step", "t": 1.5, "queue": 3,
+        }
+
+    def test_counters_accumulate_without_sink_writes(self):
+        rec = Recorder.to_memory()
+        rec.count("a")
+        rec.count("a", 4)
+        rec.count("b", 2.5)
+        assert rec.counters == {"a": 5, "b": 2.5}
+        assert rec.sink.records == []
+
+    def test_span_times_and_streams(self):
+        rec = Recorder.to_memory()
+        with rec.span("phase", algorithm="hcpa"):
+            pass
+        (record,) = rec.sink.records
+        assert record["type"] == "span"
+        assert record["name"] == "phase"
+        assert record["algorithm"] == "hcpa"
+        assert record["dur_s"] >= 0.0
+        stats = rec.spans["phase"]
+        assert stats.count == 1
+        assert stats.total >= 0.0
+        assert stats.mean == stats.total
+
+    def test_span_records_even_on_exception(self):
+        rec = Recorder.to_memory()
+        with pytest.raises(RuntimeError):
+            with rec.span("phase"):
+                raise RuntimeError("boom")
+        assert rec.spans["phase"].count == 1
+
+    def test_metrics_rollup(self):
+        rec = Recorder.to_memory()
+        rec.count("z", 2)
+        rec.count("a", 1)
+        with rec.span("s"):
+            pass
+        metrics = rec.metrics()
+        assert list(metrics["counters"]) == ["a", "z"]
+        assert metrics["spans"]["s"]["count"] == 1
+        assert set(metrics["spans"]["s"]) == {
+            "count", "total_s", "mean_s", "min_s", "max_s",
+        }
+
+
+class TestGlobalRecorder:
+    def test_recording_context_installs_and_restores(self):
+        before = get_recorder()
+        rec = Recorder.to_memory()
+        with recording(rec):
+            assert get_recorder() is rec
+        assert get_recorder() is before
+
+    def test_recording_restores_on_exception(self):
+        before = get_recorder()
+        with pytest.raises(ValueError):
+            with recording(Recorder.to_memory()):
+                raise ValueError
+        assert get_recorder() is before
+
+    def test_set_recorder_none_resets_to_disabled(self):
+        set_recorder(Recorder.to_memory())
+        try:
+            assert get_recorder().enabled
+        finally:
+            set_recorder(None)
+        assert get_recorder().enabled is False
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        rec = Recorder(JsonlSink(path))
+        rec.event("a", i=1)
+        rec.event("b", x=0.5)
+        rec.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(l)["name"] for l in lines] == ["a", "b"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "trace.jsonl"
+        Recorder(JsonlSink(path)).close()
+        assert path.exists()
+
+    def test_accepts_open_handle(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with path.open("w") as fh:
+            sink = JsonlSink(fh)
+            sink.write({"k": 1})
+            sink.close()  # must not close a borrowed handle
+            assert not fh.closed
+        assert json.loads(path.read_text()) == {"k": 1}
+
+
+class TestMemorySink:
+    def test_clear(self):
+        sink = MemorySink()
+        sink.write({"a": 1})
+        assert sink.records
+        sink.clear()
+        assert sink.records == []

@@ -8,8 +8,14 @@ from repro.models.analytical import AnalyticalTaskModel
 from repro.platform.personalities import bayreuth_cluster
 from repro.scheduling.costs import SchedulingCosts
 from repro.scheduling.driver import schedule_dag
-from repro.simgrid.simulator import ApplicationSimulator
-from repro.simgrid.trace_tools import render_gantt, trace_to_dict, trace_to_json
+from repro.simgrid.simulator import ApplicationSimulator, SimulationTrace, TaskRecord
+from repro.simgrid.trace_tools import (
+    render_gantt,
+    trace_from_dict,
+    trace_from_json,
+    trace_to_dict,
+    trace_to_json,
+)
 
 
 @pytest.fixture(scope="module")
@@ -84,6 +90,58 @@ class TestTraceExport:
         for rec in data["tasks"]:
             assert rec["hosts"]
             assert rec["finish"] >= rec["start"]
+
+    def test_full_roundtrip_through_dict(self, trace_and_platform):
+        trace, *_ = trace_and_platform
+        clone = trace_from_dict(trace_to_dict(trace))
+        assert clone.makespan == trace.makespan
+        assert clone.tasks == trace.tasks
+        assert clone.edges == trace.edges
+
+    def test_full_roundtrip_through_json(self, trace_and_platform):
+        trace, *_ = trace_and_platform
+        clone = trace_from_json(trace_to_json(trace))
+        assert clone.tasks == trace.tasks
+        assert clone.edges == trace.edges
+        # And re-serialising the clone is byte-identical.
+        assert trace_to_json(clone) == trace_to_json(trace)
+
+    def test_empty_trace_roundtrip(self):
+        empty = SimulationTrace(makespan=0.0)
+        clone = trace_from_json(trace_to_json(empty))
+        assert clone.makespan == 0.0
+        assert clone.tasks == {} and clone.edges == {}
+
+
+class TestGanttEdgeCases:
+    def test_empty_trace_renders_idle_chart(self):
+        out = render_gantt(SimulationTrace(makespan=0.0), num_hosts=2, width=10)
+        host_rows = [l for l in out.splitlines() if l.startswith("host")]
+        assert len(host_rows) == 2
+        for row in host_rows:
+            assert row.split("|")[1] == "." * 10  # all idle
+        assert "redistributions:" not in out
+
+    def test_zero_makespan_with_instant_task(self):
+        # A zero-duration task at t=0 must still paint one column and
+        # not divide by zero (makespan floor of 1e-12).
+        trace = SimulationTrace(makespan=0.0)
+        trace.tasks[0] = TaskRecord(
+            task_id=0, hosts=(0,), start=0.0, finish=0.0, startup_overhead=0.0
+        )
+        out = render_gantt(trace, num_hosts=1, width=12)
+        body = out.splitlines()[1].split("|")[1]
+        assert "0" in body
+
+    def test_zero_makespan_roundtrips(self):
+        trace = SimulationTrace(makespan=0.0)
+        trace.tasks[0] = TaskRecord(
+            task_id=0, hosts=(0, 1), start=0.0, finish=0.0,
+            startup_overhead=0.0,
+        )
+        clone = trace_from_dict(trace_to_dict(trace))
+        assert clone.tasks[0].hosts == (0, 1)
+        assert clone.tasks[0].duration == 0.0
 
 
 class TestRenderScheduleGantt:

@@ -79,6 +79,87 @@ class TestStudyCommand:
         assert "wrong comparisons" in out
 
 
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_study_trace_out_emits_jsonl_and_manifest(self, capsys, tmp_path):
+        """Acceptance: study --trace-out emits a valid JSONL event stream
+        plus manifest, and report summarises it."""
+        trace = tmp_path / "t.jsonl"
+        rc = main(["--trace-out", str(trace), "study",
+                   "--simulator", "analytic"])
+        assert rc == 0
+        capsys.readouterr()
+        lines = trace.read_text().splitlines()
+        records = [json.loads(l) for l in lines]  # every line is JSON
+        assert all(isinstance(r, dict) for r in records)
+        manifest = records[-1]
+        assert manifest["type"] == "manifest"
+        assert manifest["command"] == "study"
+        assert manifest["platform"]["num_nodes"] == 32
+        counters = manifest["metrics"]["counters"]
+        assert counters["engine.steps"] > 0
+        assert counters["study.runs"] == 108  # 54 dags x 2 algorithms
+        names = {r.get("name") for r in records}
+        assert "study.record" in names
+        assert "engine.step" in names
+
+        rc = main(["report", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # Engine step counts, scheduler phase timings, per-(algorithm,
+        # simulator) makespans — the three headline sections.
+        assert "engine.steps" in out
+        assert "sched.allocate" in out and "sched.map" in out
+        assert "per-(algorithm, simulator) makespans:" in out
+        assert "hcpa" in out and "mcpa" in out
+
+    def test_trace_out_does_not_change_results(self, capsys, tmp_path):
+        main(["simulate", "--algorithm", "hcpa"])
+        plain = capsys.readouterr().out
+        main(["--trace-out", str(tmp_path / "t.jsonl"), "simulate",
+              "--algorithm", "hcpa"])
+        traced = capsys.readouterr().out
+        assert plain == traced
+
+    def test_global_recorder_reset_after_command(self, tmp_path, capsys):
+        from repro.obs import get_recorder
+
+        main(["--trace-out", str(tmp_path / "t.jsonl"), "dag"])
+        capsys.readouterr()
+        assert get_recorder().enabled is False
+
+    def test_metrics_flag_prints_rollup(self, capsys):
+        rc = main(["--metrics", "simulate", "--algorithm", "mcpa"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "===== metrics =====" in out
+        assert "engine.steps" in out
+        assert "sched.allocate" in out
+
+
+class TestReportCommand:
+    def test_missing_trace_errors_cleanly(self, capsys, tmp_path):
+        rc = main(["report", str(tmp_path / "missing.jsonl")])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_malformed_trace_errors_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        rc = main(["report", str(bad)])
+        assert rc == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+
 class TestFiguresCommand:
     def test_single_figure_to_directory(self, capsys, tmp_path):
         rc = main(["figures", "--only", "fig3", "--out", str(tmp_path)])
