@@ -1,124 +1,49 @@
 """Pipeline stage benchmark: where does the wall-clock time go?
 
-Uses the observability layer (an in-memory recorder with ``span()``
-timers) to time the four stages every study run goes through —
-DAG generation, scheduling, simulation, testbed execution — and writes
-the aggregate to ``BENCH_pipeline.json`` at the repository root.  This
-seeds the benchmark trajectory every future performance PR measures
-against.
+Thin entry point over :mod:`repro.experiments.bench`, which times the
+four stages every study run goes through — DAG generation, scheduling,
+simulation, testbed execution — and writes the aggregate to
+``BENCH_pipeline.json`` at the repository root.  This seeds the
+benchmark trajectory every future performance PR measures against.
 
 Run directly (``python benchmarks/bench_pipeline.py``) or via pytest
-(``pytest benchmarks/bench_pipeline.py``).
+(``pytest benchmarks/bench_pipeline.py``); ``repro bench`` is the same
+entry point through the CLI.
+
+Flags::
+
+    --compare           compare against the committed baseline instead
+                        of overwriting it; exit 1 on regression
+    --threshold FRAC    relative slowdown tolerated per stage (0.25)
+    --repeat N          run N passes, keep the per-stage minimum
+    --update            rewrite BENCH_pipeline.json (default when no
+                        --compare is given)
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 if str(REPO_ROOT / "src") not in sys.path:  # script use without install
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro import __version__  # noqa: E402
-from repro.dag.generator import generate_paper_dags  # noqa: E402
-from repro.obs import Recorder, recording  # noqa: E402
-from repro.platform.personalities import bayreuth_cluster  # noqa: E402
-from repro.profiling.calibration import build_analytical_suite  # noqa: E402
-from repro.scheduling.costs import SchedulingCosts  # noqa: E402
-from repro.scheduling.driver import schedule_dag  # noqa: E402
-from repro.simgrid.simulator import ApplicationSimulator  # noqa: E402
-from repro.testbed.tgrid import TGridEmulator  # noqa: E402
+from repro.experiments.bench import (  # noqa: E402
+    NUM_DAGS,
+    compare_to_baseline,
+    render_comparison,
+    run_pipeline_bench,
+)
 
 OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
 
-#: Study subset: enough work to time meaningfully, small enough to run
-#: in CI (first N of the 54 Table I DAGs, both algorithms).
-NUM_DAGS = 12
-ALGORITHMS = ("hcpa", "mcpa")
-
 
 def run_benchmark(num_dags: int = NUM_DAGS) -> dict:
-    """Time each pipeline stage; returns the BENCH payload."""
-    recorder = Recorder.to_memory()
-    with recording(recorder):
-        with recorder.span("pipeline.dag_generation"):
-            dags = generate_paper_dags(seed=0)[:num_dags]
-
-        platform = bayreuth_cluster(32)
-        emulator = TGridEmulator(platform, seed=0)
-        suite = build_analytical_suite(platform)
-
-        schedules = []
-        with recorder.span("pipeline.scheduling"):
-            for _params, graph in dags:
-                costs = SchedulingCosts(
-                    graph,
-                    platform,
-                    suite.task_model,
-                    startup_model=suite.startup_model,
-                    redistribution_model=suite.redistribution_model,
-                )
-                for algorithm in ALGORITHMS:
-                    schedules.append(
-                        (graph, schedule_dag(graph, costs, algorithm))
-                    )
-
-        simulator = ApplicationSimulator(
-            platform,
-            suite.task_model,
-            startup_model=suite.startup_model,
-            redistribution_model=suite.redistribution_model,
-        )
-        with recorder.span("pipeline.simulation"):
-            for graph, schedule in schedules:
-                simulator.run(graph, schedule)
-
-        with recorder.span("pipeline.testbed_execution"):
-            for graph, schedule in schedules:
-                emulator.execute(graph, schedule)
-
-    metrics = recorder.metrics()
-    stage_names = [
-        "pipeline.dag_generation",
-        "pipeline.scheduling",
-        "pipeline.simulation",
-        "pipeline.testbed_execution",
-    ]
-    units = {
-        "pipeline.dag_generation": num_dags,
-        "pipeline.scheduling": len(schedules),
-        "pipeline.simulation": len(schedules),
-        "pipeline.testbed_execution": len(schedules),
-    }
-    stages = {}
-    for name in stage_names:
-        span = metrics["spans"][name]
-        n = units[name]
-        stages[name.removeprefix("pipeline.")] = {
-            "seconds": round(span["total_s"], 6),
-            "units": n,
-            "seconds_per_unit": round(span["total_s"] / n, 6),
-        }
-    return {
-        "bench": "pipeline",
-        "version": __version__,
-        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
-        "config": {
-            "num_dags": num_dags,
-            "algorithms": list(ALGORITHMS),
-            "num_nodes": 32,
-            "simulator": "analytic",
-        },
-        "stages": stages,
-        "counters": {
-            k: v
-            for k, v in metrics["counters"].items()
-            if k.startswith(("engine.", "sim.", "sched.", "testbed."))
-        },
-    }
+    """Back-compat alias for :func:`run_pipeline_bench`."""
+    return run_pipeline_bench(num_dags)
 
 
 def test_bench_pipeline():
@@ -133,17 +58,59 @@ def test_bench_pipeline():
     assert payload["counters"]["engine.steps"] > 0
 
 
-def main() -> int:
-    payload = run_benchmark()
-    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+def _print_stages(payload: dict) -> None:
     total = sum(s["seconds"] for s in payload["stages"].values())
-    print(f"wrote {OUTPUT}")
     for name, stage in payload["stages"].items():
         share = 100.0 * stage["seconds"] / total if total else 0.0
         print(
             f"  {name:<18} {stage['seconds']:8.3f} s "
             f"({share:5.1f} %, {1e3 * stage['seconds_per_unit']:8.3f} ms/unit)"
         )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dags", type=int, default=NUM_DAGS)
+    parser.add_argument("--repeat", type=int, default=1)
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="compare against the committed baseline; exit 1 on regression",
+    )
+    parser.add_argument("--threshold", type=float, default=0.25)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline (implied when --compare is absent)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_pipeline_bench(num_dags=args.dags, repeat=args.repeat)
+    if args.compare:
+        try:
+            baseline = json.loads(OUTPUT.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            print(f"no baseline at {OUTPUT}; run without --compare first")
+            return 2
+        try:
+            comparisons = compare_to_baseline(
+                payload, baseline, threshold=args.threshold
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _print_stages(payload)
+        print(render_comparison(comparisons))
+        if args.update:
+            OUTPUT.write_text(
+                json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+            )
+            print(f"wrote {OUTPUT}")
+        return 1 if any(c.regressed for c in comparisons) else 0
+
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT}")
+    _print_stages(payload)
     return 0
 
 

@@ -18,6 +18,9 @@ Commands
 ``report``
     Summarise a JSONL trace produced with ``--trace-out`` (counters,
     span timings, per-algorithm makespans).
+``bench``
+    Time the pipeline stages; ``--compare`` checks against the
+    committed ``BENCH_pipeline.json`` baseline.
 
 Global observability flags (before the subcommand): ``--trace-out PATH``
 streams typed events to a JSONL file and appends a provenance manifest;
@@ -84,6 +87,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--version", action="version", version=f"%(prog)s {repro.__version__}"
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for study sweeps (1 = serial; results "
+        "are identical either way)",
+    )
     parser.add_argument(
         "--trace-out",
         default="",
@@ -172,6 +182,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("trace", help="path to a --trace-out JSONL file")
     p_rep.add_argument(
         "--top", type=int, default=15, help="how many counters to list"
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="time the pipeline stages; optionally compare "
+        "against the committed baseline"
+    )
+    p_bench.add_argument("--dags", type=int, default=12,
+                         help="how many Table I DAGs to push through")
+    p_bench.add_argument("--repeat", type=int, default=1,
+                         help="measurement passes; per-stage minimum wins")
+    p_bench.add_argument(
+        "--compare",
+        action="store_true",
+        help="compare against the baseline; exit 1 on regression",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative slowdown tolerated per stage (default 0.25)",
+    )
+    p_bench.add_argument(
+        "--baseline", default="",
+        help="baseline JSON path (default: BENCH_pipeline.json at the "
+        "repository root)",
+    )
+    p_bench.add_argument(
+        "--update", action="store_true",
+        help="write the measured payload to the baseline path",
     )
     return parser
 
@@ -365,6 +402,44 @@ def _cmd_report(ctx: StudyContext, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
+    from repro.experiments import bench as bench_mod
+
+    payload = bench_mod.run_pipeline_bench(
+        num_dags=args.dags, repeat=args.repeat
+    )
+    total = sum(s["seconds"] for s in payload["stages"].values())
+    for name, stage in payload["stages"].items():
+        share = 100.0 * stage["seconds"] / total if total else 0.0
+        print(f"  {name:<18} {stage['seconds']:8.3f} s ({share:5.1f} %)")
+    baseline_path = (
+        Path(args.baseline) if args.baseline
+        else bench_mod.default_baseline_path()
+    )
+    status = 0
+    if args.compare:
+        try:
+            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            print(f"error: no baseline at {baseline_path}", file=sys.stderr)
+            return 2
+        try:
+            comparisons = bench_mod.compare_to_baseline(
+                payload, baseline, threshold=args.threshold
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(bench_mod.render_comparison(comparisons))
+        status = 1 if any(c.regressed for c in comparisons) else 0
+    if args.update:
+        baseline_path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {baseline_path}")
+    return status
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
     "study": _cmd_study,
@@ -374,6 +449,7 @@ _COMMANDS = {
     "variance": _cmd_variance,
     "attribution": _cmd_attribution,
     "report": _cmd_report,
+    "bench": _cmd_bench,
 }
 
 
@@ -411,7 +487,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         sink = JsonlSink(args.trace_out) if args.trace_out else None
         recorder = Recorder(sink) if sink else Recorder.to_memory()
         set_recorder(recorder)
-    ctx = StudyContext(seed=args.seed)
+    ctx = StudyContext(seed=args.seed, workers=args.workers)
     try:
         return _COMMANDS[args.command](ctx, args)
     finally:

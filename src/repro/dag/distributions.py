@@ -18,13 +18,19 @@ yields the byte matrix consumed by the SimGrid ``ptask_L07`` model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
 from repro.dag.kernels import BYTES_PER_ELEMENT
 
-__all__ = ["BlockDistribution", "redistribution_matrix", "redistribution_volume"]
+__all__ = [
+    "BlockDistribution",
+    "redistribution_matrix",
+    "redistribution_matrix_rows",
+    "redistribution_volume",
+]
 
 
 @dataclass(frozen=True)
@@ -98,31 +104,63 @@ def redistribution_matrix(
     times ``n`` rows times 8 bytes.  Ranks are *local* to each task; the
     mapping onto physical processors happens in the simulator, which also
     elides messages whose endpoints share a physical node.
+
+    The result is memoised per ``(n, p_src, p_dst)`` — a study hits the
+    same few hundred combinations thousands of times — and returned as a
+    **read-only** array shared between callers; writing to it raises.
+    Copy before mutating.
     """
-    src = BlockDistribution(n, p_src)
-    dst = BlockDistribution(n, p_dst)
+    return _redistribution_matrix_cached(n, p_src, p_dst)
+
+
+@lru_cache(maxsize=1024)
+def _redistribution_matrix_cached(n: int, p_src: int, p_dst: int) -> np.ndarray:
+    BlockDistribution(n, p_src)  # argument validation
+    BlockDistribution(n, p_dst)
+    # Balanced interval boundaries, precomputed: rank k owns
+    # ``[b[k], b[k+1])`` — the same integers ``interval`` returns, at a
+    # fraction of the per-overlap method-call cost.
+    src_b = [k * n // p_src for k in range(p_src + 1)]
+    dst_b = [k * n // p_dst for k in range(p_dst + 1)]
     M = np.zeros((p_src, p_dst), dtype=float)
     j = 0
     for i in range(p_src):
-        s_lo, s_hi = src.interval(i)
+        s_lo = src_b[i]
+        s_hi = src_b[i + 1]
         if s_lo == s_hi:
             continue
         # Walk destination intervals overlapping [s_lo, s_hi); both
         # interval lists are sorted so a merge scan is linear overall.
-        while j > 0 and dst.interval(j)[0] > s_lo:
+        while j > 0 and dst_b[j] > s_lo:
             j -= 1
-        while j < p_dst and dst.interval(j)[1] <= s_lo:
+        while j < p_dst and dst_b[j + 1] <= s_lo:
             j += 1
         k = j
         while k < p_dst:
-            d_lo, d_hi = dst.interval(k)
+            d_lo = dst_b[k]
+            d_hi = dst_b[k + 1]
             overlap = min(s_hi, d_hi) - max(s_lo, d_lo)
             if overlap > 0:
                 M[i, k] = overlap * n * BYTES_PER_ELEMENT
             if d_hi >= s_hi:
                 break
             k += 1
+    M.setflags(write=False)
     return M
+
+
+@lru_cache(maxsize=1024)
+def redistribution_matrix_rows(
+    n: int, p_src: int, p_dst: int
+) -> list[list[float]]:
+    """:func:`redistribution_matrix` as cached plain-float row lists.
+
+    The simulator's fused ptask builder iterates the matrix in Python;
+    ``tolist`` once per cache entry beats boxing an ndarray scalar per
+    element per call.  The nested lists are shared between callers —
+    **read-only** by convention (same contract as the read-only array).
+    """
+    return _redistribution_matrix_cached(n, p_src, p_dst).tolist()
 
 
 def redistribution_volume(n: int, p_src: int, p_dst: int) -> float:

@@ -86,6 +86,11 @@ class TaskGraph:
         self._tasks: dict[int, Task] = {}
         self._succ: dict[int, list[int]] = {}
         self._pred: dict[int, list[int]] = {}
+        # Memoised Kahn order; invalidated by any structural mutation.
+        # The analysis helpers re-sort on every call, which the
+        # CPA-family allocation loops turn into thousands of sorts of an
+        # unchanged graph.
+        self._topo_cache: tuple[int, ...] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -97,6 +102,7 @@ class TaskGraph:
         self._tasks[task.task_id] = task
         self._succ[task.task_id] = []
         self._pred[task.task_id] = []
+        self._topo_cache = None
         return task
 
     def add_edge(self, src: int, dst: int) -> None:
@@ -111,6 +117,7 @@ class TaskGraph:
             raise InvalidDAGError(f"duplicate edge {src} -> {dst}")
         self._succ[src].append(dst)
         self._pred[dst].append(src)
+        self._topo_cache = None
         if self._reaches(dst, src):
             # Roll back to keep the graph usable after the failure.
             self._succ[src].remove(dst)
@@ -179,6 +186,8 @@ class TaskGraph:
 
     def topological_order(self) -> list[int]:
         """Kahn topological order; raises :class:`InvalidDAGError` on cycles."""
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
         indeg = {t: len(self._pred[t]) for t in self._tasks}
         ready = sorted(t for t, d in indeg.items() if d == 0)
         order: list[int] = []
@@ -191,6 +200,7 @@ class TaskGraph:
                     ready.append(succ)
         if len(order) != len(self._tasks):
             raise InvalidDAGError(f"graph '{self.name}' contains a cycle")
+        self._topo_cache = tuple(order)
         return order
 
     def validate(self) -> None:

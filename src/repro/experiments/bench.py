@@ -1,0 +1,240 @@
+"""Pipeline stage benchmark: measurement core and baseline comparison.
+
+The benchmark times the four stages every study run goes through —
+DAG generation, scheduling, simulation, testbed execution — using the
+observability layer's span timers, and compares the result against the
+committed baseline (``BENCH_pipeline.json`` at the repository root).
+
+Noise handling: wall-clock benchmarks on shared machines jitter by tens
+of percent, so ``repeat`` runs the whole measurement several times and
+keeps the per-stage *minimum* (the run least disturbed by the machine).
+The comparison applies a relative ``threshold`` below which differences
+are not called regressions; CI runs the comparison as a soft-failing
+job for the same reason (see ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import __version__
+from repro.dag.generator import generate_paper_dags
+from repro.obs import Recorder, recording
+from repro.platform.personalities import bayreuth_cluster
+from repro.profiling.calibration import build_analytical_suite
+from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.driver import schedule_dag
+from repro.simgrid.simulator import ApplicationSimulator
+from repro.testbed.tgrid import TGridEmulator
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "NUM_DAGS",
+    "StageComparison",
+    "compare_to_baseline",
+    "default_baseline_path",
+    "render_comparison",
+    "run_pipeline_bench",
+]
+
+#: Study subset: enough work to time meaningfully, small enough for CI
+#: (first N of the 54 Table I DAGs, both algorithms).
+NUM_DAGS = 12
+ALGORITHMS = ("hcpa", "mcpa")
+
+DEFAULT_BASELINE = "BENCH_pipeline.json"
+
+_STAGE_NAMES = (
+    "pipeline.dag_generation",
+    "pipeline.scheduling",
+    "pipeline.simulation",
+    "pipeline.testbed_execution",
+)
+
+
+def default_baseline_path() -> Path:
+    """The committed baseline at the repository root (checkout layout)."""
+    return Path(__file__).resolve().parents[3] / DEFAULT_BASELINE
+
+
+def _measure(num_dags: int) -> tuple[dict[str, float], dict[str, int], dict]:
+    """One timed pass; returns (stage seconds, stage units, counters)."""
+    recorder = Recorder.to_memory()
+    with recording(recorder):
+        with recorder.span("pipeline.dag_generation"):
+            dags = generate_paper_dags(seed=0)[:num_dags]
+
+        platform = bayreuth_cluster(32)
+        emulator = TGridEmulator(platform, seed=0)
+        suite = build_analytical_suite(platform)
+
+        schedules = []
+        with recorder.span("pipeline.scheduling"):
+            for _params, graph in dags:
+                costs = SchedulingCosts(
+                    graph,
+                    platform,
+                    suite.task_model,
+                    startup_model=suite.startup_model,
+                    redistribution_model=suite.redistribution_model,
+                )
+                for algorithm in ALGORITHMS:
+                    schedules.append(
+                        (graph, schedule_dag(graph, costs, algorithm))
+                    )
+
+        simulator = ApplicationSimulator(
+            platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+        )
+        with recorder.span("pipeline.simulation"):
+            for graph, schedule in schedules:
+                simulator.run(graph, schedule)
+
+        with recorder.span("pipeline.testbed_execution"):
+            for graph, schedule in schedules:
+                emulator.execute(graph, schedule)
+
+    metrics = recorder.metrics()
+    units = {
+        "pipeline.dag_generation": num_dags,
+        "pipeline.scheduling": len(schedules),
+        "pipeline.simulation": len(schedules),
+        "pipeline.testbed_execution": len(schedules),
+    }
+    seconds = {
+        name: metrics["spans"][name]["total_s"] for name in _STAGE_NAMES
+    }
+    counters = {
+        k: v
+        for k, v in metrics["counters"].items()
+        if k.startswith(("engine.", "sim.", "sched.", "testbed."))
+    }
+    return seconds, units, counters
+
+
+def run_pipeline_bench(num_dags: int = NUM_DAGS, repeat: int = 1) -> dict:
+    """Time each pipeline stage; returns the BENCH payload.
+
+    ``repeat`` > 1 re-runs the measurement and keeps the per-stage
+    minimum.  Counters come from the first pass (the pipeline is
+    deterministic, so they are identical across passes).
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    seconds, units, counters = _measure(num_dags)
+    for _ in range(repeat - 1):
+        again, _units, _counters = _measure(num_dags)
+        for name, value in again.items():
+            if value < seconds[name]:
+                seconds[name] = value
+    stages = {}
+    for name in _STAGE_NAMES:
+        n = units[name]
+        stages[name.removeprefix("pipeline.")] = {
+            "seconds": round(seconds[name], 6),
+            "units": n,
+            "seconds_per_unit": round(seconds[name] / n, 6),
+        }
+    return {
+        "bench": "pipeline",
+        "version": __version__,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
+        "config": {
+            "num_dags": num_dags,
+            "algorithms": list(ALGORITHMS),
+            "num_nodes": 32,
+            "simulator": "analytic",
+            "repeat": repeat,
+        },
+        "stages": stages,
+        "counters": counters,
+    }
+
+
+@dataclass(frozen=True)
+class StageComparison:
+    """Per-stage verdict of a baseline comparison."""
+
+    stage: str
+    baseline_s: float
+    current_s: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (> 1 means slower than the baseline)."""
+        if self.baseline_s <= 0:
+            return 1.0
+        return self.current_s / self.baseline_s
+
+    @property
+    def regressed(self) -> bool:
+        return self.ratio > 1.0 + self.threshold
+
+
+def compare_to_baseline(
+    payload: dict, baseline: dict, *, threshold: float = 0.25
+) -> list[StageComparison]:
+    """Compare a bench payload's stages against a baseline payload.
+
+    Stages absent from the baseline are skipped (new stages cannot
+    regress).  ``threshold`` is the relative slowdown tolerated before
+    a stage counts as regressed — benchmarks on shared runners are
+    noisy, so small ratios mean nothing.
+    """
+    current_cfg = payload.get("config", {}).get("num_dags")
+    baseline_cfg = baseline.get("config", {}).get("num_dags")
+    if baseline_cfg is not None and current_cfg != baseline_cfg:
+        raise ValueError(
+            f"bench config mismatch: measured num_dags={current_cfg} vs "
+            f"baseline num_dags={baseline_cfg}; per-stage times are not "
+            "comparable (re-run with matching --dags)"
+        )
+    comparisons = []
+    base_stages = baseline.get("stages", {})
+    for stage, current in payload["stages"].items():
+        base = base_stages.get(stage)
+        if base is None:
+            continue
+        comparisons.append(
+            StageComparison(
+                stage=stage,
+                baseline_s=base["seconds"],
+                current_s=current["seconds"],
+                threshold=threshold,
+            )
+        )
+    return comparisons
+
+
+def render_comparison(comparisons: list[StageComparison]) -> str:
+    """Human-readable comparison table with a final verdict line."""
+    lines = [
+        f"  {'stage':<20} {'baseline':>10} {'current':>10} "
+        f"{'ratio':>7}  verdict"
+    ]
+    for c in comparisons:
+        verdict = "REGRESSED" if c.regressed else "ok"
+        lines.append(
+            f"  {c.stage:<20} {c.baseline_s:>9.3f}s {c.current_s:>9.3f}s "
+            f"{c.ratio:>6.2f}x  {verdict}"
+        )
+    worst = max(comparisons, key=lambda c: c.ratio, default=None)
+    if worst is None:
+        lines.append("  (no comparable stages)")
+    elif any(c.regressed for c in comparisons):
+        lines.append(
+            f"  FAIL: regression beyond {100 * worst.threshold:.0f}% "
+            f"(worst: {worst.stage} at {worst.ratio:.2f}x)"
+        )
+    else:
+        lines.append(
+            f"  PASS: no stage beyond {100 * worst.threshold:.0f}% of baseline"
+        )
+    return "\n".join(lines)

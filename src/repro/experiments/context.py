@@ -40,6 +40,10 @@ class StudyContext:
         Cluster size (the paper's N = 32).
     kernel_trials / startup_trials / redistribution_trials:
         Measurement repetitions used during calibration (paper: 3 / 20 / 3).
+    workers:
+        Process-pool size for study sweeps (1 = serial, the default).
+        Parallel sweeps produce record-for-record identical results —
+        see :func:`repro.experiments.runner.run_study`.
     """
 
     seed: int = 0
@@ -47,6 +51,7 @@ class StudyContext:
     kernel_trials: int = 3
     startup_trials: int = 20
     redistribution_trials: int = 3
+    workers: int = 1
     _studies: dict[tuple[str, ...], StudyResult] = field(
         default_factory=dict, repr=False
     )
@@ -121,7 +126,12 @@ class StudyContext:
             key = (name,)
             cached = self._studies.get(key)
             if cached is None:
-                cached = run_study(self.dags, [self.suite(name)], self.emulator)
+                cached = run_study(
+                    self.dags,
+                    [self.suite(name)],
+                    self.emulator,
+                    workers=self.workers,
+                )
                 self._studies[key] = cached
             merged.records.extend(cached.records)
         # Merged provenance: same seed/platform for every sub-study, so

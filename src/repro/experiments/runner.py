@@ -11,17 +11,32 @@ The paper's methodology (Section V-A), per DAG and scheduling algorithm:
 Different simulator versions produce different schedules for the same
 DAG, so each (DAG, algorithm, simulator) triple carries its own pair of
 makespans.
+
+Parallel execution
+------------------
+``run_study(..., workers=N)`` fans the (suite x DAG x algorithm) grid
+out over a process pool.  Every grid cell is independent by
+construction: scheduling is deterministic in its inputs, and the
+emulator derives each execution's RNG from ``(seed, dag, algorithm,
+run_label)`` rather than from shared sequential state — so cell
+results do not depend on execution order, and ``workers=N`` produces
+record-for-record the same study as the serial loop.  Workers record
+observability into their own in-memory recorder; the parent absorbs
+the per-cell payloads in grid submission order, keeping the merged
+event stream deterministic too.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.dag.generator import DagParameters
 from repro.dag.graph import TaskGraph
 from repro.obs.manifest import RunManifest
-from repro.obs.recorder import get_recorder
+from repro.obs.recorder import Recorder, get_recorder, recording
 from repro.profiling.calibration import SimulatorSuite
 from repro.scheduling.costs import SchedulingCosts
 from repro.scheduling.driver import schedule_dag
@@ -104,68 +119,179 @@ class StudyResult:
         return list(seen)
 
 
+def _run_cell(
+    suite: SimulatorSuite,
+    params: DagParameters,
+    graph: TaskGraph,
+    algorithm: str,
+    emulator: TGridEmulator,
+    costs: SchedulingCosts | None = None,
+) -> RunRecord:
+    """One grid cell: schedule, simulate, execute, record.
+
+    Shared by the serial loop (which reuses one ``costs`` per
+    (suite, DAG) so the memoised task times carry across algorithms)
+    and the pool workers (which build their own).
+    """
+    platform = emulator.platform
+    obs = get_recorder()
+    if costs is None:
+        costs = SchedulingCosts(
+            graph,
+            platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+        )
+    with obs.span(
+        "study.schedule", algorithm=algorithm, simulator=suite.name
+    ):
+        schedule = schedule_dag(graph, costs, algorithm)
+    simulator = ApplicationSimulator(
+        platform,
+        suite.task_model,
+        startup_model=suite.startup_model,
+        redistribution_model=suite.redistribution_model,
+    )
+    with obs.span(
+        "study.simulate", algorithm=algorithm, simulator=suite.name
+    ):
+        sim_trace = simulator.run(graph, schedule)
+    with obs.span(
+        "study.execute", algorithm=algorithm, simulator=suite.name
+    ):
+        exp_trace = emulator.execute(graph, schedule)
+    record = RunRecord(
+        dag_label=graph.name,
+        n=params.n,
+        algorithm=algorithm,
+        simulator=suite.name,
+        sim_makespan=sim_trace.makespan,
+        exp_makespan=exp_trace.makespan,
+        total_alloc=sum(schedule.allocations().values()),
+    )
+    if obs.enabled:
+        obs.count("study.runs")
+        obs.event(
+            "study.record",
+            dag=record.dag_label,
+            n=record.n,
+            algorithm=record.algorithm,
+            simulator=record.simulator,
+            sim_makespan=record.sim_makespan,
+            exp_makespan=record.exp_makespan,
+            error_pct=record.error_pct,
+            total_alloc=record.total_alloc,
+        )
+    return record
+
+
+#: Per-worker study inputs, installed once by the pool initializer so
+#: each cell submission ships only three small indices.
+_POOL_STATE: dict = {}
+
+
+def _pool_init(
+    dags: Sequence[tuple[DagParameters, TaskGraph]],
+    suites: Sequence[SimulatorSuite],
+    emulator: TGridEmulator,
+    obs_enabled: bool,
+) -> None:
+    _POOL_STATE["dags"] = dags
+    _POOL_STATE["suites"] = suites
+    _POOL_STATE["emulator"] = emulator
+    _POOL_STATE["obs_enabled"] = obs_enabled
+
+
+def _pool_run_cell(
+    cell: tuple[int, int, str]
+) -> tuple[RunRecord, dict | None]:
+    """Run one grid cell in a worker; returns (record, obs payload).
+
+    When the parent's recorder is enabled the worker records into a
+    private in-memory recorder and ships its exported state back —
+    never into any sink inherited across the fork, which the parent
+    process owns.
+    """
+    suite_idx, dag_idx, algorithm = cell
+    state = _POOL_STATE
+    suite = state["suites"][suite_idx]
+    params, graph = state["dags"][dag_idx]
+    emulator = state["emulator"]
+    if state["obs_enabled"]:
+        worker_obs = Recorder.to_memory()
+        with recording(worker_obs):
+            record = _run_cell(suite, params, graph, algorithm, emulator)
+        return record, worker_obs.export_state()
+    record = _run_cell(suite, params, graph, algorithm, emulator)
+    return record, None
+
+
 def run_study(
     dags: Sequence[tuple[DagParameters, TaskGraph]],
     suites: Iterable[SimulatorSuite],
     emulator: TGridEmulator,
     *,
     algorithms: Sequence[str] = ("hcpa", "mcpa"),
+    workers: int = 1,
 ) -> StudyResult:
-    """Run the full grid; returns every (DAG, algorithm, suite) record."""
+    """Run the full grid; returns every (DAG, algorithm, suite) record.
+
+    ``workers`` > 1 distributes the grid over a process pool (see the
+    module docstring); the default keeps the serial in-process loop.
+    The records — and, with an enabled recorder, the merged metrics —
+    are identical either way.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     result = StudyResult()
     platform = emulator.platform
     obs = get_recorder()
     suites = list(suites)
-    for suite in suites:
-        for params, graph in dags:
-            costs = SchedulingCosts(
-                graph,
-                platform,
-                suite.task_model,
-                startup_model=suite.startup_model,
-                redistribution_model=suite.redistribution_model,
-            )
-            for algorithm in algorithms:
-                with obs.span(
-                    "study.schedule", algorithm=algorithm, simulator=suite.name
-                ):
-                    schedule = schedule_dag(graph, costs, algorithm)
-                simulator = ApplicationSimulator(
+    dags = list(dags)
+    if workers > 1:
+        cells = [
+            (suite_idx, dag_idx, algorithm)
+            for suite_idx in range(len(suites))
+            for dag_idx in range(len(dags))
+            for algorithm in algorithms
+        ]
+        # Fork shares the already-built DAGs/suites/emulator with the
+        # workers for free; other start methods pickle them once via
+        # the initializer args.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(cells)) or 1,
+            mp_context=ctx,
+            initializer=_pool_init,
+            initargs=(dags, suites, emulator, obs.enabled),
+        ) as pool:
+            # ``map`` yields in submission order regardless of
+            # completion order: records and absorbed observability
+            # payloads land deterministically.
+            for record, payload in pool.map(_pool_run_cell, cells):
+                result.records.append(record)
+                if payload is not None:
+                    obs.absorb(payload)
+    else:
+        for suite in suites:
+            for params, graph in dags:
+                costs = SchedulingCosts(
+                    graph,
                     platform,
                     suite.task_model,
                     startup_model=suite.startup_model,
                     redistribution_model=suite.redistribution_model,
                 )
-                with obs.span(
-                    "study.simulate", algorithm=algorithm, simulator=suite.name
-                ):
-                    sim_trace = simulator.run(graph, schedule)
-                with obs.span(
-                    "study.execute", algorithm=algorithm, simulator=suite.name
-                ):
-                    exp_trace = emulator.execute(graph, schedule)
-                record = RunRecord(
-                    dag_label=graph.name,
-                    n=params.n,
-                    algorithm=algorithm,
-                    simulator=suite.name,
-                    sim_makespan=sim_trace.makespan,
-                    exp_makespan=exp_trace.makespan,
-                    total_alloc=sum(schedule.allocations().values()),
-                )
-                result.records.append(record)
-                if obs.enabled:
-                    obs.count("study.runs")
-                    obs.event(
-                        "study.record",
-                        dag=record.dag_label,
-                        n=record.n,
-                        algorithm=record.algorithm,
-                        simulator=record.simulator,
-                        sim_makespan=record.sim_makespan,
-                        exp_makespan=record.exp_makespan,
-                        error_pct=record.error_pct,
-                        total_alloc=record.total_alloc,
+                for algorithm in algorithms:
+                    result.records.append(
+                        _run_cell(
+                            suite, params, graph, algorithm, emulator,
+                            costs=costs,
+                        )
                     )
     result.manifest = RunManifest.collect(
         seed=emulator.seed,

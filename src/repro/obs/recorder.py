@@ -148,6 +148,25 @@ class Recorder:
             return _NULL_SPAN
         return _Span(self, name, fields)
 
+    def timing(self, name: str, seconds: float) -> None:
+        """Fold one measured duration into the span aggregates only.
+
+        The cheap tier for hot-path timings called thousands of times
+        per run (e.g. ``engine.solve``): it updates the same
+        :class:`SpanStats` that :meth:`span` feeds — so the totals show
+        up in :meth:`metrics`, manifests and ``repro report`` — but
+        writes *no* per-call record to the sink, whose dict-building
+        and I/O would otherwise dominate the very path being measured.
+        Callers should guard with ``if rec.enabled:`` and time with
+        ``time.perf_counter()`` themselves.
+        """
+        if not self.enabled:
+            return
+        stats = self.spans.get(name)
+        if stats is None:
+            stats = self.spans[name] = SpanStats()
+        stats.add(seconds)
+
     def _finish_span(self, name: str, seconds: float, fields: dict) -> None:
         stats = self.spans.get(name)
         if stats is None:
@@ -156,6 +175,54 @@ class Recorder:
         record = {"type": "span", "name": name, "dur_s": seconds}
         record.update(fields)
         self.sink.write(record)
+
+    # -- cross-process merge -------------------------------------------
+    def export_state(self) -> dict:
+        """Portable snapshot of everything this recorder accumulated.
+
+        Returns a plain-dict payload (picklable, JSON-able) holding the
+        buffered sink records (memory sinks only — other sinks stream
+        and have nothing to export), the counters and the span
+        aggregates.  The parallel study runner ships one such payload
+        per worker back to the parent, which folds them in with
+        :meth:`absorb`.
+        """
+        return {
+            "records": list(getattr(self.sink, "records", ())),
+            "counters": dict(self.counters),
+            "spans": {
+                name: stats.to_dict() for name, stats in self.spans.items()
+            },
+        }
+
+    def absorb(self, state: dict) -> None:
+        """Fold an :meth:`export_state` payload into this recorder.
+
+        Records are replayed into the sink in payload order, counters
+        add up, and span aggregates merge (counts/totals sum, min/max
+        widen).  Callers control determinism by absorbing worker
+        payloads in a fixed order (the study runner uses grid
+        submission order, independent of completion order).
+        """
+        if not self.enabled:
+            return
+        for record in state["records"]:
+            self.sink.write(record)
+        counters = self.counters
+        for name, value in state["counters"].items():
+            counters[name] = counters.get(name, 0) + value
+        for name, agg in state["spans"].items():
+            if not agg["count"]:
+                continue
+            stats = self.spans.get(name)
+            if stats is None:
+                stats = self.spans[name] = SpanStats()
+            stats.count += agg["count"]
+            stats.total += agg["total_s"]
+            if agg["min_s"] < stats.min:
+                stats.min = agg["min_s"]
+            if agg["max_s"] > stats.max:
+                stats.max = agg["max_s"]
 
     # -- rollups -------------------------------------------------------
     def metrics(self) -> dict:

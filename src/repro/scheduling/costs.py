@@ -33,7 +33,19 @@ class SchedulingCosts:
 
     ``task_time(t, p)`` includes the startup overhead — the scheduler
     should account for every second a task will occupy its processors.
+
+    ``task_time`` is memoised: the CPA-family gain probes evaluate
+    ``T(t, p)`` and ``T(t, p+1)`` for every critical-path candidate on
+    every grow step, hitting the same (task, processors) pairs thousands
+    of times per allocation.  The memo is *bounded* (``memo_limit``
+    entries, default far above the ``tasks x processors`` worst case of
+    the study's graphs) so a long-lived costs object over a huge
+    platform cannot grow without limit; on overflow it is simply
+    cleared — correctness never depends on a hit.
     """
+
+    #: Default bound on the ``task_time`` memo.
+    MEMO_LIMIT = 65536
 
     def __init__(
         self,
@@ -42,7 +54,11 @@ class SchedulingCosts:
         task_model: TaskTimeModel,
         startup_model: StartupOverheadModel | None = None,
         redistribution_model: RedistributionOverheadModel | None = None,
+        *,
+        memo_limit: int = MEMO_LIMIT,
     ) -> None:
+        if memo_limit < 1:
+            raise ValueError(f"memo_limit must be positive, got {memo_limit}")
         self.graph = graph
         self.platform = platform
         self.task_model = task_model
@@ -50,7 +66,9 @@ class SchedulingCosts:
         self.redistribution_model = (
             redistribution_model or ZeroRedistributionOverheadModel()
         )
+        self._memo_limit = memo_limit
         self._task_time_cache: dict[tuple[int, int], float] = {}
+        self._gain_cache: dict[tuple[int, int], float] = {}
 
     @property
     def num_procs(self) -> int:
@@ -64,7 +82,35 @@ class SchedulingCosts:
             return cached
         task = self.graph.task(task_id)
         value = self.task_model.duration(task, p) + self.startup_model.startup(p)
+        if len(self._task_time_cache) >= self._memo_limit:
+            self._task_time_cache.clear()
         self._task_time_cache[key] = value
+        return value
+
+    def marginal_gain(self, task_id: int, p: int) -> float:
+        """CPA's benefit of one extra processor for a task.
+
+        ``T(t,p)/p - T(t,p+1)/(p+1)``, clamped to 0 when the extra
+        processor does not strictly reduce the task's execution time: a
+        processor that buys no speedup only inflates the average area
+        (``T(t,p)/p`` can keep "improving" for a task whose time is
+        flat, which would let the allocation loop hand out useless
+        processors under measured models past their scaling knee).
+
+        Memoised like :meth:`task_time` (and bounded the same way): the
+        CPA-family select hooks re-probe the same ``(task, p)`` pairs on
+        every grow step while only one task's allocation changed.
+        """
+        key = (task_id, p)
+        cached = self._gain_cache.get(key)
+        if cached is not None:
+            return cached
+        t_now = self.task_time(task_id, p)
+        t_next = self.task_time(task_id, p + 1)
+        value = 0.0 if t_next >= t_now else t_now / p - t_next / (p + 1)
+        if len(self._gain_cache) >= self._memo_limit:
+            self._gain_cache.clear()
+        self._gain_cache[key] = value
         return value
 
     def startup_time(self, p: int) -> float:

@@ -23,9 +23,11 @@ defect HCPA and MCPA address.
 
 from __future__ import annotations
 
+import math
+import time
 from typing import Callable
 
-from repro.dag.analysis import critical_path, critical_path_length
+from repro.dag.analysis import CriticalPathDP
 from repro.dag.graph import TaskGraph
 from repro.obs.recorder import get_recorder
 from repro.scheduling.costs import SchedulingCosts
@@ -48,17 +50,11 @@ def average_area(costs: SchedulingCosts, alloc: dict[int, int]) -> float:
 def _cpa_gain(costs: SchedulingCosts, task_id: int, p: int) -> float:
     """CPA's benefit of one extra processor for a task.
 
-    Returns 0 when the extra processor does not strictly reduce the
-    task's execution time: a processor that buys no speedup only
-    inflates the average area (``T(t,p)/p`` can keep "improving" for a
-    task whose time is flat, which would let the loop hand out useless
-    processors under measured models past their scaling knee).
+    Delegates to the memoised :meth:`SchedulingCosts.marginal_gain`
+    (see there for semantics); kept as a function because HCPA and MCPA
+    import it by this name.
     """
-    t_now = costs.task_time(task_id, p)
-    t_next = costs.task_time(task_id, p + 1)
-    if t_next >= t_now:
-        return 0.0
-    return t_now / p - t_next / (p + 1)
+    return costs.marginal_gain(task_id, p)
 
 
 def allocation_loop(
@@ -82,6 +78,20 @@ def allocation_loop(
         CPA criterion ``T_CP <= T_A``.
     max_alloc:
         Per-task allocation cap (defaults to the platform size).
+
+    Performance invariants (see ``docs/performance.md``): the grow loop
+    changes exactly one task's allocation per step, so
+
+    * the critical-path structure (topological order, successor lists,
+      sources) is hoisted into a :class:`CriticalPathDP` built once, and
+      a *single* bottom-level pass per step serves both ``T_CP`` and the
+      critical path (the generic helpers would run two full DPs);
+    * ``T_A`` is maintained incrementally at the *term* level: only the
+      grown task's processor-area entry is recomputed, and the terms are
+      re-summed in task order so the result stays bit-identical to the
+      full ``average_area`` re-sum (a running-total update would drift
+      in the last ulps and could flip the ``T_CP <= T_A`` stop test on
+      near-ties).
     """
     P = costs.num_procs
     cap = P if max_alloc is None else min(max_alloc, P)
@@ -90,18 +100,43 @@ def allocation_loop(
         return alloc
     stop = stop or (lambda t_cp, t_a, _alloc: t_cp <= t_a)
     obs = get_recorder()
-    stop_reason = "iteration_budget"
 
-    # Upper bound on iterations: every step adds one processor to one task.
-    for _ in range(len(alloc) * cap + 1):
-        task_cost = lambda t: costs.task_time(t, alloc[t])  # noqa: E731
-        t_cp = critical_path_length(graph, task_cost)
-        t_a = average_area(costs, alloc)
+    dp = CriticalPathDP(graph)
+    agg_speed = costs.platform.aggregate_speed
+    # ``cost``/``areas`` are keyed/ordered like ``alloc`` so the T_A
+    # re-sum adds the same floats in the same order as average_area().
+    cost: dict[int, float] = {}
+    areas: list[float] = []
+    area_index: dict[int, int] = {}
+    for i, t in enumerate(alloc):
+        cost[t] = costs.task_time(t, 1)
+        areas.append(costs.work(t, 1))
+        area_index[t] = i
+
+    stop_reason = "iteration_budget"
+    t_cp = t_a = math.nan
+    # Upper bound on grow steps: every step adds one processor to one
+    # task.  Checked *after* growing, so exhausting the budget exits the
+    # loop without paying one more bounds evaluation whose result could
+    # never be acted upon.
+    budget = len(alloc) * cap + 1
+    grows = 0
+    while True:
+        if obs.enabled:
+            # Aggregate-only timing: one DP per grow step means
+            # thousands of measurements per study — per-call sink
+            # records would swamp the trace and the loop itself.
+            t0 = time.perf_counter()
+            bl = dp.bottom_levels(cost)
+            obs.timing("sched.critical_path", time.perf_counter() - t0)
+        else:
+            bl = dp.bottom_levels(cost)
+        t_cp = dp.length(bl)
+        t_a = sum(areas) / agg_speed
         if stop(t_cp, t_a, alloc):
             stop_reason = "criterion"
             break
-        cp = critical_path(graph, task_cost)
-        growable = [t for t in cp if alloc[t] < cap]
+        growable = [t for t in dp.path(bl) if alloc[t] < cap]
         if not growable:
             stop_reason = "critical_path_capped"
             break
@@ -109,7 +144,11 @@ def allocation_loop(
         if chosen is None:
             stop_reason = "no_beneficial_candidate"
             break
-        alloc[chosen] += 1
+        p_new = alloc[chosen] + 1
+        alloc[chosen] = p_new
+        cost[chosen] = costs.task_time(chosen, p_new)
+        areas[area_index[chosen]] = costs.work(chosen, p_new)
+        grows += 1
         if obs.enabled:
             # Per-decision record: which task grew, to what allocation,
             # and the bounds that justified growing it.
@@ -118,17 +157,26 @@ def allocation_loop(
                 "sched.alloc_grow",
                 dag=graph.name,
                 task=chosen,
-                p=alloc[chosen],
+                p=p_new,
                 t_cp=t_cp,
                 t_a=t_a,
             )
+        if grows >= budget:
+            stop_reason = "iteration_budget"
+            break
     if obs.enabled:
+        # The bounds fields carry the last evaluated T_CP / T_A, so a
+        # trace shows the actual numbers the loop ended on — including
+        # for an "iteration_budget" exit, where they are the bounds that
+        # justified the final grow.
         obs.event(
             "sched.alloc_done",
             dag=graph.name,
             reason=stop_reason,
             total_alloc=sum(alloc.values()),
             tasks=len(alloc),
+            t_cp=t_cp,
+            t_a=t_a,
         )
     return alloc
 

@@ -56,6 +56,13 @@ def map_allocations(
     order = sorted(graph.task_ids, key=lambda t: (-bl[t], t))
 
     host_ready = [0.0] * P
+    # Hoisted once: ``node_speed`` is pure per platform, and the rank
+    # keys below are built in a plain loop instead of a sort-key lambda
+    # (a key call plus tuple allocation per host per task dominated
+    # this phase).  Sorting the explicit tuples gives the same order:
+    # the trailing host id makes every key unique, so the sort is a
+    # strict total order either way.
+    neg_speed = [-platform.node_speed(h) for h in range(P)]
     finish: dict[int, float] = {}
     hosts_of: dict[int, tuple[int, ...]] = {}
     placements: dict[int, Placement] = {}
@@ -75,22 +82,28 @@ def map_allocations(
         # task (the slowest chosen node bounds a tightly-coupled
         # kernel), so speed outranks data locality in the tie-break.
         if locality_tiebreak:
-            rank_key = lambda h: (  # noqa: E731
-                max(host_ready[h], earliest_start),
-                -platform.node_speed(h),
-                h not in pred_hosts,
-                h,
-            )
+            keyed = [
+                (
+                    ready if ready > earliest_start else earliest_start,
+                    neg_speed[h],
+                    h not in pred_hosts,
+                    h,
+                )
+                for h, ready in enumerate(host_ready)
+            ]
         else:
-            rank_key = lambda h: (  # noqa: E731
-                max(host_ready[h], earliest_start),
-                -platform.node_speed(h),
-                h,
-            )
-        ranked = sorted(range(P), key=rank_key)
-        chosen = tuple(sorted(ranked[:k]))
+            keyed = [
+                (
+                    ready if ready > earliest_start else earliest_start,
+                    neg_speed[h],
+                    h,
+                )
+                for h, ready in enumerate(host_ready)
+            ]
+        keyed.sort()
+        chosen = tuple(sorted(key[-1] for key in keyed[:k]))
         # Reference-speed task time, stretched by the slowest member.
-        speed_factor = min(platform.node_speed(h) for h in chosen)
+        speed_factor = min(-neg_speed[h] for h in chosen)
 
         data_ready = 0.0
         for pred in graph.predecessors(task_id):

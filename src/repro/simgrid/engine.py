@@ -10,22 +10,41 @@ set of :class:`Action` objects, each with
 * an optional initial *latency* during which the action holds no
   resources (SimGrid models route latency the same way).
 
-On every step the engine re-solves the max-min sharing problem to get
-each action's current rate, advances time to the earliest completion (of
-a latency phase or of the work), updates remaining amounts, and fires
-completion callbacks — which typically enqueue follow-up actions.  The
-loop is exact for piecewise-constant rates, which is what max-min
-sharing yields between discrete events.
+On every step the engine refreshes the max-min sharing rates, advances
+time to the earliest completion (of a latency phase or of the work),
+updates remaining amounts, and fires completion callbacks — which
+typically enqueue follow-up actions.  The loop is exact for
+piecewise-constant rates, which is what max-min sharing yields between
+discrete events.
+
+Fast-path invariants (cf. SimGrid's lazy action management):
+
+* **Dirty-flag re-solve.**  Max-min rates only change when the *working*
+  set (actions past their latency phase) or the resource pool changes:
+  an action starts working (added with zero latency, or its latency
+  elapses) or a resource-consuming action completes.  The engine tracks
+  this with ``_rates_dirty`` and skips the sharing solve entirely on
+  steps where only resource-free actions (timers, pure latencies)
+  completed — the surviving actions' rates are provably unchanged.
+* **O(1) completion handling.**  Pending actions live in an
+  insertion-ordered dict used as a set, so removing the completed
+  actions of a step costs O(completed) instead of the O(completed * n)
+  of ``list.remove``.
+* **Capacity pruning.**  ``_capacity`` is reference-counted per
+  resource and entries are dropped when their last pending action
+  completes, so long-lived engines do not accumulate stale resources.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
+import time
 from typing import Callable, Optional
 
 from repro.obs.recorder import get_recorder
 from repro.simgrid.resources import Resource
+from repro.simgrid.sharing import _EPS as _LOAD_EPS
 from repro.simgrid.sharing import solve_rates
 from repro.util.errors import SimulationError
 
@@ -115,8 +134,16 @@ class SimulationEngine:
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._actions: list[Action] = []
+        # Insertion-ordered action store (dict-as-set): O(1) removal,
+        # iteration in creation order — the order every scan relies on.
+        self._actions: dict[Action, None] = {}
         self._capacity: dict[Resource, float] = {}
+        # How many pending actions reference each capacity entry; the
+        # entry is pruned when the count returns to zero.
+        self._cap_refs: dict[Resource, int] = {}
+        # Rates must be recomputed before the next scan (working set or
+        # resource pool changed since the last solve).
+        self._rates_dirty = False
         # Observability: the recorder is sampled once per engine (cheap)
         # and every emission below is guarded by ``_obs.enabled`` so the
         # hot loop pays one attribute load + branch when tracing is off —
@@ -129,9 +156,21 @@ class SimulationEngine:
     def add_action(self, action: Action) -> Action:
         """Register an action; it starts progressing at the current time."""
         action.start_time = self.now
+        cap_refs = self._cap_refs
         for res in action.consumption:
-            self._capacity[res] = res.capacity
-        self._actions.append(action)
+            refs = cap_refs.get(res, 0)
+            if refs == 0:
+                self._capacity[res] = res.capacity
+            cap_refs[res] = refs + 1
+        self._actions[action] = None
+        if action.latency_left <= 0.0 and not (
+            self._rates_dirty or self._set_standalone_rate(action)
+        ):
+            # Immediately part of the working set and sharing resources
+            # with other pending actions: rates must be re-solved.  A
+            # latency-phase action holds no resources yet, so adding it
+            # leaves the current rates valid until the latency ends.
+            self._rates_dirty = True
         if self._obs.enabled:
             self._obs.count("engine.actions_started")
         return action
@@ -154,18 +193,89 @@ class SimulationEngine:
         return len(self._actions)
 
     # ------------------------------------------------------------------
+    def _release_resources(self, action: Action) -> bool:
+        """Drop the completed action's capacity references.
+
+        Returns True when any of its resources is still referenced by
+        another pending action.  Only then can the completion change the
+        survivors' max-min rates: the sharing problem is separable, so
+        removing an action whose resources nobody else touches leaves
+        every other action's rate bit-identical — the caller may skip
+        the re-solve entirely.
+        """
+        cap_refs = self._cap_refs
+        shared = False
+        for res in action.consumption:
+            refs = cap_refs[res] - 1
+            if refs:
+                cap_refs[res] = refs
+                shared = True
+            else:
+                del cap_refs[res]
+                del self._capacity[res]
+        return shared
+
+    def _set_standalone_rate(self, action: Action) -> bool:
+        """Rate a working-set entrant directly when it shares nothing.
+
+        When every resource the entrant consumes is referenced by no
+        other pending action (capacity refcount 1), the sharing problem
+        is separable: the survivors' rates are unchanged and the
+        entrant's max-min rate equals its standalone fair share
+        ``min(capacity / weight)`` over its resources — computed with
+        the exact expressions the full solver would use, so the result
+        is bit-identical.  Returns False (caller must schedule a full
+        re-solve) when any resource is shared, or when every weight
+        falls under the solver's load epsilon (the solver would reject
+        that instance; let it).
+        """
+        cap_refs = self._cap_refs
+        consumption = action.consumption
+        for res in consumption:
+            if cap_refs[res] != 1:
+                return False
+        if not consumption:
+            # Resource-free work progresses at infinite rate, exactly as
+            # the solver rates it.
+            action.rate = math.inf
+            return True
+        best = math.inf
+        capacity = self._capacity
+        for res, w in consumption.items():
+            if w <= _LOAD_EPS:
+                continue
+            share = capacity[res] / w
+            if share < best:
+                best = share
+        if math.isinf(best):
+            return False
+        action.rate = best
+        return True
+
     def _solve(self) -> None:
-        """Refresh every working action's rate from the sharing solver."""
+        """Refresh every working action's rate from the sharing solver.
+
+        Calls the solver with ``validate=False``: the Action constructor
+        already drops non-positive weights, ``Resource`` rejects
+        non-positive capacities, and the refcounted ``_capacity`` covers
+        every pending action's resources by construction.
+        """
         working = {
-            a: a.consumption for a in self._actions if not a.in_latency_phase
+            a: a.consumption for a in self._actions if a.latency_left <= 0.0
         }
         if not working:
             return
         self.solver_calls += 1
-        rates = solve_rates(
-            {a: cons for a, cons in working.items()},
-            self._capacity,
-        )
+        obs = self._obs
+        if obs.enabled:
+            # Aggregate-only timing: a full span record per solve would
+            # write to the sink more often than any other event in the
+            # system and distort the timings it reports.
+            t0 = time.perf_counter()
+            rates = solve_rates(working, self._capacity, validate=False)
+            obs.timing("engine.solve", time.perf_counter() - t0)
+        else:
+            rates = solve_rates(working, self._capacity, validate=False)
         for action, rate in rates.items():
             action.rate = rate
 
@@ -182,13 +292,33 @@ class SimulationEngine:
 
     def step(self) -> bool:
         """Advance to the next event; return False when nothing is left."""
-        if not self._actions:
+        actions = self._actions
+        if not actions:
             return False
-        self._solve()
-        times = [(self._time_to_event(a), a) for a in self._actions]
-        dt = min(t for t, _ in times)
+        if self._rates_dirty:
+            self._solve()
+            self._rates_dirty = False
+        inf = math.inf
+        times: list[float] = []
+        dt = inf
+        for action in actions:
+            if action.latency_left > 0.0:
+                t = action.latency_left
+            elif action.remaining <= 0.0:
+                t = 0.0
+            else:
+                rate = action.rate
+                if rate <= 0.0:
+                    t = inf
+                elif rate == inf:
+                    t = 0.0
+                else:
+                    t = action.remaining / rate
+            times.append(t)
+            if t < dt:
+                dt = t
         if math.isinf(dt):
-            names = [a.name for _, a in times]
+            names = [a.name for a in actions]
             raise SimulationError(
                 f"simulation stalled at t={self.now}: actions {names} can "
                 "make no progress (zero rate)"
@@ -200,25 +330,38 @@ class SimulationEngine:
         # minimum (within a relative tolerance, to absorb FP residue).
         threshold = dt * (1.0 + _REL_EPS) + _EPS * 1e-6
         completed: list[Action] = []
-        for t, action in times:
-            fires = t <= threshold
-            if action.in_latency_phase:
+        for i, action in enumerate(actions):
+            fires = times[i] <= threshold
+            if action.latency_left > 0.0:
                 if fires:
                     action.latency_left = 0.0
                     if action.remaining <= 0.0:
                         completed.append(action)
+                    elif not (
+                        self._rates_dirty or self._set_standalone_rate(action)
+                    ):
+                        # Entered the working set sharing resources with
+                        # other pending actions: it needs a joint solve.
+                        self._rates_dirty = True
                 else:
                     action.latency_left -= dt
             else:
                 if fires:
                     action.remaining = 0.0
                     completed.append(action)
-                elif not math.isinf(action.rate):
+                elif action.rate != inf:
                     action.remaining = max(0.0, action.remaining - action.rate * dt)
         # Deterministic completion order: creation order.
         completed.sort(key=lambda a: a._seq)
         for action in completed:
-            self._actions.remove(action)
+            del actions[action]
+            if action.consumption:
+                # Freed capacity changes the survivors' fair shares —
+                # but only where it is actually shared: a resource-free
+                # completion, or one whose resources no other pending
+                # action touches, leaves every survivor's rate intact.
+                if self._release_resources(action):
+                    self._rates_dirty = True
         self.steps_taken += 1
         if self._obs.enabled:
             # Queue depth here is post-removal, pre-callback: the still
@@ -228,7 +371,7 @@ class SimulationEngine:
                 "engine.step",
                 t=self.now,
                 dt=dt,
-                queue=len(self._actions),
+                queue=len(actions),
                 completed=len(completed),
             )
         for action in completed:

@@ -29,6 +29,7 @@ from repro.util.errors import SimulationError
 __all__ = [
     "ParallelTaskSpec",
     "build_ptask_action",
+    "build_matrix_ptask",
     "comm_matrix_to_flows",
     "redistribution_flows",
 ]
@@ -94,10 +95,16 @@ def comm_matrix_to_flows(B: np.ndarray, hosts: Sequence[int]) -> list[Flow]:
     if B.shape != (p, p):
         raise ValueError(f"comm matrix shape {B.shape} != ({p}, {p})")
     flows: list[Flow] = []
+    # ``tolist`` converts to plain floats once; per-element ndarray
+    # indexing costs a boxed scalar per read and dominates this loop.
+    rows = B.tolist()
     for i in range(p):
+        src = hosts[i]
+        row = rows[i]
         for j in range(p):
-            if B[i, j] > 0 and hosts[i] != hosts[j]:
-                flows.append((hosts[i], hosts[j], float(B[i, j])))
+            b = row[j]
+            if b > 0 and src != hosts[j]:
+                flows.append((src, hosts[j], b))
     return flows
 
 
@@ -112,11 +119,90 @@ def redistribution_flows(
             f"({len(src_hosts)}, {len(dst_hosts)})"
         )
     flows: list[Flow] = []
+    rows = M.tolist()
     for i, src in enumerate(src_hosts):
+        row = rows[i]
         for j, dst in enumerate(dst_hosts):
-            if M[i, j] > 0 and src != dst:
-                flows.append((src, dst, float(M[i, j])))
+            b = row[j]
+            if b > 0 and src != dst:
+                flows.append((src, dst, b))
     return flows
+
+
+def build_matrix_ptask(
+    topology: NetworkTopology,
+    name: str,
+    comp: dict[int, float],
+    matrix_rows: Sequence[Sequence[float]],
+    src_hosts: Sequence[int],
+    dst_hosts: Sequence[int],
+    extra_latency: float = 0.0,
+    on_complete: Optional[Callable[[SimulationEngine, Action], None]] = None,
+    payload: object = None,
+) -> tuple[Action, float]:
+    """Fused byte-matrix-to-action builder for trusted callers.
+
+    Semantically ``build_ptask_action`` applied to the flows of
+    ``matrix_rows`` (``matrix_rows[i][j]`` bytes from ``src_hosts[i]``
+    to ``dst_hosts[j]``), but in a single row-major pass that
+    accumulates per-link totals directly instead of materialising a
+    flow list and hammering the consumption dict per flow.  The sums
+    are floating-point identical to the flow-list path: an uplink total
+    adds its row left-to-right, a downlink total adds its column
+    top-to-bottom, and the backbone total adds row-major — exactly the
+    order the per-flow accumulation visits them in a star topology.
+
+    Inputs are trusted (no spec validation): the byte matrix must be
+    non-negative and shaped ``(len(src_hosts), len(dst_hosts))``, as
+    the distribution/model helpers guarantee by construction.
+
+    Returns ``(action, volume)`` where ``volume`` is the total bytes
+    crossing the network — the same left-to-right flow-order sum the
+    flow-list path computes.
+    """
+    consumption: dict[Resource, float] = {}
+    get = consumption.get
+    for host, flops in comp.items():
+        if flops > 0:
+            cpu = topology.cpu(host)
+            consumption[cpu] = get(cpu, 0.0) + flops
+    max_route_latency = 0.0
+    backbone_total = 0.0
+    if matrix_rows:
+        uplinks = topology.uplinks
+        downlinks = topology.downlinks
+        n_dst = len(dst_hosts)
+        down_totals = [0.0] * n_dst
+        for i, src in enumerate(src_hosts):
+            row = matrix_rows[i]
+            up_total = 0.0
+            for j in range(n_dst):
+                b = row[j]
+                if b > 0 and src != dst_hosts[j]:
+                    up_total = up_total + b
+                    backbone_total = backbone_total + b
+                    down_totals[j] = down_totals[j] + b
+            if up_total > 0.0:
+                consumption[uplinks[src]] = up_total
+        if backbone_total > 0.0:
+            consumption[topology.backbone] = backbone_total
+            # Every off-node route shares one latency in the star
+            # topology, so the max over flows is that constant.
+            max_route_latency = topology.offnode_latency
+            for j in range(n_dst):
+                total = down_totals[j]
+                if total > 0.0:
+                    consumption[downlinks[dst_hosts[j]]] = total
+    work = 0.0 if not consumption else 1.0
+    action = Action(
+        name=name,
+        work=work,
+        consumption=consumption,
+        latency=extra_latency + max_route_latency,
+        on_complete=on_complete,
+        payload=payload,
+    )
+    return action, backbone_total
 
 
 def build_ptask_action(
@@ -134,17 +220,20 @@ def build_ptask_action(
     """
     spec.validate()
     consumption: dict[Resource, float] = {}
+    get = consumption.get
     for host, flops in spec.comp.items():
         if flops > 0:
             cpu = topology.cpu(host)
-            consumption[cpu] = consumption.get(cpu, 0.0) + flops
+            consumption[cpu] = get(cpu, 0.0) + flops
     max_route_latency = 0.0
     for src, dst, nbytes in spec.flows:
         if nbytes <= 0 or src == dst:
             continue
         for link in topology.route(src, dst):
-            consumption[link] = consumption.get(link, 0.0) + nbytes
-        max_route_latency = max(max_route_latency, topology.route_latency(src, dst))
+            consumption[link] = get(link, 0.0) + nbytes
+        lat = topology.route_latency(src, dst)
+        if lat > max_route_latency:
+            max_route_latency = lat
     work = 0.0 if not consumption else 1.0
     return Action(
         name=spec.name,

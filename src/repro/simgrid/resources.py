@@ -64,18 +64,45 @@ class NetworkTopology:
             Resource(f"down{i}", platform.link_bandwidth) for i in platform.processors
         ]
         self.backbone = Resource("backbone", platform.backbone_bandwidth)
+        # Hot-path memos: every off-node route in a star topology has
+        # the same latency, and the simulator asks for the same few
+        # hundred routes thousands of times per run.
+        self._num_nodes = platform.num_nodes
+        self._offnode_latency = (
+            2.0 * platform.link_latency + platform.backbone_latency
+        )
+        self._route_cache: dict[tuple[int, int], list[Resource]] = {}
 
     def cpu(self, proc: int) -> Resource:
         """CPU resource of a node."""
         return self.cpus[proc]
 
     def route(self, src: int, dst: int) -> list[Resource]:
-        """Link resources traversed by a flow ``src -> dst`` (may be empty)."""
+        """Link resources traversed by a flow ``src -> dst`` (may be empty).
+
+        The returned list is memoised and shared between calls — treat
+        it as read-only.
+        """
         if src == dst:
             return []
-        return [self.uplinks[src], self.backbone, self.downlinks[dst]]
+        route = self._route_cache.get((src, dst))
+        if route is None:
+            route = self._route_cache[(src, dst)] = [
+                self.uplinks[src], self.backbone, self.downlinks[dst]
+            ]
+        return route
+
+    @property
+    def offnode_latency(self) -> float:
+        """Latency of every off-node route (constant in a star)."""
+        return self._offnode_latency
 
     def route_latency(self, src: int, dst: int) -> float:
+        n = self._num_nodes
+        if src != dst and 0 <= src < n and 0 <= dst < n:
+            # Identical to ``platform.route_latency`` for valid off-node
+            # pairs, without the per-call bounds checks and arithmetic.
+            return self._offnode_latency
         return self.platform.route_latency(src, dst)
 
     def all_resources(self) -> Iterable[Resource]:

@@ -27,7 +27,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.dag.distributions import redistribution_matrix
+import numpy as np
+
+from repro.dag.distributions import redistribution_matrix_rows
 from repro.dag.graph import TaskGraph
 from repro.models.base import ModelKind, TaskTimeModel
 from repro.models.overheads import (
@@ -40,12 +42,7 @@ from repro.obs.recorder import get_recorder
 from repro.platform.cluster import ClusterPlatform
 from repro.scheduling.schedule import Schedule
 from repro.simgrid.engine import Action, SimulationEngine
-from repro.simgrid.ptask import (
-    ParallelTaskSpec,
-    build_ptask_action,
-    comm_matrix_to_flows,
-    redistribution_flows,
-)
+from repro.simgrid.ptask import build_matrix_ptask
 from repro.simgrid.resources import NetworkTopology
 from repro.util.errors import SimulationError
 
@@ -163,13 +160,21 @@ class ApplicationSimulator:
             redistribution_model or ZeroRedistributionOverheadModel()
         )
         self.contention = contention
+        # Built lazily on the first contended run and reused after: the
+        # topology is immutable (capacities fixed, routes memoised) and
+        # per-run resource accounting lives in each run's engine, so
+        # sharing it across runs changes no simulated value.
+        self._shared_topology: NetworkTopology | None = None
 
     # ------------------------------------------------------------------
     def run(self, graph: TaskGraph, schedule: Schedule) -> SimulationTrace:
         """Simulate the application; returns the trace with the makespan."""
         graph.validate()
         schedule.validate(graph, self.platform)
-        shared_topology = NetworkTopology(self.platform)
+        shared_topology = self._shared_topology
+        if shared_topology is None:
+            shared_topology = NetworkTopology(self.platform)
+            self._shared_topology = shared_topology
 
         def topology_for_action() -> NetworkTopology:
             # Without contention every action sees factory-fresh network
@@ -183,7 +188,7 @@ class ApplicationSimulator:
         state = _ExecutionState(graph, schedule)
         trace = SimulationTrace(makespan=0.0)
 
-        def task_spec(task_id: int) -> ParallelTaskSpec:
+        def start_task(eng: SimulationEngine, task_id: int) -> None:
             task = graph.task(task_id)
             hosts = schedule.hosts(task_id)
             p = len(hosts)
@@ -191,9 +196,12 @@ class ApplicationSimulator:
             if self.task_model.kind is ModelKind.ANALYTICAL:
                 comp_vec = self.task_model.computation(task, p)
                 comp = {h: float(f) for h, f in zip(hosts, comp_vec)}
-                flows = comm_matrix_to_flows(
-                    self.task_model.comm_matrix(task, p), hosts
-                )
+                B = np.asarray(self.task_model.comm_matrix(task, p), dtype=float)
+                if B.shape != (p, p):
+                    raise SimulationError(
+                        f"comm matrix shape {B.shape} != ({p}, {p})"
+                    )
+                rows = B.tolist()
             else:
                 duration = self.task_model.duration(task, p)
                 if duration < 0:
@@ -201,10 +209,19 @@ class ApplicationSimulator:
                         f"model predicted negative duration for task {task_id}"
                     )
                 comp = {h: duration * self.platform.flops for h in hosts}
-                flows = []
-            return ParallelTaskSpec(
-                name=f"task{task_id}", comp=comp, flows=flows, extra_latency=startup
+                rows = []
+            action, _volume = build_matrix_ptask(
+                topology_for_action(),
+                f"task{task_id}",
+                comp,
+                rows,
+                hosts,
+                hosts,
+                extra_latency=startup,
+                on_complete=on_task_complete,
+                payload=(task_id, startup),
             )
+            eng.add_action(action)
 
         def on_task_complete(eng: SimulationEngine, action: Action) -> None:
             task_id, startup = action.payload
@@ -243,40 +260,30 @@ class ApplicationSimulator:
             src_hosts = schedule.hosts(src)
             dst_hosts = schedule.hosts(dst)
             task = graph.task(src)
-            M = redistribution_matrix(task.n, len(src_hosts), len(dst_hosts))
-            flows = redistribution_flows(M, src_hosts, dst_hosts)
+            rows = redistribution_matrix_rows(
+                task.n, len(src_hosts), len(dst_hosts)
+            )
             overhead = self.redistribution_model.overhead(
                 len(src_hosts), len(dst_hosts)
             )
-            volume = float(sum(b for _s, _d, b in flows))
-            spec = ParallelTaskSpec(
-                name=f"redist{src}->{dst}",
-                comp={},
-                flows=flows,
+            action, volume = build_matrix_ptask(
+                topology_for_action(),
+                f"redist{src}->{dst}",
+                {},
+                rows,
+                src_hosts,
+                dst_hosts,
                 extra_latency=overhead,
+                on_complete=on_edge_complete,
             )
-            eng.add_action(
-                build_ptask_action(
-                    topology_for_action(),
-                    spec,
-                    on_complete=on_edge_complete,
-                    payload=(src, dst, overhead, volume),
-                )
-            )
+            action.payload = (src, dst, overhead, volume)
+            eng.add_action(action)
 
         def start_ready_tasks(eng: SimulationEngine) -> None:
             for task_id in schedule.order:
                 if state.ready(task_id):
                     state.started.add(task_id)
-                    spec = task_spec(task_id)
-                    eng.add_action(
-                        build_ptask_action(
-                            topology_for_action(),
-                            spec,
-                            on_complete=on_task_complete,
-                            payload=(task_id, spec.extra_latency),
-                        )
-                    )
+                    start_task(eng, task_id)
 
         start_ready_tasks(engine)
         makespan = engine.run()

@@ -1,0 +1,99 @@
+"""Tests for the pipeline benchmark core and baseline comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.bench import (
+    StageComparison,
+    compare_to_baseline,
+    default_baseline_path,
+    render_comparison,
+    run_pipeline_bench,
+)
+
+
+def _payload(**stage_seconds):
+    return {
+        "stages": {
+            name: {"seconds": s, "units": 1, "seconds_per_unit": s}
+            for name, s in stage_seconds.items()
+        }
+    }
+
+
+class TestComparison:
+    def test_within_threshold_passes(self):
+        comps = compare_to_baseline(
+            _payload(scheduling=0.11), _payload(scheduling=0.10),
+            threshold=0.25,
+        )
+        assert len(comps) == 1
+        assert not comps[0].regressed
+        assert comps[0].ratio == pytest.approx(1.1)
+
+    def test_beyond_threshold_regresses(self):
+        comps = compare_to_baseline(
+            _payload(scheduling=0.20), _payload(scheduling=0.10),
+            threshold=0.25,
+        )
+        assert comps[0].regressed
+        assert "FAIL" in render_comparison(comps)
+
+    def test_speedup_is_not_a_regression(self):
+        comps = compare_to_baseline(
+            _payload(scheduling=0.04), _payload(scheduling=0.10),
+        )
+        assert not comps[0].regressed
+        assert "PASS" in render_comparison(comps)
+
+    def test_new_stage_is_skipped(self):
+        comps = compare_to_baseline(
+            _payload(scheduling=0.1, brand_new=9.9),
+            _payload(scheduling=0.1),
+        )
+        assert [c.stage for c in comps] == ["scheduling"]
+
+    def test_config_mismatch_is_rejected(self):
+        current = _payload(scheduling=0.1)
+        current["config"] = {"num_dags": 2}
+        baseline = _payload(scheduling=0.1)
+        baseline["config"] = {"num_dags": 12}
+        with pytest.raises(ValueError, match="num_dags"):
+            compare_to_baseline(current, baseline)
+
+    def test_zero_baseline_does_not_divide(self):
+        c = StageComparison(
+            stage="s", baseline_s=0.0, current_s=1.0, threshold=0.25
+        )
+        assert c.ratio == 1.0
+        assert not c.regressed
+
+
+class TestBenchRun:
+    def test_small_bench_produces_all_stages(self):
+        payload = run_pipeline_bench(num_dags=2)
+        assert set(payload["stages"]) == {
+            "dag_generation",
+            "scheduling",
+            "simulation",
+            "testbed_execution",
+        }
+        assert payload["config"]["repeat"] == 1
+        assert payload["counters"]["engine.steps"] > 0
+
+    def test_repeat_keeps_the_minimum(self):
+        one = run_pipeline_bench(num_dags=2, repeat=1)
+        best = run_pipeline_bench(num_dags=2, repeat=2)
+        assert best["config"]["repeat"] == 2
+        for stage in one["stages"]:
+            assert best["stages"][stage]["seconds"] >= 0.0
+
+    def test_repeat_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_pipeline_bench(num_dags=1, repeat=0)
+
+    def test_default_baseline_points_at_repo_root(self):
+        path = default_baseline_path()
+        assert path.name == "BENCH_pipeline.json"
+        assert path.exists()

@@ -152,3 +152,57 @@ class TestMemorySink:
         assert sink.records
         sink.clear()
         assert sink.records == []
+
+
+class TestExportAbsorb:
+    def test_roundtrip_merges_everything(self):
+        worker = Recorder.to_memory()
+        worker.event("w.event", x=1)
+        worker.count("w.counter", 2)
+        worker.timing("w.span", 0.5)
+        worker.timing("w.span", 0.25)
+
+        parent = Recorder.to_memory()
+        parent.count("w.counter", 1)
+        parent.timing("w.span", 1.0)
+        parent.absorb(worker.export_state())
+
+        assert parent.counters["w.counter"] == 3
+        stats = parent.spans["w.span"]
+        assert stats.count == 3
+        assert stats.total == pytest.approx(1.75)
+        assert stats.min == 0.25
+        assert stats.max == 1.0
+        assert {"type": "event", "name": "w.event", "x": 1} in (
+            parent.sink.records
+        )
+
+    def test_absorb_order_controls_record_order(self):
+        payloads = []
+        for i in range(3):
+            worker = Recorder.to_memory()
+            worker.event("cell", idx=i)
+            payloads.append(worker.export_state())
+        parent = Recorder.to_memory()
+        for payload in payloads:
+            parent.absorb(payload)
+        assert [r["idx"] for r in parent.sink.records] == [0, 1, 2]
+
+    def test_disabled_recorder_ignores_absorb(self):
+        worker = Recorder.to_memory()
+        worker.count("c", 5)
+        disabled = Recorder()
+        disabled.absorb(worker.export_state())
+        assert disabled.counters == {}
+
+    def test_export_state_is_picklable(self):
+        import pickle
+
+        worker = Recorder.to_memory()
+        worker.event("e", a="b")
+        worker.count("c")
+        worker.timing("s", 0.1)
+        state = pickle.loads(pickle.dumps(worker.export_state()))
+        parent = Recorder.to_memory()
+        parent.absorb(state)
+        assert parent.counters["c"] == 1

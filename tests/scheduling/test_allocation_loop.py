@@ -104,3 +104,58 @@ class TestAllocationLoop:
         # Both chain tasks are always on the critical path until capped.
         assert all(set(c) <= {0, 1} for c in seen)
         assert seen  # the hook actually ran
+
+
+class TestAllocDoneEvent:
+    """The ``sched.alloc_done`` trace event carries reason + bounds."""
+
+    def _alloc_done(self, recorder):
+        from repro.obs.recorder import recording
+
+        events = [
+            r for r in recorder.sink.records
+            if r.get("name") == "sched.alloc_done"
+        ]
+        assert len(events) == 1
+        return events[0]
+
+    def _run(self, graph, costs, **kwargs):
+        import math
+
+        from repro.obs.recorder import Recorder, recording
+
+        rec = Recorder.to_memory()
+        with recording(rec):
+            allocation_loop(graph, costs, **kwargs)
+        event = self._alloc_done(rec)
+        assert math.isfinite(event["t_cp"])
+        assert math.isfinite(event["t_a"])
+        return event
+
+    def test_criterion_stop_reports_bounds(self, two_task_graph):
+        costs = costs_for(two_task_graph)
+        event = self._run(
+            two_task_graph, costs, select=lambda cands, a: cands[0]
+        )
+        assert event["reason"] == "criterion"
+        # The CPA criterion stopped the loop, so the reported bounds
+        # must satisfy it.
+        assert event["t_cp"] <= event["t_a"]
+
+    def test_no_candidate_stop_reason(self, two_task_graph):
+        costs = costs_for(two_task_graph)
+        event = self._run(
+            two_task_graph, costs, select=lambda cands, a: None
+        )
+        assert event["reason"] == "no_beneficial_candidate"
+
+    def test_capped_critical_path_stop_reason(self, two_task_graph):
+        costs = costs_for(two_task_graph, num_nodes=4)
+        event = self._run(
+            two_task_graph,
+            costs,
+            select=lambda cands, a: cands[0],
+            stop=lambda *_: False,
+        )
+        assert event["reason"] == "critical_path_capped"
+        assert event["total_alloc"] == 8  # both tasks saturated (4 + 4)

@@ -1,0 +1,148 @@
+"""Tests for the engine's hot-path invariants.
+
+Covers the fast paths the performance work introduced — capacity
+pruning, re-solve skipping for separable working sets, standalone
+rates for unshared entrants — and the determinism they must preserve:
+the observable event stream of a simulation is identical across runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.generator import DagParameters, generate_dag
+from repro.obs.recorder import Recorder, recording
+from repro.platform.personalities import bayreuth_cluster
+from repro.profiling.calibration import build_analytical_suite
+from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.driver import schedule_dag
+from repro.simgrid.engine import Action, SimulationEngine
+from repro.simgrid.resources import Resource
+from repro.simgrid.simulator import ApplicationSimulator
+
+
+class TestCapacityPruning:
+    def test_capacity_shrinks_as_actions_complete(self):
+        eng = SimulationEngine()
+        cpu1 = Resource("cpu1", 100.0)
+        cpu2 = Resource("cpu2", 100.0)
+        eng.add_action(Action("fast", work=100.0, consumption={cpu1: 1.0}))
+        eng.add_action(
+            Action("slow", work=400.0, consumption={cpu1: 1.0, cpu2: 1.0})
+        )
+        assert set(eng._capacity) == {cpu1, cpu2}
+        assert eng._cap_refs[cpu1] == 2
+        eng.step()  # "fast" completes (shares cpu1, so both run at 50)
+        assert eng._cap_refs[cpu1] == 1
+        eng.run()
+        # A long-lived engine must not accumulate stale resources.
+        assert eng._capacity == {}
+        assert eng._cap_refs == {}
+
+    def test_reused_engine_does_not_grow(self):
+        eng = SimulationEngine()
+        for i in range(5):
+            cpu = Resource(f"cpu{i}", 10.0)
+            eng.add_action(Action(f"a{i}", work=10.0, consumption={cpu: 1.0}))
+            eng.run()
+            assert eng._capacity == {}
+
+
+class TestSolveSkipping:
+    def test_disjoint_actions_never_joint_solve(self):
+        eng = SimulationEngine()
+        cpu1 = Resource("cpu1", 100.0)
+        cpu2 = Resource("cpu2", 50.0)
+        a = eng.add_action(Action("a", work=100.0, consumption={cpu1: 1.0}))
+        b = eng.add_action(Action("b", work=100.0, consumption={cpu2: 1.0}))
+        assert eng.run() == pytest.approx(2.0)
+        # Sole users get their standalone fair share directly; the
+        # completion of "a" frees nothing anyone shares.
+        assert eng.solver_calls == 0
+        assert a.finish_time == pytest.approx(1.0)
+        assert b.finish_time == pytest.approx(2.0)
+
+    def test_shared_actions_go_through_the_solver(self):
+        eng = SimulationEngine()
+        cpu = Resource("cpu", 100.0)
+        a = eng.add_action(Action("a", work=100.0, consumption={cpu: 1.0}))
+        b = eng.add_action(Action("b", work=100.0, consumption={cpu: 1.0}))
+        assert eng.run() == pytest.approx(2.0)
+        assert eng.solver_calls >= 1
+        assert a.finish_time == b.finish_time == pytest.approx(2.0)
+
+    def test_latency_entrant_gets_standalone_rate(self):
+        eng = SimulationEngine()
+        cpu = Resource("cpu", 100.0)
+        eng.add_action(
+            Action("a", work=100.0, consumption={cpu: 1.0}, latency=1.0)
+        )
+        assert eng.run() == pytest.approx(2.0)
+        assert eng.solver_calls == 0
+
+    def test_entrant_sharing_with_pending_action_resolves(self):
+        eng = SimulationEngine()
+        cpu = Resource("cpu", 100.0)
+        eng.add_action(Action("a", work=100.0, consumption={cpu: 1.0}))
+        eng.add_action(
+            Action("b", work=50.0, consumption={cpu: 1.0}, latency=0.5)
+        )
+        # a runs alone for 0.5s (50 work left), then shares 50/50 with
+        # b: both need another 1.0s.
+        assert eng.run() == pytest.approx(1.5)
+        assert eng.solver_calls >= 1
+
+
+def _small_study_cell():
+    platform = bayreuth_cluster(8)
+    suite = build_analytical_suite(platform)
+    graph = generate_dag(
+        DagParameters(
+            num_input_matrices=4, add_ratio=0.5, n=2000, sample=0, seed=3
+        )
+    )
+    costs = SchedulingCosts(
+        graph,
+        platform,
+        suite.task_model,
+        startup_model=suite.startup_model,
+        redistribution_model=suite.redistribution_model,
+    )
+    schedule = schedule_dag(graph, costs, "hcpa")
+    simulator = ApplicationSimulator(
+        platform,
+        suite.task_model,
+        startup_model=suite.startup_model,
+        redistribution_model=suite.redistribution_model,
+    )
+    return graph, schedule, simulator
+
+
+class TestEventOrderDeterminism:
+    def test_event_stream_identical_across_runs(self):
+        graph, schedule, simulator = _small_study_cell()
+        streams = []
+        for _ in range(2):
+            rec = Recorder.to_memory()
+            with recording(rec):
+                trace = simulator.run(graph, schedule)
+            events = [
+                r for r in rec.sink.records if r.get("type") == "event"
+            ]
+            streams.append((trace.makespan, events))
+        (mk1, ev1), (mk2, ev2) = streams
+        assert mk1 == mk2
+        assert ev1 == ev2  # same events, same order, same fields
+
+    def test_fresh_simulator_reproduces_the_stream(self):
+        graph, schedule, simulator = _small_study_cell()
+        rec1 = Recorder.to_memory()
+        with recording(rec1):
+            simulator.run(graph, schedule)
+        graph2, schedule2, simulator2 = _small_study_cell()
+        rec2 = Recorder.to_memory()
+        with recording(rec2):
+            simulator2.run(graph2, schedule2)
+        events1 = [r for r in rec1.sink.records if r.get("type") == "event"]
+        events2 = [r for r in rec2.sink.records if r.get("type") == "event"]
+        assert events1 == events2
