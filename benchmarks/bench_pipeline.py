@@ -2,8 +2,9 @@
 
 Thin entry point over :mod:`repro.experiments.bench`, which times the
 four stages every study run goes through — DAG generation, scheduling,
-simulation, testbed execution — and writes the aggregate to
-``BENCH_pipeline.json`` at the repository root.  This seeds the
+simulation, testbed execution — plus a cold/warm full-study pair
+through the content-addressed result cache, and writes the aggregate
+to ``BENCH_pipeline.json`` at the repository root.  This seeds the
 benchmark trajectory every future performance PR measures against.
 
 Run directly (``python benchmarks/bench_pipeline.py``) or via pytest
@@ -33,6 +34,7 @@ if str(REPO_ROOT / "src") not in sys.path:  # script use without install
 
 from repro.experiments.bench import (  # noqa: E402
     NUM_DAGS,
+    cache_speedup,
     compare_to_baseline,
     render_comparison,
     run_pipeline_bench,
@@ -51,11 +53,15 @@ def test_bench_pipeline():
     payload = run_benchmark(num_dags=3)
     assert set(payload["stages"]) == {
         "dag_generation", "scheduling", "simulation", "testbed_execution",
+        "study_cold", "cached_rerun",
     }
     for stage in payload["stages"].values():
         assert stage["seconds"] >= 0.0
         assert stage["units"] > 0
     assert payload["counters"]["engine.steps"] > 0
+    # The warm re-run replayed every cell from the cache.
+    assert payload["counters"]["cache.hits"] > 0
+    assert cache_speedup(payload) is not None
 
 
 def _print_stages(payload: dict) -> None:
@@ -66,6 +72,9 @@ def _print_stages(payload: dict) -> None:
             f"  {name:<18} {stage['seconds']:8.3f} s "
             f"({share:5.1f} %, {1e3 * stage['seconds_per_unit']:8.3f} ms/unit)"
         )
+    speedup = cache_speedup(payload)
+    if speedup is not None:
+        print(f"  warm-cache study re-run: {speedup:.1f}x faster than cold")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -17,7 +17,9 @@ scratch:
 * the study driver reproducing every table and figure
   (:mod:`repro.experiments`);
 * a structured observability layer — event tracing, metrics, run
-  provenance — spanning all of the above (:mod:`repro.obs`).
+  provenance — spanning all of the above (:mod:`repro.obs`);
+* a content-addressed result cache memoising calibrations, schedules
+  and traces for incremental study re-execution (:mod:`repro.cache`).
 
 Quickstart
 ----------
@@ -32,7 +34,7 @@ from importlib import metadata as _metadata
 
 #: Fallback when the package is used straight off PYTHONPATH=src without
 #: installed distribution metadata; kept in sync with pyproject.toml.
-_FALLBACK_VERSION = "1.2.0"
+_FALLBACK_VERSION = "1.3.0"
 
 try:
     __version__ = _metadata.version("repro")
@@ -40,6 +42,7 @@ except _metadata.PackageNotFoundError:  # pragma: no cover - env dependent
     __version__ = _FALLBACK_VERSION
 
 from repro import obs
+from repro.cache import ResultCache
 from repro.dag import (
     DagParameters,
     Task,
@@ -92,6 +95,7 @@ __all__ = [
     "ApplicationSimulator",
     "SimulationTrace",
     "TGridEmulator",
+    "ResultCache",
     "obs",
     "__version__",
 ]

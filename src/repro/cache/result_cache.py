@@ -1,0 +1,105 @@
+"""The memoization facade the pipeline integrates against.
+
+A :class:`ResultCache` wraps one :class:`~repro.cache.store.CacheStore`
+and exposes :meth:`get_or_compute` over named *layers* — the study
+pipeline uses three:
+
+``calibration``
+    Fitted simulator suites, keyed by the emulator's configuration and
+    the measurement plan.  Shared across every study on the same
+    environment.
+``schedule``
+    One :class:`Schedule` per (platform, DAG, cost models, algorithm).
+``simulation``
+    One :class:`SimulationTrace` per (schedule, executor) — the
+    executor being either a simulator suite or the testbed emulator
+    with its run label.
+
+Every key additionally includes the cache schema version (via the
+store's envelope), so a code-semantics bump invalidates everything at
+once.  Hit/miss tallies are recorded per layer through the global
+:class:`~repro.obs.recorder.Recorder` as ``cache.hits`` /
+``cache.misses`` / ``cache.<layer>.hits`` / ``cache.<layer>.misses``
+counters, alongside the store's ``cache.bytes_read`` /
+``cache.bytes_written``; ``repro report`` turns them into per-layer
+hit rates.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, TypeVar
+
+from repro.cache.keys import canonical_hash
+from repro.cache.schema import CACHE_SCHEMA_VERSION
+from repro.cache.store import CacheStore, CacheStoreInfo
+from repro.obs.recorder import get_recorder
+
+__all__ = ["ResultCache"]
+
+T = TypeVar("T")
+
+#: The integrated pipeline layers (other namespaces are allowed; these
+#: are the ones the study runner and calibration use).
+LAYERS = ("calibration", "schedule", "simulation")
+
+
+class ResultCache:
+    """Content-addressed memoization over a directory.
+
+    Safe to share with forked pool workers: lookups and stores go
+    through the store's atomic file protocol, and each process keeps
+    its own in-memory LRU tier.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        schema: str = CACHE_SCHEMA_VERSION,
+        lru_entries: int = 512,
+    ) -> None:
+        self.store = CacheStore(root, schema=schema, lru_entries=lru_entries)
+
+    @property
+    def root(self) -> Path:
+        return self.store.root
+
+    # -- the memoization primitive -------------------------------------
+    def key_hash(self, key: Any) -> str:
+        """Canonical content hash of a key structure."""
+        return canonical_hash(key)
+
+    def get_or_compute(
+        self, layer: str, key: Any, compute: Callable[[], T]
+    ) -> T:
+        """Return the cached value for ``(layer, key)`` or compute it.
+
+        ``key`` is any canonically-encodable structure (see
+        :mod:`repro.cache.keys`); ``compute`` runs only on a miss and
+        its result is persisted before being returned.
+        """
+        key_hash = canonical_hash(key)
+        found, value = self.store.get(layer, key_hash)
+        obs = get_recorder()
+        if found:
+            if obs.enabled:
+                obs.count("cache.hits")
+                obs.count(f"cache.{layer}.hits")
+            return value
+        if obs.enabled:
+            obs.count("cache.misses")
+            obs.count(f"cache.{layer}.misses")
+        value = compute()
+        self.store.put(layer, key_hash, value)
+        return value
+
+    # -- maintenance (the ``repro cache`` command) ---------------------
+    def info(self) -> CacheStoreInfo:
+        return self.store.info()
+
+    def prune(self) -> int:
+        return self.store.prune()
+
+    def clear(self) -> int:
+        return self.store.clear()

@@ -1,0 +1,19 @@
+"""Cache schema version: the code-generation fingerprint of every entry.
+
+Every on-disk cache entry embeds this string; an entry whose embedded
+version differs from the running code's is *stale* and is discarded on
+read (see :class:`repro.cache.store.CacheStore`).  Bump it whenever the
+semantics of any cached computation change — a scheduling algorithm
+tweak, a simulator fix, a calibration change, a serialization change —
+so old entries can never masquerade as fresh results.
+
+CI keys its persisted ``.repro-cache`` on a hash of this file, so a
+bump also invalidates the cache carried between workflow runs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CACHE_SCHEMA_VERSION"]
+
+#: Bump on any semantic change to cached computations (see module doc).
+CACHE_SCHEMA_VERSION = "repro-cache-1"

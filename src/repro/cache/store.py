@@ -1,0 +1,250 @@
+"""Content-addressed on-disk entry store with an in-process LRU tier.
+
+Layout: ``<root>/<namespace>/<hash[:2]>/<hash>.pkl`` — one file per
+entry, fanned out over 256 subdirectories.  Each file holds a pickled
+envelope ``{"schema", "namespace", "key", "value"}``; the embedded
+schema version and key hash are verified on every read, so a stale
+(old-schema) or corrupted (truncated, bit-flipped, misplaced) entry is
+*detected, counted, deleted and reported as a miss* — it can never
+crash a study or smuggle wrong data into one.
+
+Writes are atomic: the envelope goes to a unique temporary file in the
+same directory and is published with :func:`os.replace`.  Concurrent
+writers (the study runner's fork pool) can therefore race on the same
+entry safely — both compute the same value, the last rename wins, and
+no reader ever observes a half-written file.
+
+The LRU tier keeps recently touched values in memory so repeated
+lookups within one process (e.g. the 27-cell grid re-querying one
+calibration suite) skip deserialisation entirely.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+import shutil
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.cache.schema import CACHE_SCHEMA_VERSION
+from repro.obs.recorder import get_recorder
+
+__all__ = ["CacheEntryStatus", "CacheStoreInfo", "CacheStore"]
+
+_SUFFIX = ".pkl"
+#: Pickle protocol pinned for portability across the supported Pythons.
+_PICKLE_PROTOCOL = 4
+
+#: Sentinel distinguishing "miss" from a cached None value.
+_MISS = object()
+
+
+class CacheEntryStatus:
+    """Read outcomes (internal, used for counters and tests)."""
+
+    HIT = "hit"
+    MISS = "miss"
+    STALE = "stale"
+    CORRUPT = "corrupt"
+
+
+@dataclass
+class CacheStoreInfo:
+    """Aggregate statistics of one store scan."""
+
+    root: str
+    schema: str
+    entries: int = 0
+    bytes: int = 0
+    stale_entries: int = 0
+    corrupt_entries: int = 0
+    namespaces: dict[str, dict] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "schema": self.schema,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "stale_entries": self.stale_entries,
+            "corrupt_entries": self.corrupt_entries,
+            "namespaces": dict(self.namespaces),
+        }
+
+
+class CacheStore:
+    """File-per-entry store, safe under concurrent forked writers."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        schema: str = CACHE_SCHEMA_VERSION,
+        lru_entries: int = 512,
+    ) -> None:
+        if lru_entries < 0:
+            raise ValueError(f"lru_entries must be >= 0, got {lru_entries}")
+        self.root = Path(root)
+        self.schema = schema
+        self._lru_entries = lru_entries
+        self._lru: OrderedDict[tuple[str, str], Any] = OrderedDict()
+        self._tmp_counter = 0
+
+    # -- paths ---------------------------------------------------------
+    def _entry_path(self, namespace: str, key_hash: str) -> Path:
+        return self.root / namespace / key_hash[:2] / (key_hash + _SUFFIX)
+
+    # -- read ----------------------------------------------------------
+    def get(self, namespace: str, key_hash: str) -> tuple[bool, Any]:
+        """Look up an entry; returns ``(found, value)``.
+
+        A stale-schema or corrupt file counts as a miss: it is deleted,
+        a ``cache.discard`` event is recorded, and the caller recomputes.
+        """
+        lru_key = (namespace, key_hash)
+        cached = self._lru.get(lru_key, _MISS)
+        if cached is not _MISS:
+            self._lru.move_to_end(lru_key)
+            return True, cached
+        path = self._entry_path(namespace, key_hash)
+        value, status, nbytes = self._read_entry(path, namespace, key_hash)
+        if status == CacheEntryStatus.HIT:
+            self._remember(lru_key, value)
+            obs = get_recorder()
+            if obs.enabled:
+                obs.count("cache.bytes_read", nbytes)
+            return True, value
+        if status in (CacheEntryStatus.STALE, CacheEntryStatus.CORRUPT):
+            self._discard(path, namespace, status)
+        return False, None
+
+    def _read_entry(
+        self, path: Path, namespace: str, key_hash: str
+    ) -> tuple[Any, str, int]:
+        try:
+            blob = path.read_bytes()
+        except (FileNotFoundError, OSError):
+            return None, CacheEntryStatus.MISS, 0
+        try:
+            envelope = pickle.load(io.BytesIO(blob))
+        except Exception:
+            # Truncated writes, bit rot, or non-pickle garbage.
+            return None, CacheEntryStatus.CORRUPT, 0
+        if not isinstance(envelope, dict) or "value" not in envelope:
+            return None, CacheEntryStatus.CORRUPT, 0
+        if envelope.get("schema") != self.schema:
+            return None, CacheEntryStatus.STALE, 0
+        if (
+            envelope.get("namespace") != namespace
+            or envelope.get("key") != key_hash
+        ):
+            # A file placed under the wrong name can never be trusted.
+            return None, CacheEntryStatus.CORRUPT, 0
+        return envelope["value"], CacheEntryStatus.HIT, len(blob)
+
+    def _discard(self, path: Path, namespace: str, status: str) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - already gone or unwritable
+            pass
+        obs = get_recorder()
+        if obs.enabled:
+            obs.count(f"cache.discarded.{status}")
+            obs.event(
+                "cache.discard",
+                namespace=namespace,
+                path=str(path),
+                reason=status,
+            )
+
+    def _remember(self, lru_key: tuple[str, str], value: Any) -> None:
+        if not self._lru_entries:
+            return
+        self._lru[lru_key] = value
+        self._lru.move_to_end(lru_key)
+        while len(self._lru) > self._lru_entries:
+            self._lru.popitem(last=False)
+
+    # -- write ---------------------------------------------------------
+    def put(self, namespace: str, key_hash: str, value: Any) -> int:
+        """Atomically persist an entry; returns the bytes written."""
+        envelope = {
+            "schema": self.schema,
+            "namespace": namespace,
+            "key": key_hash,
+            "value": value,
+        }
+        blob = pickle.dumps(envelope, protocol=_PICKLE_PROTOCOL)
+        path = self._entry_path(namespace, key_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._tmp_counter += 1
+        tmp = path.parent / (
+            f".{key_hash}.{os.getpid()}.{self._tmp_counter}.tmp"
+        )
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on replace failure
+                tmp.unlink(missing_ok=True)
+        self._remember((namespace, key_hash), value)
+        obs = get_recorder()
+        if obs.enabled:
+            obs.count("cache.bytes_written", len(blob))
+        return len(blob)
+
+    # -- maintenance ---------------------------------------------------
+    def _iter_entry_paths(self):
+        if not self.root.is_dir():
+            return
+        for namespace_dir in sorted(self.root.iterdir()):
+            if not namespace_dir.is_dir():
+                continue
+            for path in sorted(namespace_dir.glob(f"*/*{_SUFFIX}")):
+                yield namespace_dir.name, path
+
+    def info(self) -> CacheStoreInfo:
+        """Scan the store: entry counts, sizes, stale/corrupt tallies."""
+        info = CacheStoreInfo(root=str(self.root), schema=self.schema)
+        for namespace, path in self._iter_entry_paths():
+            _value, status, _nbytes = self._read_entry(
+                path, namespace, path.stem
+            )
+            size = path.stat().st_size
+            ns = info.namespaces.setdefault(
+                namespace, {"entries": 0, "bytes": 0}
+            )
+            if status == CacheEntryStatus.HIT:
+                info.entries += 1
+                info.bytes += size
+                ns["entries"] += 1
+                ns["bytes"] += size
+            elif status == CacheEntryStatus.STALE:
+                info.stale_entries += 1
+            else:
+                info.corrupt_entries += 1
+        return info
+
+    def prune(self) -> int:
+        """Delete stale-schema and corrupt entries; returns the count."""
+        removed = 0
+        for namespace, path in self._iter_entry_paths():
+            _value, status, _nbytes = self._read_entry(
+                path, namespace, path.stem
+            )
+            if status in (CacheEntryStatus.STALE, CacheEntryStatus.CORRUPT):
+                self._discard(path, namespace, status)
+                removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Delete every entry (and the store directory); returns the count."""
+        removed = sum(1 for _ in self._iter_entry_paths())
+        self._lru.clear()
+        if self.root.is_dir():
+            shutil.rmtree(self.root)
+        return removed

@@ -21,10 +21,18 @@ Commands
 ``bench``
     Time the pipeline stages; ``--compare`` checks against the
     committed ``BENCH_pipeline.json`` baseline.
+``cache``
+    Inspect or invalidate the content-addressed result cache
+    (``info`` / ``clear`` / ``prune``).
 
 Global observability flags (before the subcommand): ``--trace-out PATH``
 streams typed events to a JSONL file and appends a provenance manifest;
 ``--metrics`` prints the counter/span rollup after the command.
+
+Caching: ``--cache-dir PATH`` (global, or after ``study``/``figures``/
+``simulate``) memoises calibrations, schedules and traces on disk so
+warm re-runs replay unchanged cells bit-identically — see
+``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -106,7 +114,24 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the counter/span metric rollup after the command",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default="",
+        metavar="PATH",
+        help="persistent result-cache directory; warm re-runs skip "
+        "unchanged cells (bit-identical results)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_cache_dir(p: argparse.ArgumentParser) -> None:
+        # Also accepted after the subcommand; SUPPRESS keeps a value
+        # parsed from the global position from being overwritten.
+        p.add_argument(
+            "--cache-dir",
+            default=argparse.SUPPRESS,
+            metavar="PATH",
+            help="persistent result-cache directory",
+        )
 
     p_fig = sub.add_parser("figures", help="regenerate tables/figures")
     p_fig.add_argument(
@@ -115,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset, e.g. fig1,fig8,table2 (default: all)",
     )
     p_fig.add_argument("--out", default="", help="directory for .txt artifacts")
+    add_cache_dir(p_fig)
 
     p_study = sub.add_parser("study", help="HCPA-vs-MCPA comparison")
     p_study.add_argument(
@@ -123,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="analytic",
     )
     p_study.add_argument("--n", type=int, choices=(2000, 3000), default=2000)
+    add_cache_dir(p_study)
 
     p_dag = sub.add_parser("dag", help="generate one Table I DAG")
     p_dag.add_argument("--width", type=int, default=4)
@@ -145,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--gantt", action="store_true", help="print a Gantt chart")
     p_sim.add_argument("--trace-json", action="store_true",
                        help="dump the experimental trace as JSON")
+    add_cache_dir(p_sim)
 
     p_prof = sub.add_parser("profile", help="print measurement tables")
     p_prof.add_argument(
@@ -210,6 +238,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--update", action="store_true",
         help="write the measured payload to the baseline path",
     )
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or invalidate the result cache"
+    )
+    p_cache.add_argument(
+        "action",
+        choices=("info", "clear", "prune"),
+        help="info: entry counts and sizes; clear: delete everything; "
+        "prune: delete stale-schema and corrupt entries only",
+    )
+    add_cache_dir(p_cache)
     return parser
 
 
@@ -289,14 +328,14 @@ def _cmd_simulate(ctx: StudyContext, args: argparse.Namespace) -> int:
         startup_model=suite.startup_model,
         redistribution_model=suite.redistribution_model,
     )
-    schedule = schedule_dag(graph, costs, args.algorithm)
+    schedule = schedule_dag(graph, costs, args.algorithm, cache=ctx.cache)
     simulator = ApplicationSimulator(
         ctx.platform,
         suite.task_model,
         startup_model=suite.startup_model,
         redistribution_model=suite.redistribution_model,
     )
-    sim_trace = simulator.run(graph, schedule)
+    sim_trace = simulator.run_cached(graph, schedule, ctx.cache)
     exp_trace = ctx.emulator.execute(graph, schedule)
     print(f"dag: {graph.name}  algorithm: {args.algorithm}  "
           f"simulator: {args.simulator}")
@@ -393,6 +432,39 @@ def _cmd_attribution(ctx: StudyContext, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(ctx: StudyContext, args: argparse.Namespace) -> int:
+    cache = ctx.cache
+    if cache is None:
+        print(
+            "error: no cache directory; pass --cache-dir PATH",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.root}")
+        return 0
+    if args.action == "prune":
+        removed = cache.prune()
+        print(f"pruned {removed} stale/corrupt entries from {cache.root}")
+        return 0
+    info = cache.info()
+    print(f"cache: {info.root}  (schema {info.schema})")
+    print(f"entries: {info.entries}  bytes: {info.bytes}")
+    if info.stale_entries or info.corrupt_entries:
+        print(
+            f"stale: {info.stale_entries}  corrupt: {info.corrupt_entries}"
+            "  (run 'repro cache prune')"
+        )
+    if info.namespaces:
+        rows = [
+            [name, ns["entries"], ns["bytes"]]
+            for name, ns in sorted(info.namespaces.items())
+        ]
+        print(format_table(["layer", "entries", "bytes"], rows))
+    return 0
+
+
 def _cmd_report(ctx: StudyContext, args: argparse.Namespace) -> int:
     try:
         print(report_file(args.trace, top=args.top))
@@ -412,6 +484,9 @@ def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
     for name, stage in payload["stages"].items():
         share = 100.0 * stage["seconds"] / total if total else 0.0
         print(f"  {name:<18} {stage['seconds']:8.3f} s ({share:5.1f} %)")
+    speedup = bench_mod.cache_speedup(payload)
+    if speedup is not None:
+        print(f"  warm-cache study re-run: {speedup:.1f}x faster than cold")
     baseline_path = (
         Path(args.baseline) if args.baseline
         else bench_mod.default_baseline_path()
@@ -450,6 +525,7 @@ _COMMANDS = {
     "attribution": _cmd_attribution,
     "report": _cmd_report,
     "bench": _cmd_bench,
+    "cache": _cmd_cache,
 }
 
 
@@ -487,7 +563,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         sink = JsonlSink(args.trace_out) if args.trace_out else None
         recorder = Recorder(sink) if sink else Recorder.to_memory()
         set_recorder(recorder)
-    ctx = StudyContext(seed=args.seed, workers=args.workers)
+    ctx = StudyContext(
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir or None,
+    )
     try:
         return _COMMANDS[args.command](ctx, args)
     finally:

@@ -1,9 +1,11 @@
 """Pipeline stage benchmark: measurement core and baseline comparison.
 
 The benchmark times the four stages every study run goes through —
-DAG generation, scheduling, simulation, testbed execution — using the
-observability layer's span timers, and compares the result against the
-committed baseline (``BENCH_pipeline.json`` at the repository root).
+DAG generation, scheduling, simulation, testbed execution — plus a
+cold/warm full-study pair through the content-addressed result cache
+(:mod:`repro.cache`), using the observability layer's span timers, and
+compares the result against the committed baseline
+(``BENCH_pipeline.json`` at the repository root).
 
 Noise handling: wall-clock benchmarks on shared machines jitter by tens
 of percent, so ``repeat`` runs the whole measurement several times and
@@ -16,12 +18,16 @@ job for the same reason (see ``docs/performance.md``).
 from __future__ import annotations
 
 import json
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro import __version__
+from repro.cache import ResultCache
 from repro.dag.generator import generate_paper_dags
+from repro.experiments.runner import run_study
 from repro.obs import Recorder, recording
 from repro.platform.personalities import bayreuth_cluster
 from repro.profiling.calibration import build_analytical_suite
@@ -34,6 +40,7 @@ __all__ = [
     "DEFAULT_BASELINE",
     "NUM_DAGS",
     "StageComparison",
+    "cache_speedup",
     "compare_to_baseline",
     "default_baseline_path",
     "render_comparison",
@@ -52,6 +59,8 @@ _STAGE_NAMES = (
     "pipeline.scheduling",
     "pipeline.simulation",
     "pipeline.testbed_execution",
+    "pipeline.study_cold",
+    "pipeline.cached_rerun",
 )
 
 
@@ -100,12 +109,33 @@ def _measure(num_dags: int) -> tuple[dict[str, float], dict[str, int], dict]:
             for graph, schedule in schedules:
                 emulator.execute(graph, schedule)
 
+        # Full-study cold/warm pair through the result cache: the cold
+        # pass populates a fresh cache (compute + persist), the warm
+        # pass replays every cell from it.  Their ratio is the headline
+        # incremental-re-execution speedup tracked in the baseline.
+        cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+        try:
+            cache = ResultCache(cache_root)
+            with recorder.span("pipeline.study_cold"):
+                cold = run_study(dags, [suite], emulator, cache=cache)
+            with recorder.span("pipeline.cached_rerun"):
+                warm = run_study(dags, [suite], emulator, cache=cache)
+        finally:
+            shutil.rmtree(cache_root, ignore_errors=True)
+        if cold.records != warm.records:  # pragma: no cover - cache bug
+            raise RuntimeError(
+                "cached study re-run diverged from the cold run"
+            )
+
     metrics = recorder.metrics()
+    num_cells = len(dags) * len(ALGORITHMS)
     units = {
         "pipeline.dag_generation": num_dags,
         "pipeline.scheduling": len(schedules),
         "pipeline.simulation": len(schedules),
         "pipeline.testbed_execution": len(schedules),
+        "pipeline.study_cold": num_cells,
+        "pipeline.cached_rerun": num_cells,
     }
     seconds = {
         name: metrics["spans"][name]["total_s"] for name in _STAGE_NAMES
@@ -113,7 +143,7 @@ def _measure(num_dags: int) -> tuple[dict[str, float], dict[str, int], dict]:
     counters = {
         k: v
         for k, v in metrics["counters"].items()
-        if k.startswith(("engine.", "sim.", "sched.", "testbed."))
+        if k.startswith(("engine.", "sim.", "sched.", "testbed.", "cache."))
     }
     return seconds, units, counters
 
@@ -155,6 +185,20 @@ def run_pipeline_bench(num_dags: int = NUM_DAGS, repeat: int = 1) -> dict:
         "stages": stages,
         "counters": counters,
     }
+
+
+def cache_speedup(payload: dict) -> float | None:
+    """Cold-vs-warm study ratio of a bench payload (None if absent).
+
+    ``study_cold / cached_rerun`` — how many times faster a warm-cache
+    full-study re-run is than the cold run that populated the cache.
+    """
+    stages = payload.get("stages", {})
+    cold = stages.get("study_cold", {}).get("seconds")
+    warm = stages.get("cached_rerun", {}).get("seconds")
+    if not cold or not warm:
+        return None
+    return cold / warm
 
 
 @dataclass(frozen=True)

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
+from pathlib import Path
 from typing import Sequence
 
+from repro.cache.result_cache import ResultCache
 from repro.dag.generator import DagParameters, generate_paper_dags
 from repro.dag.graph import TaskGraph
 from repro.experiments.runner import StudyResult, run_study
@@ -44,6 +46,11 @@ class StudyContext:
         Process-pool size for study sweeps (1 = serial, the default).
         Parallel sweeps produce record-for-record identical results —
         see :func:`repro.experiments.runner.run_study`.
+    cache_dir:
+        Optional directory of the persistent content-addressed result
+        cache.  When set, calibrated suites, schedules and traces are
+        memoised on disk and warm study re-runs replay unchanged cells
+        bit-identically — see :mod:`repro.cache`.
     """
 
     seed: int = 0
@@ -52,9 +59,17 @@ class StudyContext:
     startup_trials: int = 20
     redistribution_trials: int = 3
     workers: int = 1
+    cache_dir: str | Path | None = None
     _studies: dict[tuple[str, ...], StudyResult] = field(
         default_factory=dict, repr=False
     )
+
+    @cached_property
+    def cache(self) -> ResultCache | None:
+        """The persistent result cache (None when ``cache_dir`` unset)."""
+        if self.cache_dir is None:
+            return None
+        return ResultCache(self.cache_dir)
 
     @cached_property
     def platform(self) -> ClusterPlatform:
@@ -83,6 +98,7 @@ class StudyContext:
             kernel_trials=self.kernel_trials,
             startup_trials=self.startup_trials,
             redistribution_trials=self.redistribution_trials,
+            cache=self.cache,
         )
 
     @cached_property
@@ -92,6 +108,7 @@ class StudyContext:
             kernel_trials=self.kernel_trials,
             startup_trials=self.startup_trials,
             redistribution_trials=self.redistribution_trials,
+            cache=self.cache,
         )
 
     def suite(self, name: str) -> SimulatorSuite:
@@ -131,6 +148,7 @@ class StudyContext:
                     [self.suite(name)],
                     self.emulator,
                     workers=self.workers,
+                    cache=self.cache,
                 )
                 self._studies[key] = cached
             merged.records.extend(cached.records)

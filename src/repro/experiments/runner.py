@@ -33,6 +33,12 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.cache.keys import (
+    dag_fingerprint,
+    emulator_fingerprint,
+    schedule_fingerprint,
+)
+from repro.cache.result_cache import ResultCache
 from repro.dag.generator import DagParameters
 from repro.dag.graph import TaskGraph
 from repro.obs.manifest import RunManifest
@@ -83,13 +89,38 @@ class StudyResult:
     def __len__(self) -> int:
         return len(self.records)
 
+    def _held_values(self) -> str:
+        """Compact description of the cells this study actually holds."""
+        if not self.records:
+            return "the study holds no records at all"
+        dags = sorted({r.dag_label for r in self.records})
+        dag_list = (
+            ", ".join(dags) if len(dags) <= 8
+            else ", ".join(dags[:8]) + f", ... ({len(dags)} total)"
+        )
+        return (
+            f"the study holds {len(self.records)} records over "
+            f"dags=[{dag_list}], "
+            f"algorithms={sorted({r.algorithm for r in self.records})}, "
+            f"simulators={sorted({r.simulator for r in self.records})}, "
+            f"n={sorted({r.n for r in self.records})}"
+        )
+
     def select(
         self,
         *,
         simulator: str | None = None,
         algorithm: str | None = None,
         n: int | None = None,
+        strict: bool = False,
     ) -> list[RunRecord]:
+        """Records matching every given filter.
+
+        With ``strict=True`` an empty selection raises a
+        :class:`KeyError` naming the filters and what the study does
+        hold — so a filtered-out or skipped cell fails loudly at the
+        selection site instead of as an opaque downstream error.
+        """
         out = []
         for rec in self.records:
             if simulator is not None and rec.simulator != simulator:
@@ -99,9 +130,20 @@ class StudyResult:
             if n is not None and rec.n != n:
                 continue
             out.append(rec)
+        if strict and not out:
+            raise KeyError(
+                f"no study records match simulator={simulator!r} "
+                f"algorithm={algorithm!r} n={n!r}; {self._held_values()}"
+            )
         return out
 
     def record(self, dag_label: str, algorithm: str, simulator: str) -> RunRecord:
+        """The single record of one (dag, algorithm, simulator) cell.
+
+        Raises a :class:`KeyError` that names the missing cell and the
+        values the study does hold when the cell was skipped, filtered,
+        or never run.
+        """
         for rec in self.records:
             if (
                 rec.dag_label == dag_label
@@ -109,7 +151,11 @@ class StudyResult:
                 and rec.simulator == simulator
             ):
                 return rec
-        raise KeyError((dag_label, algorithm, simulator))
+        raise KeyError(
+            f"no study record for cell (dag={dag_label!r}, "
+            f"algorithm={algorithm!r}, simulator={simulator!r}); "
+            f"{self._held_values()}"
+        )
 
     def dag_labels(self, *, n: int | None = None) -> list[str]:
         seen: dict[str, None] = {}
@@ -126,12 +172,21 @@ def _run_cell(
     algorithm: str,
     emulator: TGridEmulator,
     costs: SchedulingCosts | None = None,
+    cache: ResultCache | None = None,
 ) -> RunRecord:
     """One grid cell: schedule, simulate, execute, record.
 
     Shared by the serial loop (which reuses one ``costs`` per
     (suite, DAG) so the memoised task times carry across algorithms)
     and the pool workers (which build their own).
+
+    With a ``cache``, all three phases are memoised: the schedule under
+    the ``"schedule"`` layer and the simulated and emulated traces
+    under the ``"simulation"`` layer.  Each phase is deterministic in
+    exactly its key — the emulator derives its RNG from its own
+    configuration plus (dag, algorithm, run label), never from shared
+    sequential state — so cached replays are bit-identical to fresh
+    computation, serial or pooled.
     """
     platform = emulator.platform
     obs = get_recorder()
@@ -146,7 +201,7 @@ def _run_cell(
     with obs.span(
         "study.schedule", algorithm=algorithm, simulator=suite.name
     ):
-        schedule = schedule_dag(graph, costs, algorithm)
+        schedule = schedule_dag(graph, costs, algorithm, cache=cache)
     simulator = ApplicationSimulator(
         platform,
         suite.task_model,
@@ -156,11 +211,25 @@ def _run_cell(
     with obs.span(
         "study.simulate", algorithm=algorithm, simulator=suite.name
     ):
-        sim_trace = simulator.run(graph, schedule)
+        sim_trace = simulator.run_cached(graph, schedule, cache)
     with obs.span(
         "study.execute", algorithm=algorithm, simulator=suite.name
     ):
-        exp_trace = emulator.execute(graph, schedule)
+        if cache is None:
+            exp_trace = emulator.execute(graph, schedule)
+        else:
+            exp_key = {
+                "executor": "testbed",
+                "emulator": emulator_fingerprint(emulator),
+                "dag": dag_fingerprint(graph),
+                "schedule": schedule_fingerprint(schedule),
+                "run_label": 0,
+            }
+            exp_trace = cache.get_or_compute(
+                "simulation",
+                exp_key,
+                lambda: emulator.execute(graph, schedule),
+            )
     record = RunRecord(
         dag_label=graph.name,
         n=params.n,
@@ -196,11 +265,13 @@ def _pool_init(
     suites: Sequence[SimulatorSuite],
     emulator: TGridEmulator,
     obs_enabled: bool,
+    cache: ResultCache | None = None,
 ) -> None:
     _POOL_STATE["dags"] = dags
     _POOL_STATE["suites"] = suites
     _POOL_STATE["emulator"] = emulator
     _POOL_STATE["obs_enabled"] = obs_enabled
+    _POOL_STATE["cache"] = cache
 
 
 def _pool_run_cell(
@@ -218,12 +289,15 @@ def _pool_run_cell(
     suite = state["suites"][suite_idx]
     params, graph = state["dags"][dag_idx]
     emulator = state["emulator"]
+    cache = state.get("cache")
     if state["obs_enabled"]:
         worker_obs = Recorder.to_memory()
         with recording(worker_obs):
-            record = _run_cell(suite, params, graph, algorithm, emulator)
+            record = _run_cell(
+                suite, params, graph, algorithm, emulator, cache=cache
+            )
         return record, worker_obs.export_state()
-    record = _run_cell(suite, params, graph, algorithm, emulator)
+    record = _run_cell(suite, params, graph, algorithm, emulator, cache=cache)
     return record, None
 
 
@@ -234,6 +308,7 @@ def run_study(
     *,
     algorithms: Sequence[str] = ("hcpa", "mcpa"),
     workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> StudyResult:
     """Run the full grid; returns every (DAG, algorithm, suite) record.
 
@@ -241,6 +316,13 @@ def run_study(
     module docstring); the default keeps the serial in-process loop.
     The records — and, with an enabled recorder, the merged metrics —
     are identical either way.
+
+    ``cache`` enables content-addressed memoization of every cell's
+    schedule, simulated trace and emulated trace: a warm re-run skips
+    any cell whose inputs are unchanged and returns bit-identical
+    records.  The cache is shared safely with pool workers (atomic
+    file-per-entry writes); per-layer hit/miss counters land in the
+    recorder either way.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -267,7 +349,7 @@ def run_study(
             max_workers=min(workers, len(cells)) or 1,
             mp_context=ctx,
             initializer=_pool_init,
-            initargs=(dags, suites, emulator, obs.enabled),
+            initargs=(dags, suites, emulator, obs.enabled, cache),
         ) as pool:
             # ``map`` yields in submission order regardless of
             # completion order: records and absorbed observability
@@ -290,7 +372,7 @@ def run_study(
                     result.records.append(
                         _run_cell(
                             suite, params, graph, algorithm, emulator,
-                            costs=costs,
+                            costs=costs, cache=cache,
                         )
                     )
     result.manifest = RunManifest.collect(

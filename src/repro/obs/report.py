@@ -85,6 +85,30 @@ def _span_rollup(records: list[dict]) -> dict[str, dict]:
     return rollup
 
 
+def _cache_rows(counters: dict) -> list[list[object]]:
+    """Per-layer hit/miss/hit-rate rows from ``cache.*`` counters.
+
+    Layers are discovered from ``cache.<layer>.hits`` /
+    ``cache.<layer>.misses`` counter names; the aggregate
+    ``cache.hits`` / ``cache.misses`` pair becomes a ``total`` row.
+    """
+    layers: dict[str, dict[str, float]] = {}
+    for name, value in counters.items():
+        parts = name.split(".")
+        if parts[0] != "cache" or parts[-1] not in ("hits", "misses"):
+            continue
+        layer = ".".join(parts[1:-1]) or "total"
+        layers.setdefault(layer, {})[parts[-1]] = value
+    rows: list[list[object]] = []
+    for layer in sorted(layers, key=lambda k: (k == "total", k)):
+        hits = layers[layer].get("hits", 0)
+        misses = layers[layer].get("misses", 0)
+        lookups = hits + misses
+        rate = 100.0 * hits / lookups if lookups else 0.0
+        rows.append([layer, f"{hits:g}", f"{misses:g}", f"{rate:.1f}"])
+    return rows
+
+
 def _study_breakdown(records: list[dict]) -> list[list[object]]:
     """Per-(algorithm, simulator) rows from ``study.record`` events."""
     groups: dict[tuple[str, str], list[dict]] = {}
@@ -158,6 +182,19 @@ def render_report(
                 [[name, f"{value:g}"] for name, value in ranked[:top]],
             )
         )
+
+    cache_rows = _cache_rows(counters)
+    if cache_rows:
+        lines.append("")
+        lines.append("result cache (per layer):")
+        lines.append(
+            format_table(
+                ["layer", "hits", "misses", "hit rate %"], cache_rows
+            )
+        )
+        for name in ("cache.bytes_read", "cache.bytes_written"):
+            if name in counters:
+                lines.append(f"{name}: {counters[name]:g}")
 
     spans = (
         manifest.metrics.get("spans", {}) if manifest is not None else {}

@@ -17,6 +17,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.cache.keys import emulator_fingerprint
+from repro.cache.result_cache import ResultCache
 from repro.models.analytical import AnalyticalTaskModel
 from repro.models.base import TaskTimeModel
 from repro.models.empirical import EmpiricalTaskModel, PiecewiseKernelModel
@@ -60,6 +62,30 @@ class SimulatorSuite:
     redistribution_model: RedistributionOverheadModel
 
 
+def _cached_suite(
+    cache: ResultCache | None,
+    kind: str,
+    emulator: TGridEmulator,
+    params: dict,
+    build,
+) -> SimulatorSuite:
+    """Memoise one suite build under the cache's ``"calibration"`` layer.
+
+    The key is the emulator's full configuration plus every measurement
+    parameter — the calibration measurements are deterministic in
+    exactly those inputs — so one fitted suite is shared across every
+    study (and process) on the same environment.
+    """
+    if cache is None:
+        return build()
+    key = {
+        "suite": kind,
+        "emulator": emulator_fingerprint(emulator),
+        "params": params,
+    }
+    return cache.get_or_compute("calibration", key, build)
+
+
 def build_analytical_suite(platform) -> SimulatorSuite:
     """The Section IV simulator: flop counts, no overheads."""
     return SimulatorSuite(
@@ -77,6 +103,7 @@ def build_profile_suite(
     kernel_trials: int = 3,
     startup_trials: int = 20,
     redistribution_trials: int = 3,
+    cache: ResultCache | None = None,
 ) -> SimulatorSuite:
     """The Section VI simulator: brute-force measurement of everything.
 
@@ -84,7 +111,39 @@ def build_profile_suite(
     trials, per the paper); measures the full redistribution grid (3
     trials) and averages it over the source count, since Fig 4 shows the
     overhead "depends mostly on p(dst)".
+
+    With a ``cache`` the fitted suite is memoised against the emulator
+    configuration and every measurement parameter, so recalibration is
+    skipped whenever the environment is unchanged.
     """
+    return _cached_suite(
+        cache,
+        "profile",
+        emulator,
+        {
+            "sizes": tuple(sizes),
+            "kernel_trials": kernel_trials,
+            "startup_trials": startup_trials,
+            "redistribution_trials": redistribution_trials,
+        },
+        lambda: _build_profile_suite(
+            emulator,
+            sizes=sizes,
+            kernel_trials=kernel_trials,
+            startup_trials=startup_trials,
+            redistribution_trials=redistribution_trials,
+        ),
+    )
+
+
+def _build_profile_suite(
+    emulator: TGridEmulator,
+    *,
+    sizes: Sequence[int],
+    kernel_trials: int,
+    startup_trials: int,
+    redistribution_trials: int,
+) -> SimulatorSuite:
     obs = get_recorder()
     with obs.span("calib.profile_suite"):
         profile = profile_kernels(
@@ -120,8 +179,44 @@ def build_empirical_suite(
     kernel_trials: int = 3,
     startup_trials: int = 20,
     redistribution_trials: int = 3,
+    cache: ResultCache | None = None,
 ) -> SimulatorSuite:
-    """The Section VII simulator: sparse measurements + regressions."""
+    """The Section VII simulator: sparse measurements + regressions.
+
+    With a ``cache`` the fitted suite is memoised against the emulator
+    configuration, the sampling plan and every measurement parameter.
+    """
+    return _cached_suite(
+        cache,
+        "empirical",
+        emulator,
+        {
+            "plan": plan,
+            "sizes": tuple(sizes),
+            "kernel_trials": kernel_trials,
+            "startup_trials": startup_trials,
+            "redistribution_trials": redistribution_trials,
+        },
+        lambda: _build_empirical_suite(
+            emulator,
+            plan=plan,
+            sizes=sizes,
+            kernel_trials=kernel_trials,
+            startup_trials=startup_trials,
+            redistribution_trials=redistribution_trials,
+        ),
+    )
+
+
+def _build_empirical_suite(
+    emulator: TGridEmulator,
+    *,
+    plan: SamplingPlan,
+    sizes: Sequence[int],
+    kernel_trials: int,
+    startup_trials: int,
+    redistribution_trials: int,
+) -> SimulatorSuite:
     obs = get_recorder()
 
     def measure(kernel: str, n: int, ps: Sequence[int]) -> dict[int, float]:
@@ -208,6 +303,7 @@ def build_size_aware_suite(
     kernel_trials: int = 3,
     startup_trials: int = 20,
     redistribution_trials: int = 3,
+    cache: ResultCache | None = None,
 ) -> SimulatorSuite:
     """A size-aware empirical simulator (paper "future work").
 
@@ -229,6 +325,7 @@ def build_size_aware_suite(
         kernel_trials=kernel_trials,
         startup_trials=startup_trials,
         redistribution_trials=redistribution_trials,
+        cache=cache,
     )
     families = {}
     for kernel in ("matmul", "matadd"):

@@ -167,6 +167,46 @@ class ApplicationSimulator:
         self._shared_topology: NetworkTopology | None = None
 
     # ------------------------------------------------------------------
+    def model_fingerprint(self) -> dict:
+        """Cache-key content of this simulator's configuration.
+
+        Everything :meth:`run` depends on besides the (graph, schedule)
+        pair: the platform, the three cost models and the contention
+        switch.  Used by :meth:`run_cached` and the study runner.
+        """
+        return {
+            "platform": self.platform,
+            "task_model": self.task_model,
+            "startup_model": self.startup_model,
+            "redistribution_model": self.redistribution_model,
+            "contention": self.contention,
+        }
+
+    def run_cached(
+        self, graph: TaskGraph, schedule: Schedule, cache
+    ) -> SimulationTrace:
+        """Memoised :meth:`run` under the cache's ``"simulation"`` layer.
+
+        The simulation is deterministic in (models, platform, graph,
+        schedule), so a replayed trace is bit-identical to a fresh one.
+        Only meaningful for simulators whose models are pure data
+        (suite models); the testbed's ground-truth models draw from an
+        RNG stream and are cached at the study-cell level instead.
+        """
+        from repro.cache.keys import dag_fingerprint, schedule_fingerprint
+
+        if cache is None:
+            return self.run(graph, schedule)
+        key = {
+            "executor": "simulator",
+            "simulator": self.model_fingerprint(),
+            "dag": dag_fingerprint(graph),
+            "schedule": schedule_fingerprint(schedule),
+        }
+        return cache.get_or_compute(
+            "simulation", key, lambda: self.run(graph, schedule)
+        )
+
     def run(self, graph: TaskGraph, schedule: Schedule) -> SimulationTrace:
         """Simulate the application; returns the trace with the makespan."""
         graph.validate()

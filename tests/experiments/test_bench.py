@@ -6,6 +6,7 @@ import pytest
 
 from repro.experiments.bench import (
     StageComparison,
+    cache_speedup,
     compare_to_baseline,
     default_baseline_path,
     render_comparison,
@@ -78,9 +79,19 @@ class TestBenchRun:
             "scheduling",
             "simulation",
             "testbed_execution",
+            "study_cold",
+            "cached_rerun",
         }
         assert payload["config"]["repeat"] == 1
         assert payload["counters"]["engine.steps"] > 0
+
+    def test_cache_speedup_reads_the_cold_warm_pair(self):
+        payload = run_pipeline_bench(num_dags=2)
+        speedup = cache_speedup(payload)
+        assert speedup is not None and speedup > 0
+        assert cache_speedup({"stages": {}}) is None
+        # The warm re-run replayed every cell from the cache.
+        assert payload["counters"]["cache.hits"] > 0
 
     def test_repeat_keeps_the_minimum(self):
         one = run_pipeline_bench(num_dags=2, repeat=1)

@@ -1,0 +1,213 @@
+"""Cached study re-execution must be invisible in the results.
+
+Acceptance property of the result cache: records, traces and makespans
+are bit-identical between a cold run (populating the cache), a warm
+re-run (replaying from it) and a cache-disabled run — serially and
+under a worker pool — while the warm run does no recomputation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import ResultCache, canonical_hash, schedule_fingerprint
+from repro.dag.generator import generate_paper_dags
+from repro.experiments.runner import run_study
+from repro.obs.recorder import Recorder, recording
+from repro.platform.personalities import bayreuth_cluster
+from repro.profiling.calibration import (
+    build_analytical_suite,
+    build_empirical_suite,
+    build_profile_suite,
+)
+from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.driver import schedule_dag
+from repro.simgrid.simulator import ApplicationSimulator
+from repro.testbed.tgrid import TGridEmulator
+
+
+@pytest.fixture(scope="module")
+def study_inputs():
+    platform = bayreuth_cluster(8)
+    emulator = TGridEmulator(platform, seed=0)
+    suite = build_analytical_suite(platform)
+    dags = generate_paper_dags(seed=0)[:3]
+    return dags, suite, emulator
+
+
+def _run(study_inputs, cache, workers=1):
+    dags, suite, emulator = study_inputs
+    recorder = Recorder.to_memory()
+    with recording(recorder):
+        result = run_study(
+            dags, [suite], emulator, workers=workers, cache=cache
+        )
+    return result, recorder.metrics()["counters"]
+
+
+class TestStudyEquivalence:
+    def test_cold_warm_disabled_all_identical(self, study_inputs, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        baseline, _ = _run(study_inputs, cache=None)
+        cold, cold_counters = _run(study_inputs, cache=cache)
+        warm, warm_counters = _run(study_inputs, cache=cache)
+
+        # RunRecord is a frozen dataclass: == is field-for-field, so
+        # this compares every makespan bit-identically.
+        assert cold.records == baseline.records
+        assert warm.records == baseline.records
+
+        assert cold_counters["cache.misses"] > 0
+        assert "cache.hits" not in cold_counters
+        assert warm_counters["cache.hits"] == cold_counters["cache.misses"]
+        assert "cache.misses" not in warm_counters
+
+    def test_warm_replay_identical_under_worker_pool(
+        self, study_inputs, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        baseline, _ = _run(study_inputs, cache=None)
+        # Cold under the pool: workers share the store via atomic writes.
+        cold, _ = _run(study_inputs, cache=cache, workers=2)
+        warm, warm_counters = _run(study_inputs, cache=cache, workers=2)
+        assert cold.records == baseline.records
+        assert warm.records == baseline.records
+        assert warm_counters["cache.hits"] > 0
+        assert "cache.misses" not in warm_counters
+
+    def test_per_layer_counters_cover_all_three_phases(
+        self, study_inputs, tmp_path
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        _run(study_inputs, cache=cache)
+        _, warm_counters = _run(study_inputs, cache=cache)
+        dags, _suite, _emulator = study_inputs
+        cells = len(dags) * 2  # two algorithms
+        assert warm_counters["cache.schedule.hits"] == cells
+        # Each cell caches one simulated and one emulated trace.
+        assert warm_counters["cache.simulation.hits"] == 2 * cells
+
+
+class TestPhaseLevelReplay:
+    def test_schedule_replay_is_bit_identical(self, study_inputs, tmp_path):
+        dags, suite, emulator = study_inputs
+        _params, graph = dags[0]
+        platform = emulator.platform
+        costs = SchedulingCosts(
+            graph,
+            platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+        )
+        fresh = schedule_dag(graph, costs, "hcpa")
+        cache = ResultCache(tmp_path / "cache")
+        cold = schedule_dag(graph, costs, "hcpa", cache=cache)
+        warm = schedule_dag(graph, costs, "hcpa", cache=cache)
+        for replay in (cold, warm):
+            assert canonical_hash(
+                schedule_fingerprint(replay)
+            ) == canonical_hash(schedule_fingerprint(fresh))
+            assert replay.makespan_estimate == fresh.makespan_estimate
+
+    def test_simulation_replay_is_bit_identical(self, study_inputs, tmp_path):
+        dags, suite, emulator = study_inputs
+        _params, graph = dags[0]
+        platform = emulator.platform
+        costs = SchedulingCosts(
+            graph,
+            platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+        )
+        schedule = schedule_dag(graph, costs, "mcpa")
+        simulator = ApplicationSimulator(
+            platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+        )
+        fresh = simulator.run(graph, schedule)
+        cache = ResultCache(tmp_path / "cache")
+        cold = simulator.run_cached(graph, schedule, cache)
+        warm = simulator.run_cached(graph, schedule, cache)
+        # SimulationTrace is a dataclass of frozen per-task/per-edge
+        # records: == compares the full trace, not just the makespan.
+        assert cold == fresh
+        assert warm == fresh
+
+
+class TestCalibrationLayer:
+    def test_profile_suite_is_memoised(self, study_inputs, tmp_path):
+        _dags, _suite, emulator = study_inputs
+        cache = ResultCache(tmp_path / "cache")
+        recorder = Recorder.to_memory()
+        kwargs = dict(
+            sizes=(2000,),
+            kernel_trials=1,
+            startup_trials=2,
+            redistribution_trials=1,
+        )
+        with recording(recorder):
+            cold = build_profile_suite(emulator, cache=cache, **kwargs)
+            warm = build_profile_suite(emulator, cache=cache, **kwargs)
+        counters = recorder.metrics()["counters"]
+        assert counters["cache.calibration.misses"] == 1
+        assert counters["cache.calibration.hits"] == 1
+        assert dict(warm.task_model.items()) == dict(cold.task_model.items())
+
+    def test_different_measurement_params_miss(self, study_inputs, tmp_path):
+        _dags, _suite, emulator = study_inputs
+        cache = ResultCache(tmp_path / "cache")
+        recorder = Recorder.to_memory()
+        with recording(recorder):
+            build_profile_suite(
+                emulator, cache=cache, sizes=(2000,), kernel_trials=1,
+                startup_trials=2, redistribution_trials=1,
+            )
+            build_profile_suite(
+                emulator, cache=cache, sizes=(2000,), kernel_trials=2,
+                startup_trials=2, redistribution_trials=1,
+            )
+        counters = recorder.metrics()["counters"]
+        assert counters["cache.calibration.misses"] == 2
+        assert "cache.calibration.hits" not in counters
+
+    def test_empirical_suite_is_memoised(self, study_inputs, tmp_path):
+        _dags, _suite, emulator = study_inputs
+        cache = ResultCache(tmp_path / "cache")
+        recorder = Recorder.to_memory()
+        kwargs = dict(
+            sizes=(2000,),
+            kernel_trials=1,
+            startup_trials=2,
+            redistribution_trials=1,
+        )
+        with recording(recorder):
+            cold = build_empirical_suite(emulator, cache=cache, **kwargs)
+            warm = build_empirical_suite(emulator, cache=cache, **kwargs)
+        counters = recorder.metrics()["counters"]
+        assert counters["cache.calibration.misses"] == 1
+        assert counters["cache.calibration.hits"] == 1
+        assert warm.startup_model.fit == cold.startup_model.fit
+
+
+class TestCellErrors:
+    def test_record_keyerror_names_the_missing_cell(self, study_inputs):
+        dags, suite, emulator = study_inputs
+        study, _ = _run(study_inputs, cache=None)
+        with pytest.raises(KeyError) as err:
+            study.record("no-such-dag", "hcpa", "analytic")
+        message = str(err.value)
+        assert "dag='no-such-dag'" in message
+        assert "algorithm='hcpa'" in message
+        assert "simulator='analytic'" in message
+        # ... and says what the study does hold.
+        assert "analytic" in message
+
+    def test_strict_select_names_the_missing_filters(self, study_inputs):
+        study, _ = _run(study_inputs, cache=None)
+        assert study.select(simulator="profile") == []
+        with pytest.raises(KeyError, match="simulator='profile'"):
+            study.select(simulator="profile", strict=True)

@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.testbed",
     "repro.profiling",
     "repro.experiments",
+    "repro.cache",
 ]
 
 
