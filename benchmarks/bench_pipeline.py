@@ -3,9 +3,11 @@
 Thin entry point over :mod:`repro.experiments.bench`, which times the
 four stages every study run goes through — DAG generation, scheduling,
 simulation, testbed execution — plus a cold/warm full-study pair
-through the content-addressed result cache, and writes the aggregate
-to ``BENCH_pipeline.json`` at the repository root.  This seeds the
-benchmark trajectory every future performance PR measures against.
+through the content-addressed result cache, a cold study on the array
+engine backend, and a scalar-vs-vectorized max-min solver
+micro-benchmark, and writes the aggregate to ``BENCH_pipeline.json``
+at the repository root.  This seeds the benchmark trajectory every
+future performance PR measures against.
 
 Run directly (``python benchmarks/bench_pipeline.py``) or via pytest
 (``pytest benchmarks/bench_pipeline.py``); ``repro bench`` is the same
@@ -19,6 +21,10 @@ Flags::
     --repeat N          run N passes, keep the per-stage minimum
     --update            rewrite BENCH_pipeline.json (default when no
                         --compare is given)
+    --engine NAME       simulation backend for the pipeline stages
+                        (object | array; default honors REPRO_ENGINE)
+    --assert-solver     exit 1 if the vectorized solver is slower than
+                        the scalar kernel on the dense instance
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from repro.experiments.bench import (  # noqa: E402
     compare_to_baseline,
     render_comparison,
     run_pipeline_bench,
+    solver_speedup,
 )
 
 OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
@@ -50,18 +57,27 @@ def run_benchmark(num_dags: int = NUM_DAGS) -> dict:
 
 def test_bench_pipeline():
     """Pytest entry: the bench runs and every stage takes positive time."""
-    payload = run_benchmark(num_dags=3)
+    payload = run_pipeline_bench(num_dags=3, engine="object")
     assert set(payload["stages"]) == {
         "dag_generation", "scheduling", "simulation", "testbed_execution",
-        "study_cold", "cached_rerun",
+        "study_cold", "study_cold_array", "cached_rerun",
+        "solver_dense_scalar", "solver_dense_vectorized",
+        "solver_sparse_scalar", "solver_sparse_vectorized",
     }
     for stage in payload["stages"].values():
         assert stage["seconds"] >= 0.0
         assert stage["units"] > 0
+    # Each simulation-bearing stage records which backend produced it.
+    assert payload["stages"]["study_cold"]["engine"] == "object"
+    assert payload["stages"]["study_cold_array"]["engine"] == "array"
+    assert "engine" not in payload["stages"]["dag_generation"]
+    assert payload["config"]["engine"] == "object"
     assert payload["counters"]["engine.steps"] > 0
     # The warm re-run replayed every cell from the cache.
     assert payload["counters"]["cache.hits"] > 0
     assert cache_speedup(payload) is not None
+    assert solver_speedup(payload) is not None
+    assert solver_speedup(payload, "sparse") is not None
 
 
 def _print_stages(payload: dict) -> None:
@@ -69,12 +85,19 @@ def _print_stages(payload: dict) -> None:
     for name, stage in payload["stages"].items():
         share = 100.0 * stage["seconds"] / total if total else 0.0
         print(
-            f"  {name:<18} {stage['seconds']:8.3f} s "
+            f"  {name:<24} {stage['seconds']:8.3f} s "
             f"({share:5.1f} %, {1e3 * stage['seconds_per_unit']:8.3f} ms/unit)"
         )
     speedup = cache_speedup(payload)
     if speedup is not None:
         print(f"  warm-cache study re-run: {speedup:.1f}x faster than cold")
+    for instance in ("dense", "sparse"):
+        ratio = solver_speedup(payload, instance)
+        if ratio is not None:
+            print(
+                f"  vectorized solver ({instance}): "
+                f"{ratio:.2f}x vs scalar kernel"
+            )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -92,9 +115,40 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="rewrite the baseline (implied when --compare is absent)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("object", "array"),
+        default=None,
+        help="simulation backend for the pipeline stages "
+        "(default honors REPRO_ENGINE)",
+    )
+    parser.add_argument(
+        "--assert-solver",
+        action="store_true",
+        help="exit 1 if the vectorized solver is slower than the "
+        "scalar kernel on the dense instance",
+    )
     args = parser.parse_args(argv)
 
-    payload = run_pipeline_bench(num_dags=args.dags, repeat=args.repeat)
+    payload = run_pipeline_bench(
+        num_dags=args.dags, repeat=args.repeat, engine=args.engine
+    )
+
+    def check_solver() -> int:
+        if not args.assert_solver:
+            return 0
+        ratio = solver_speedup(payload, "dense")
+        if ratio is None or ratio < 1.0:
+            print(
+                "solver assertion FAILED: vectorized kernel is "
+                f"{'missing' if ratio is None else f'{ratio:.2f}x'} "
+                "vs scalar on the dense instance",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"solver assertion passed: vectorized {ratio:.2f}x vs scalar")
+        return 0
+
     if args.compare:
         try:
             baseline = json.loads(OUTPUT.read_text(encoding="utf-8"))
@@ -115,12 +169,14 @@ def main(argv: list[str] | None = None) -> int:
                 json.dumps(payload, indent=2) + "\n", encoding="utf-8"
             )
             print(f"wrote {OUTPUT}")
-        return 1 if any(c.regressed for c in comparisons) else 0
+        if any(c.regressed for c in comparisons):
+            return 1
+        return check_solver()
 
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {OUTPUT}")
     _print_stages(payload)
-    return 0
+    return check_solver()
 
 
 if __name__ == "__main__":

@@ -103,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
         "are identical either way)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("object", "array"),
+        default=None,
+        help="simulation engine backend: the scalar object oracle "
+        "(default) or the vectorized array core; results are "
+        "bit-identical (REPRO_ENGINE sets the default)",
+    )
+    parser.add_argument(
         "--trace-out",
         default="",
         metavar="PATH",
@@ -334,9 +342,10 @@ def _cmd_simulate(ctx: StudyContext, args: argparse.Namespace) -> int:
         suite.task_model,
         startup_model=suite.startup_model,
         redistribution_model=suite.redistribution_model,
+        engine=ctx.engine,
     )
     sim_trace = simulator.run_cached(graph, schedule, ctx.cache)
-    exp_trace = ctx.emulator.execute(graph, schedule)
+    exp_trace = ctx.emulator.execute(graph, schedule, engine=ctx.engine)
     print(f"dag: {graph.name}  algorithm: {args.algorithm}  "
           f"simulator: {args.simulator}")
     print(f"allocations: {schedule.allocations()}")
@@ -478,15 +487,22 @@ def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
     from repro.experiments import bench as bench_mod
 
     payload = bench_mod.run_pipeline_bench(
-        num_dags=args.dags, repeat=args.repeat
+        num_dags=args.dags, repeat=args.repeat, engine=ctx.engine
     )
     total = sum(s["seconds"] for s in payload["stages"].values())
     for name, stage in payload["stages"].items():
         share = 100.0 * stage["seconds"] / total if total else 0.0
-        print(f"  {name:<18} {stage['seconds']:8.3f} s ({share:5.1f} %)")
+        print(f"  {name:<24} {stage['seconds']:8.3f} s ({share:5.1f} %)")
     speedup = bench_mod.cache_speedup(payload)
     if speedup is not None:
         print(f"  warm-cache study re-run: {speedup:.1f}x faster than cold")
+    for instance in ("dense", "sparse"):
+        ratio = bench_mod.solver_speedup(payload, instance)
+        if ratio is not None:
+            print(
+                f"  vectorized solver ({instance}): "
+                f"{ratio:.2f}x vs scalar kernel"
+            )
     baseline_path = (
         Path(args.baseline) if args.baseline
         else bench_mod.default_baseline_path()
@@ -567,6 +583,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         seed=args.seed,
         workers=args.workers,
         cache_dir=args.cache_dir or None,
+        engine=args.engine,
     )
     try:
         return _COMMANDS[args.command](ctx, args)

@@ -3,9 +3,14 @@
 The benchmark times the four stages every study run goes through —
 DAG generation, scheduling, simulation, testbed execution — plus a
 cold/warm full-study pair through the content-addressed result cache
-(:mod:`repro.cache`), using the observability layer's span timers, and
-compares the result against the committed baseline
-(``BENCH_pipeline.json`` at the repository root).
+(:mod:`repro.cache`), a second cold study on the array engine backend
+(``study_cold_array``; its records are asserted equal to the object
+cold run's), and a max-min solver micro-benchmark (scalar vs vectorized
+kernel on synthetic dense/sparse instances), using the observability
+layer's span timers, and compares the result against the committed
+baseline (``BENCH_pipeline.json`` at the repository root).  Each stage
+that runs a simulation engine records which backend produced it in the
+stage's ``engine`` field.
 
 Noise handling: wall-clock benchmarks on shared machines jitter by tens
 of percent, so ``repeat`` runs the whole measurement several times and
@@ -18,11 +23,14 @@ job for the same reason (see ``docs/performance.md``).
 from __future__ import annotations
 
 import json
+import random
 import shutil
 import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
+
+import numpy as np
 
 from repro import __version__
 from repro.cache import ResultCache
@@ -33,6 +41,8 @@ from repro.platform.personalities import bayreuth_cluster
 from repro.profiling.calibration import build_analytical_suite
 from repro.scheduling.costs import SchedulingCosts
 from repro.scheduling.driver import schedule_dag
+from repro.simgrid.arena import resolve_engine
+from repro.simgrid.sharing import _maxmin_dense, _maxmin_flat
 from repro.simgrid.simulator import ApplicationSimulator
 from repro.testbed.tgrid import TGridEmulator
 
@@ -60,8 +70,37 @@ _STAGE_NAMES = (
     "pipeline.simulation",
     "pipeline.testbed_execution",
     "pipeline.study_cold",
+    "pipeline.study_cold_array",
     "pipeline.cached_rerun",
+    "pipeline.solver_dense_scalar",
+    "pipeline.solver_dense_vectorized",
+    "pipeline.solver_sparse_scalar",
+    "pipeline.solver_sparse_vectorized",
 )
+
+#: Solver micro-benchmark shape: one dense instance (every action
+#: touches many of the resources — the regime the vectorized kernel is
+#: built for) and one sparse instance (few entries per action — the
+#: regime the engine's adaptive dispatch keeps on the scalar kernel).
+_SOLVER_DENSE = (48, 48, 193)  # (actions, entries per action, resources)
+_SOLVER_SPARSE = (48, 4, 193)
+_SOLVER_ITERS = 40
+
+
+def _solver_instance(
+    actions: int, entries: int, resources: int
+) -> tuple[list, list, list, list]:
+    """Deterministic synthetic CSR instance for the solver bench."""
+    rng = random.Random(20260806)
+    counts: list[int] = []
+    e_rid: list[int] = []
+    e_w: list[float] = []
+    for _ in range(actions):
+        counts.append(entries)
+        e_rid.extend(rng.sample(range(resources), entries))
+        e_w.extend(rng.uniform(0.5, 2.0) for _ in range(entries))
+    caps = [rng.uniform(1.0, 8.0) for _ in range(resources)]
+    return counts, e_rid, e_w, caps
 
 
 def default_baseline_path() -> Path:
@@ -69,7 +108,9 @@ def default_baseline_path() -> Path:
     return Path(__file__).resolve().parents[3] / DEFAULT_BASELINE
 
 
-def _measure(num_dags: int) -> tuple[dict[str, float], dict[str, int], dict]:
+def _measure(
+    num_dags: int, engine: str
+) -> tuple[dict[str, float], dict[str, int], dict]:
     """One timed pass; returns (stage seconds, stage units, counters)."""
     recorder = Recorder.to_memory()
     with recording(recorder):
@@ -100,6 +141,7 @@ def _measure(num_dags: int) -> tuple[dict[str, float], dict[str, int], dict]:
             suite.task_model,
             startup_model=suite.startup_model,
             redistribution_model=suite.redistribution_model,
+            engine=engine,
         )
         with recorder.span("pipeline.simulation"):
             for graph, schedule in schedules:
@@ -107,7 +149,7 @@ def _measure(num_dags: int) -> tuple[dict[str, float], dict[str, int], dict]:
 
         with recorder.span("pipeline.testbed_execution"):
             for graph, schedule in schedules:
-                emulator.execute(graph, schedule)
+                emulator.execute(graph, schedule, engine=engine)
 
         # Full-study cold/warm pair through the result cache: the cold
         # pass populates a fresh cache (compute + persist), the warm
@@ -117,15 +159,66 @@ def _measure(num_dags: int) -> tuple[dict[str, float], dict[str, int], dict]:
         try:
             cache = ResultCache(cache_root)
             with recorder.span("pipeline.study_cold"):
-                cold = run_study(dags, [suite], emulator, cache=cache)
+                cold = run_study(
+                    dags, [suite], emulator, cache=cache, engine=engine
+                )
             with recorder.span("pipeline.cached_rerun"):
-                warm = run_study(dags, [suite], emulator, cache=cache)
+                warm = run_study(
+                    dags, [suite], emulator, cache=cache, engine=engine
+                )
         finally:
             shutil.rmtree(cache_root, ignore_errors=True)
         if cold.records != warm.records:  # pragma: no cover - cache bug
             raise RuntimeError(
                 "cached study re-run diverged from the cold run"
             )
+
+        # The same cold study on the array backend (its own fresh
+        # cache, so nothing is replayed).  Backends are bit-identical —
+        # asserted on the full record list — so the two cold stages
+        # time identical work on the two engines.
+        cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+        try:
+            cache = ResultCache(cache_root)
+            with recorder.span("pipeline.study_cold_array"):
+                cold_array = run_study(
+                    dags, [suite], emulator, cache=cache, engine="array"
+                )
+        finally:
+            shutil.rmtree(cache_root, ignore_errors=True)
+        if cold_array.records != cold.records:  # pragma: no cover
+            raise RuntimeError(
+                "array-engine study diverged from the object-engine study"
+            )
+
+        # Solver micro-benchmark: the scalar and vectorized max-min
+        # kernels on identical synthetic instances.  Results are
+        # asserted equal, so the stages time the same computation.
+        for label, shape in (
+            ("dense", _SOLVER_DENSE),
+            ("sparse", _SOLVER_SPARSE),
+        ):
+            counts, e_rid, e_w, caps = _solver_instance(*shape)
+            np_args = (
+                np.asarray(counts, dtype=np.intp),
+                np.asarray(e_rid, dtype=np.intp),
+                np.asarray(e_w, dtype=float),
+                np.asarray(caps, dtype=float),
+            )
+            # Warm-up pass, outside the timed spans, doubling as the
+            # bit-identity check between the two kernels.
+            scalar_rates = _maxmin_flat(counts, e_rid, e_w, caps)
+            vector_rates = _maxmin_dense(*np_args)
+            if scalar_rates != vector_rates.tolist():  # pragma: no cover
+                raise RuntimeError(
+                    f"solver kernels diverged on the {label} instance"
+                )
+            with recorder.span(f"pipeline.solver_{label}_scalar"):
+                for _ in range(_SOLVER_ITERS):
+                    _maxmin_flat(counts, e_rid, e_w, caps)
+            with recorder.span(f"pipeline.solver_{label}_vectorized"):
+                for _ in range(_SOLVER_ITERS):
+                    _maxmin_dense(*np_args)
 
     metrics = recorder.metrics()
     num_cells = len(dags) * len(ALGORITHMS)
@@ -135,7 +228,12 @@ def _measure(num_dags: int) -> tuple[dict[str, float], dict[str, int], dict]:
         "pipeline.simulation": len(schedules),
         "pipeline.testbed_execution": len(schedules),
         "pipeline.study_cold": num_cells,
+        "pipeline.study_cold_array": num_cells,
         "pipeline.cached_rerun": num_cells,
+        "pipeline.solver_dense_scalar": _SOLVER_ITERS,
+        "pipeline.solver_dense_vectorized": _SOLVER_ITERS,
+        "pipeline.solver_sparse_scalar": _SOLVER_ITERS,
+        "pipeline.solver_sparse_vectorized": _SOLVER_ITERS,
     }
     seconds = {
         name: metrics["spans"][name]["total_s"] for name in _STAGE_NAMES
@@ -148,29 +246,54 @@ def _measure(num_dags: int) -> tuple[dict[str, float], dict[str, int], dict]:
     return seconds, units, counters
 
 
-def run_pipeline_bench(num_dags: int = NUM_DAGS, repeat: int = 1) -> dict:
+def _stage_engine(name: str, engine: str) -> str | None:
+    """Which engine backend produced a stage's numbers (None: neither)."""
+    if name == "pipeline.study_cold_array":
+        return "array"
+    if name in (
+        "pipeline.simulation",
+        "pipeline.testbed_execution",
+        "pipeline.study_cold",
+        "pipeline.cached_rerun",
+    ):
+        return engine
+    return None
+
+
+def run_pipeline_bench(
+    num_dags: int = NUM_DAGS, repeat: int = 1, engine: str | None = None
+) -> dict:
     """Time each pipeline stage; returns the BENCH payload.
 
     ``repeat`` > 1 re-runs the measurement and keeps the per-stage
     minimum.  Counters come from the first pass (the pipeline is
-    deterministic, so they are identical across passes).
+    deterministic, so they are identical across passes).  ``engine``
+    selects the simulation backend for the simulation/testbed/study
+    stages (``None``: honor ``REPRO_ENGINE``, default ``object``); the
+    ``study_cold_array`` stage always runs on the array backend so the
+    payload carries both sides of the comparison.
     """
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
-    seconds, units, counters = _measure(num_dags)
+    engine = resolve_engine(engine)
+    seconds, units, counters = _measure(num_dags, engine)
     for _ in range(repeat - 1):
-        again, _units, _counters = _measure(num_dags)
+        again, _units, _counters = _measure(num_dags, engine)
         for name, value in again.items():
             if value < seconds[name]:
                 seconds[name] = value
     stages = {}
     for name in _STAGE_NAMES:
         n = units[name]
-        stages[name.removeprefix("pipeline.")] = {
+        stage = {
             "seconds": round(seconds[name], 6),
             "units": n,
             "seconds_per_unit": round(seconds[name] / n, 6),
         }
+        stage_engine = _stage_engine(name, engine)
+        if stage_engine is not None:
+            stage["engine"] = stage_engine
+        stages[name.removeprefix("pipeline.")] = stage
     return {
         "bench": "pipeline",
         "version": __version__,
@@ -181,6 +304,7 @@ def run_pipeline_bench(num_dags: int = NUM_DAGS, repeat: int = 1) -> dict:
             "num_nodes": 32,
             "simulator": "analytic",
             "repeat": repeat,
+            "engine": engine,
         },
         "stages": stages,
         "counters": counters,
@@ -199,6 +323,21 @@ def cache_speedup(payload: dict) -> float | None:
     if not cold or not warm:
         return None
     return cold / warm
+
+
+def solver_speedup(payload: dict, instance: str = "dense") -> float | None:
+    """Scalar-vs-vectorized solver ratio (None if stages are absent).
+
+    ``solver_<instance>_scalar / solver_<instance>_vectorized`` — how
+    many times faster the vectorized max-min kernel is than the scalar
+    transliteration on the synthetic instance (> 1 means faster).
+    """
+    stages = payload.get("stages", {})
+    scalar = stages.get(f"solver_{instance}_scalar", {}).get("seconds")
+    vector = stages.get(f"solver_{instance}_vectorized", {}).get("seconds")
+    if not scalar or not vector:
+        return None
+    return scalar / vector
 
 
 @dataclass(frozen=True)

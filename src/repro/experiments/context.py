@@ -51,6 +51,11 @@ class StudyContext:
         cache.  When set, calibrated suites, schedules and traces are
         memoised on disk and warm study re-runs replay unchanged cells
         bit-identically — see :mod:`repro.cache`.
+    engine:
+        Simulation engine backend for study sweeps (``"object"`` or
+        ``"array"``; None resolves via ``REPRO_ENGINE``).  Backends are
+        bit-identical, so the choice only affects wall-clock time — see
+        :mod:`repro.simgrid.arena`.
     """
 
     seed: int = 0
@@ -60,6 +65,7 @@ class StudyContext:
     redistribution_trials: int = 3
     workers: int = 1
     cache_dir: str | Path | None = None
+    engine: str | None = None
     _studies: dict[tuple[str, ...], StudyResult] = field(
         default_factory=dict, repr=False
     )
@@ -149,6 +155,7 @@ class StudyContext:
                     self.emulator,
                     workers=self.workers,
                     cache=self.cache,
+                    engine=self.engine,
                 )
                 self._studies[key] = cached
             merged.records.extend(cached.records)

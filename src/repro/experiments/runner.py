@@ -47,6 +47,7 @@ from repro.profiling.calibration import SimulatorSuite
 from repro.scheduling.costs import SchedulingCosts
 from repro.scheduling.driver import schedule_dag
 from repro.scheduling.schedule import Schedule
+from repro.simgrid.arena import resolve_engine
 from repro.simgrid.simulator import ApplicationSimulator
 from repro.testbed.tgrid import TGridEmulator
 from repro.util.stats import relative_error
@@ -173,12 +174,20 @@ def _run_cell(
     emulator: TGridEmulator,
     costs: SchedulingCosts | None = None,
     cache: ResultCache | None = None,
+    engine: str | None = None,
+    simulator: ApplicationSimulator | None = None,
 ) -> RunRecord:
     """One grid cell: schedule, simulate, execute, record.
 
     Shared by the serial loop (which reuses one ``costs`` per
-    (suite, DAG) so the memoised task times carry across algorithms)
-    and the pool workers (which build their own).
+    (suite, DAG) so the memoised task times carry across algorithms,
+    and one ``simulator`` per suite so the array backend's arena and
+    consumption memos carry across the whole sweep) and the pool
+    workers (which build their own).
+
+    ``engine`` selects the simulation backend for both the simulated
+    and the emulated trace; results are bit-identical either way, so
+    the engine never enters a cache key.
 
     With a ``cache``, all three phases are memoised: the schedule under
     the ``"schedule"`` layer and the simulated and emulated traces
@@ -202,12 +211,14 @@ def _run_cell(
         "study.schedule", algorithm=algorithm, simulator=suite.name
     ):
         schedule = schedule_dag(graph, costs, algorithm, cache=cache)
-    simulator = ApplicationSimulator(
-        platform,
-        suite.task_model,
-        startup_model=suite.startup_model,
-        redistribution_model=suite.redistribution_model,
-    )
+    if simulator is None:
+        simulator = ApplicationSimulator(
+            platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+            engine=engine,
+        )
     with obs.span(
         "study.simulate", algorithm=algorithm, simulator=suite.name
     ):
@@ -216,7 +227,7 @@ def _run_cell(
         "study.execute", algorithm=algorithm, simulator=suite.name
     ):
         if cache is None:
-            exp_trace = emulator.execute(graph, schedule)
+            exp_trace = emulator.execute(graph, schedule, engine=engine)
         else:
             exp_key = {
                 "executor": "testbed",
@@ -228,7 +239,7 @@ def _run_cell(
             exp_trace = cache.get_or_compute(
                 "simulation",
                 exp_key,
-                lambda: emulator.execute(graph, schedule),
+                lambda: emulator.execute(graph, schedule, engine=engine),
             )
     record = RunRecord(
         dag_label=graph.name,
@@ -266,12 +277,18 @@ def _pool_init(
     emulator: TGridEmulator,
     obs_enabled: bool,
     cache: ResultCache | None = None,
+    engine: str | None = None,
 ) -> None:
     _POOL_STATE["dags"] = dags
     _POOL_STATE["suites"] = suites
     _POOL_STATE["emulator"] = emulator
     _POOL_STATE["obs_enabled"] = obs_enabled
     _POOL_STATE["cache"] = cache
+    _POOL_STATE["engine"] = engine
+    # Per-suite simulator reuse within a worker: the array backend's
+    # arena and consumption memos then amortize across every cell the
+    # worker processes (simulators are reusable across runs).
+    _POOL_STATE["simulators"] = {}
 
 
 def _pool_run_cell(
@@ -290,14 +307,29 @@ def _pool_run_cell(
     params, graph = state["dags"][dag_idx]
     emulator = state["emulator"]
     cache = state.get("cache")
+    engine = state.get("engine")
+    simulator = state["simulators"].get(suite_idx)
+    if simulator is None:
+        simulator = ApplicationSimulator(
+            emulator.platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+            engine=engine,
+        )
+        state["simulators"][suite_idx] = simulator
     if state["obs_enabled"]:
         worker_obs = Recorder.to_memory()
         with recording(worker_obs):
             record = _run_cell(
-                suite, params, graph, algorithm, emulator, cache=cache
+                suite, params, graph, algorithm, emulator, cache=cache,
+                engine=engine, simulator=simulator,
             )
         return record, worker_obs.export_state()
-    record = _run_cell(suite, params, graph, algorithm, emulator, cache=cache)
+    record = _run_cell(
+        suite, params, graph, algorithm, emulator, cache=cache,
+        engine=engine, simulator=simulator,
+    )
     return record, None
 
 
@@ -309,6 +341,7 @@ def run_study(
     algorithms: Sequence[str] = ("hcpa", "mcpa"),
     workers: int = 1,
     cache: ResultCache | None = None,
+    engine: str | None = None,
 ) -> StudyResult:
     """Run the full grid; returns every (DAG, algorithm, suite) record.
 
@@ -323,9 +356,15 @@ def run_study(
     records.  The cache is shared safely with pool workers (atomic
     file-per-entry writes); per-layer hit/miss counters land in the
     recorder either way.
+
+    ``engine`` selects the simulation backend (``"object"`` or
+    ``"array"``; default resolves via ``REPRO_ENGINE``).  Backends are
+    bit-identical, so records, traces and cache entries do not depend
+    on the choice — only wall-clock time does.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    engine = resolve_engine(engine)
     result = StudyResult()
     platform = emulator.platform
     obs = get_recorder()
@@ -349,7 +388,7 @@ def run_study(
             max_workers=min(workers, len(cells)) or 1,
             mp_context=ctx,
             initializer=_pool_init,
-            initargs=(dags, suites, emulator, obs.enabled, cache),
+            initargs=(dags, suites, emulator, obs.enabled, cache, engine),
         ) as pool:
             # ``map`` yields in submission order regardless of
             # completion order: records and absorbed observability
@@ -360,6 +399,13 @@ def run_study(
                     obs.absorb(payload)
     else:
         for suite in suites:
+            simulator = ApplicationSimulator(
+                platform,
+                suite.task_model,
+                startup_model=suite.startup_model,
+                redistribution_model=suite.redistribution_model,
+                engine=engine,
+            )
             for params, graph in dags:
                 costs = SchedulingCosts(
                     graph,
@@ -372,7 +418,8 @@ def run_study(
                     result.records.append(
                         _run_cell(
                             suite, params, graph, algorithm, emulator,
-                            costs=costs, cache=cache,
+                            costs=costs, cache=cache, engine=engine,
+                            simulator=simulator,
                         )
                     )
     result.manifest = RunManifest.collect(

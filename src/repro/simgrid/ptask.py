@@ -31,6 +31,7 @@ __all__ = [
     "build_ptask_action",
     "build_matrix_ptask",
     "comm_matrix_to_flows",
+    "matrix_network_totals",
     "redistribution_flows",
 ]
 
@@ -129,6 +130,51 @@ def redistribution_flows(
     return flows
 
 
+def matrix_network_totals(
+    matrix_rows: Sequence[Sequence[float]],
+    src_hosts: Sequence[int],
+    dst_hosts: Sequence[int],
+) -> tuple[list[tuple[int, float]], list[tuple[int, float]], float]:
+    """Per-link byte totals of a byte matrix on a star topology.
+
+    Returns ``(up_items, down_items, backbone_total)``: uplink
+    ``(src_host, bytes)`` totals in row order, downlink
+    ``(dst_host, bytes)`` totals in column order, and the total bytes
+    crossing the backbone.  Accumulation order is load-bearing: an
+    uplink total adds its row left-to-right, a downlink total adds its
+    column top-to-bottom, and the backbone total adds row-major —
+    exactly the order the per-flow path visits them, so the sums are
+    floating-point identical to it.  Both engine backends build their
+    network consumption from this one helper, which is what makes their
+    solver inputs bit-identical by construction.
+
+    ``down_items`` is empty whenever ``backbone_total`` is zero (no
+    off-node traffic means no downlink entries either).
+    """
+    backbone_total = 0.0
+    n_dst = len(dst_hosts)
+    down_totals = [0.0] * n_dst
+    up_items: list[tuple[int, float]] = []
+    for i, src in enumerate(src_hosts):
+        row = matrix_rows[i]
+        up_total = 0.0
+        for j in range(n_dst):
+            b = row[j]
+            if b > 0 and src != dst_hosts[j]:
+                up_total = up_total + b
+                backbone_total = backbone_total + b
+                down_totals[j] = down_totals[j] + b
+        if up_total > 0.0:
+            up_items.append((src, up_total))
+    down_items: list[tuple[int, float]] = []
+    if backbone_total > 0.0:
+        for j in range(n_dst):
+            total = down_totals[j]
+            if total > 0.0:
+                down_items.append((dst_hosts[j], total))
+    return up_items, down_items, backbone_total
+
+
 def build_matrix_ptask(
     topology: NetworkTopology,
     name: str,
@@ -169,30 +215,20 @@ def build_matrix_ptask(
     max_route_latency = 0.0
     backbone_total = 0.0
     if matrix_rows:
+        up_items, down_items, backbone_total = matrix_network_totals(
+            matrix_rows, src_hosts, dst_hosts
+        )
         uplinks = topology.uplinks
-        downlinks = topology.downlinks
-        n_dst = len(dst_hosts)
-        down_totals = [0.0] * n_dst
-        for i, src in enumerate(src_hosts):
-            row = matrix_rows[i]
-            up_total = 0.0
-            for j in range(n_dst):
-                b = row[j]
-                if b > 0 and src != dst_hosts[j]:
-                    up_total = up_total + b
-                    backbone_total = backbone_total + b
-                    down_totals[j] = down_totals[j] + b
-            if up_total > 0.0:
-                consumption[uplinks[src]] = up_total
+        for src, total in up_items:
+            consumption[uplinks[src]] = total
         if backbone_total > 0.0:
             consumption[topology.backbone] = backbone_total
             # Every off-node route shares one latency in the star
             # topology, so the max over flows is that constant.
             max_route_latency = topology.offnode_latency
-            for j in range(n_dst):
-                total = down_totals[j]
-                if total > 0.0:
-                    consumption[downlinks[dst_hosts[j]]] = total
+            downlinks = topology.downlinks
+            for dst, total in down_items:
+                consumption[downlinks[dst]] = total
     work = 0.0 if not consumption else 1.0
     action = Action(
         name=name,

@@ -80,10 +80,26 @@ class TestBenchRun:
             "simulation",
             "testbed_execution",
             "study_cold",
+            "study_cold_array",
             "cached_rerun",
+            "solver_dense_scalar",
+            "solver_dense_vectorized",
+            "solver_sparse_scalar",
+            "solver_sparse_vectorized",
         }
         assert payload["config"]["repeat"] == 1
         assert payload["counters"]["engine.steps"] > 0
+
+    def test_stages_record_their_engine_backend(self):
+        payload = run_pipeline_bench(num_dags=2, engine="array")
+        assert payload["config"]["engine"] == "array"
+        for name in (
+            "simulation", "testbed_execution", "study_cold", "cached_rerun",
+        ):
+            assert payload["stages"][name]["engine"] == "array"
+        assert payload["stages"]["study_cold_array"]["engine"] == "array"
+        # Pure-python stages have no engine to report.
+        assert "engine" not in payload["stages"]["scheduling"]
 
     def test_cache_speedup_reads_the_cold_warm_pair(self):
         payload = run_pipeline_bench(num_dags=2)

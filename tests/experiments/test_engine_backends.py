@@ -1,0 +1,161 @@
+"""Studies must not depend on the simulation engine backend.
+
+``run_study(engine="array")`` has to reproduce the object-engine study
+exactly — records, full simulated and emulated traces, ``engine.*``
+observability counters, cache entries — under serial and parallel
+execution and across warm-cache replays.  Everything here is exact
+(``==`` on records and float fields), because cached results are
+engine-agnostic by design: either backend may replay the other's run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.generator import generate_paper_dags
+from repro.cache.result_cache import ResultCache
+from repro.experiments.runner import run_study
+from repro.obs.recorder import Recorder, recording
+from repro.platform.personalities import bayreuth_cluster
+from repro.profiling.calibration import build_analytical_suite
+from repro.scheduling import SchedulingCosts, schedule_dag
+from repro.simgrid.simulator import ApplicationSimulator
+from repro.testbed.tgrid import TGridEmulator
+
+
+@pytest.fixture(scope="module")
+def study_inputs():
+    platform = bayreuth_cluster(8)
+    emulator = TGridEmulator(platform, seed=0)
+    suite = build_analytical_suite(platform)
+    dags = generate_paper_dags(seed=0)[:3]
+    return platform, dags, suite, emulator
+
+
+def run_with_counters(study_inputs, **kwargs):
+    _platform, dags, suite, emulator = study_inputs
+    rec = Recorder.to_memory()
+    with recording(rec):
+        result = run_study(dags, [suite], emulator, **kwargs)
+    counters = {
+        k: v
+        for k, v in rec.metrics()["counters"].items()
+        if k.startswith("engine.")
+    }
+    return result, counters
+
+
+def test_study_records_and_counters_match_across_backends(study_inputs):
+    obj, obj_counters = run_with_counters(study_inputs, engine="object")
+    arr, arr_counters = run_with_counters(study_inputs, engine="array")
+    assert obj.records == arr.records
+    # Not just the same results: the same amount of engine work — same
+    # steps, solver calls, actions, completions.
+    assert obj_counters == arr_counters
+    assert obj_counters["engine.steps"] > 0
+
+
+def test_parallel_array_study_equals_serial_object_study(study_inputs):
+    serial, serial_counters = run_with_counters(
+        study_inputs, engine="object", workers=1
+    )
+    parallel, parallel_counters = run_with_counters(
+        study_inputs, engine="array", workers=2
+    )
+    assert serial.records == parallel.records
+    assert serial_counters == parallel_counters
+
+
+def test_full_traces_match_across_backends(study_inputs):
+    # Beyond the study records: every task and redistribution record of
+    # both the simulated and the emulated trace, field for field.
+    platform, dags, suite, emulator = study_inputs
+    simulators = {
+        kind: ApplicationSimulator(
+            platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+            engine=kind,
+        )
+        for kind in ("object", "array")
+    }
+    compared = 0
+    for _params, graph in dags:
+        costs = SchedulingCosts(
+            graph,
+            platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+        )
+        for algorithm in ("hcpa", "mcpa"):
+            schedule = schedule_dag(graph, costs, algorithm)
+            sim_obj = simulators["object"].run(graph, schedule)
+            sim_arr = simulators["array"].run(graph, schedule)
+            assert sim_arr == sim_obj  # frozen dataclasses: exact floats
+            emu_obj = emulator.execute(graph, schedule, engine="object")
+            emu_arr = emulator.execute(graph, schedule, engine="array")
+            assert emu_arr == emu_obj
+            compared += 1
+    assert compared == len(dags) * 2
+
+
+def test_simulate_batch_matches_individual_runs(study_inputs, tmp_path):
+    # The batch API reuses one arena across cells; the traces must be
+    # exactly the per-call ones, on both backends and through a cache.
+    platform, dags, suite, _emulator = study_inputs
+    runs = []
+    for _params, graph in dags:
+        costs = SchedulingCosts(
+            graph,
+            platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+        )
+        runs.append((graph, schedule_dag(graph, costs, "hcpa")))
+
+    def make(kind):
+        return ApplicationSimulator(
+            platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+            engine=kind,
+        )
+
+    individual = [make("object").run(g, s) for g, s in runs]
+    assert make("object").simulate_batch(runs) == individual
+    assert make("array").simulate_batch(runs) == individual
+    cache = ResultCache(tmp_path / "cache")
+    assert make("array").simulate_batch(runs, cache=cache) == individual
+    # And replayed from the cache on the other backend.
+    assert make("object").simulate_batch(runs, cache=cache) == individual
+
+
+def test_warm_cache_replays_across_backends(study_inputs, tmp_path):
+    # A cache populated by one backend must serve the other verbatim:
+    # engine choice is deliberately absent from the cache key.
+    _platform, dags, suite, emulator = study_inputs
+    cache = ResultCache(tmp_path / "cache")
+    cold, _ = run_with_counters(study_inputs, engine="object", cache=cache)
+    rec = Recorder.to_memory()
+    with recording(rec):
+        warm = run_study(dags, [suite], emulator, cache=cache, engine="array")
+    assert warm.records == cold.records
+    counters = rec.metrics()["counters"]
+    assert counters["cache.hits"] > 0
+    assert counters.get("cache.misses", 0) == 0
+
+
+def test_warm_cache_replay_with_parallel_workers(study_inputs, tmp_path):
+    _platform, dags, suite, emulator = study_inputs
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_study(
+        dags, [suite], emulator, cache=cache, engine="array", workers=2
+    )
+    warm = run_study(
+        dags, [suite], emulator, cache=cache, engine="object", workers=2
+    )
+    assert warm.records == cold.records
