@@ -4,7 +4,8 @@ Thin entry point over :mod:`repro.experiments.bench`, which times the
 four stages every study run goes through — DAG generation, scheduling,
 simulation, testbed execution — plus a cold/warm full-study pair
 through the content-addressed result cache, a cold study on the array
-engine backend, and a scalar-vs-vectorized max-min solver
+engine backend, a timeline-tracing on/off overhead pair, and a
+scalar-vs-vectorized max-min solver
 micro-benchmark, and writes the aggregate to ``BENCH_pipeline.json``
 at the repository root.  This seeds the benchmark trajectory every
 future performance PR measures against.
@@ -42,6 +43,7 @@ from repro.experiments.bench import (  # noqa: E402
     NUM_DAGS,
     cache_speedup,
     compare_to_baseline,
+    obs_overhead,
     render_comparison,
     run_pipeline_bench,
     solver_speedup,
@@ -61,6 +63,7 @@ def test_bench_pipeline():
     assert set(payload["stages"]) == {
         "dag_generation", "scheduling", "simulation", "testbed_execution",
         "study_cold", "study_cold_array", "cached_rerun",
+        "obs_overhead_off", "obs_overhead_on",
         "solver_dense_scalar", "solver_dense_vectorized",
         "solver_sparse_scalar", "solver_sparse_vectorized",
     }
@@ -76,6 +79,7 @@ def test_bench_pipeline():
     # The warm re-run replayed every cell from the cache.
     assert payload["counters"]["cache.hits"] > 0
     assert cache_speedup(payload) is not None
+    assert obs_overhead(payload) is not None
     assert solver_speedup(payload) is not None
     assert solver_speedup(payload, "sparse") is not None
 
@@ -91,6 +95,9 @@ def _print_stages(payload: dict) -> None:
     speedup = cache_speedup(payload)
     if speedup is not None:
         print(f"  warm-cache study re-run: {speedup:.1f}x faster than cold")
+    overhead = obs_overhead(payload)
+    if overhead is not None:
+        print(f"  timeline tracing overhead: {overhead:.2f}x vs disabled")
     for instance in ("dense", "sparse"):
         ratio = solver_speedup(payload, instance)
         if ratio is not None:

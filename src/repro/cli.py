@@ -18,6 +18,14 @@ Commands
 ``report``
     Summarise a JSONL trace produced with ``--trace-out`` (counters,
     span timings, per-algorithm makespans).
+``trace``
+    Export (``trace export``) a timeline/trace file to Chrome
+    trace-event JSON or OpenMetrics text, or summarise
+    (``trace summary``) a ``--timeline-out`` file per run.
+``diff``
+    Compare two ``--timeline-out`` files: per-cell makespan deltas
+    decomposed into exec/startup/redistribution components, plus
+    wrong-sign HCPA-vs-MCPA cells.
 ``bench``
     Time the pipeline stages; ``--compare`` checks against the
     committed ``BENCH_pipeline.json`` baseline.
@@ -27,7 +35,9 @@ Commands
 
 Global observability flags (before the subcommand): ``--trace-out PATH``
 streams typed events to a JSONL file and appends a provenance manifest;
-``--metrics`` prints the counter/span rollup after the command.
+``--timeline-out PATH`` streams the simulated-time timeline (task /
+transfer / allocation / share records) to a JSONL file; ``--metrics``
+prints the counter/span rollup after the command.
 
 Caching: ``--cache-dir PATH`` (global, or after ``study``/``figures``/
 ``simulate``) memoises calibrations, schedules and traces on disk so
@@ -55,6 +65,7 @@ from repro.obs import (
     JsonlSink,
     Recorder,
     RunManifest,
+    Timeline,
     TraceReadError,
     emit_manifest,
     report_file,
@@ -116,6 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="stream observability events to a JSONL trace file "
         "(with a trailing provenance manifest)",
+    )
+    parser.add_argument(
+        "--timeline-out",
+        default="",
+        metavar="PATH",
+        help="stream the simulated-time timeline (task/transfer/"
+        "allocation/share records) to a JSONL file; feed it to "
+        "'repro trace export' or 'repro diff'",
     )
     parser.add_argument(
         "--metrics",
@@ -218,6 +237,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("trace", help="path to a --trace-out JSONL file")
     p_rep.add_argument(
         "--top", type=int, default=15, help="how many counters to list"
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="export or summarise a timeline/trace file"
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_texp = trace_sub.add_parser(
+        "export", help="convert to an external tooling format"
+    )
+    p_texp.add_argument("trace", help="a --timeline-out (or --trace-out) file")
+    p_texp.add_argument(
+        "--format",
+        choices=("chrome", "openmetrics"),
+        default="chrome",
+        help="chrome: Perfetto-loadable trace-event JSON (timelines "
+        "only); openmetrics: Prometheus-parseable text rollup",
+    )
+    p_texp.add_argument(
+        "--out", default="", metavar="PATH",
+        help="write to PATH instead of stdout",
+    )
+    p_tsum = trace_sub.add_parser(
+        "summary", help="per-run table of a --timeline-out file"
+    )
+    p_tsum.add_argument("trace", help="a --timeline-out (or --trace-out) file")
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two --timeline-out files cell by cell"
+    )
+    p_diff.add_argument("a", help="baseline timeline JSONL file")
+    p_diff.add_argument("b", help="comparison timeline JSONL file")
+    p_diff.add_argument(
+        "--role",
+        choices=("sim", "experiment", "any"),
+        default="sim",
+        help="which runs to pair (default sim; 'any' pairs across roles)",
+    )
+    p_diff.add_argument(
+        "--top", type=int, default=5,
+        help="how many per-task duration movers to list",
     )
 
     p_bench = sub.add_parser(
@@ -483,6 +542,37 @@ def _cmd_report(ctx: StudyContext, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(ctx: StudyContext, args: argparse.Namespace) -> int:
+    from repro.obs.export import export_file, summarize_file
+
+    try:
+        if args.trace_command == "export":
+            text = export_file(args.trace, args.format)
+            if args.out:
+                Path(args.out).write_text(text, encoding="utf-8")
+                print(f"wrote {args.out}")
+            else:
+                print(text, end="" if text.endswith("\n") else "\n")
+        else:
+            print(summarize_file(args.trace))
+    except (TraceReadError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_diff(ctx: StudyContext, args: argparse.Namespace) -> int:
+    from repro.obs.diff import diff_files
+
+    role = None if args.role == "any" else args.role
+    try:
+        print(diff_files(args.a, args.b, role=role, top=args.top))
+    except TraceReadError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
     from repro.experiments import bench as bench_mod
 
@@ -496,6 +586,9 @@ def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
     speedup = bench_mod.cache_speedup(payload)
     if speedup is not None:
         print(f"  warm-cache study re-run: {speedup:.1f}x faster than cold")
+    overhead = bench_mod.obs_overhead(payload)
+    if overhead is not None:
+        print(f"  timeline tracing overhead: {overhead:.2f}x vs disabled")
     for instance in ("dense", "sparse"):
         ratio = bench_mod.solver_speedup(payload, instance)
         if ratio is not None:
@@ -540,6 +633,8 @@ _COMMANDS = {
     "variance": _cmd_variance,
     "attribution": _cmd_attribution,
     "report": _cmd_report,
+    "trace": _cmd_trace,
+    "diff": _cmd_diff,
     "bench": _cmd_bench,
     "cache": _cmd_cache,
 }
@@ -575,9 +670,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     recorder: Recorder | None = None
-    if args.trace_out or args.metrics:
+    if args.trace_out or args.metrics or args.timeline_out:
         sink = JsonlSink(args.trace_out) if args.trace_out else None
-        recorder = Recorder(sink) if sink else Recorder.to_memory()
+        timeline = (
+            Timeline.to_file(args.timeline_out) if args.timeline_out else None
+        )
+        if sink is None and timeline is None:
+            recorder = Recorder.to_memory()
+        else:
+            recorder = Recorder(sink, timeline=timeline)
         set_recorder(recorder)
     ctx = StudyContext(
         seed=args.seed,

@@ -5,7 +5,10 @@ DAG generation, scheduling, simulation, testbed execution — plus a
 cold/warm full-study pair through the content-addressed result cache
 (:mod:`repro.cache`), a second cold study on the array engine backend
 (``study_cold_array``; its records are asserted equal to the object
-cold run's), and a max-min solver micro-benchmark (scalar vs vectorized
+cold run's), a timeline-tracing overhead pair (``obs_overhead_off`` /
+``obs_overhead_on``: the same uncached study with observability
+disabled vs with a simulated-time timeline attached), and a max-min
+solver micro-benchmark (scalar vs vectorized
 kernel on synthetic dense/sparse instances), using the observability
 layer's span timers, and compares the result against the committed
 baseline (``BENCH_pipeline.json`` at the repository root).  Each stage
@@ -36,7 +39,7 @@ from repro import __version__
 from repro.cache import ResultCache
 from repro.dag.generator import generate_paper_dags
 from repro.experiments.runner import run_study
-from repro.obs import Recorder, recording
+from repro.obs import Recorder, Timeline, recording
 from repro.platform.personalities import bayreuth_cluster
 from repro.profiling.calibration import build_analytical_suite
 from repro.scheduling.costs import SchedulingCosts
@@ -53,6 +56,7 @@ __all__ = [
     "cache_speedup",
     "compare_to_baseline",
     "default_baseline_path",
+    "obs_overhead",
     "render_comparison",
     "run_pipeline_bench",
 ]
@@ -72,6 +76,8 @@ _STAGE_NAMES = (
     "pipeline.study_cold",
     "pipeline.study_cold_array",
     "pipeline.cached_rerun",
+    "pipeline.obs_overhead_off",
+    "pipeline.obs_overhead_on",
     "pipeline.solver_dense_scalar",
     "pipeline.solver_dense_vectorized",
     "pipeline.solver_sparse_scalar",
@@ -191,6 +197,24 @@ def _measure(
                 "array-engine study diverged from the object-engine study"
             )
 
+        # Timeline-tracing overhead pair: the same uncached study with
+        # tracing disabled vs with an in-memory timeline attached.
+        # Their ratio is the zero-cost-when-disabled check's enabled
+        # counterpart — how much the `if tl is not None:` emission adds.
+        # Each leg installs its own recorder; the outer span objects
+        # are bound to the measuring recorder, so timings still land
+        # in this pass's metrics.
+        with recorder.span("pipeline.obs_overhead_off"):
+            with recording(Recorder()):
+                obs_off = run_study(dags, [suite], emulator, engine=engine)
+        with recorder.span("pipeline.obs_overhead_on"):
+            with recording(Recorder(timeline=Timeline())):
+                obs_on = run_study(dags, [suite], emulator, engine=engine)
+        if obs_on.records != obs_off.records:  # pragma: no cover
+            raise RuntimeError(
+                "timeline-traced study diverged from the untraced study"
+            )
+
         # Solver micro-benchmark: the scalar and vectorized max-min
         # kernels on identical synthetic instances.  Results are
         # asserted equal, so the stages time the same computation.
@@ -230,6 +254,8 @@ def _measure(
         "pipeline.study_cold": num_cells,
         "pipeline.study_cold_array": num_cells,
         "pipeline.cached_rerun": num_cells,
+        "pipeline.obs_overhead_off": num_cells,
+        "pipeline.obs_overhead_on": num_cells,
         "pipeline.solver_dense_scalar": _SOLVER_ITERS,
         "pipeline.solver_dense_vectorized": _SOLVER_ITERS,
         "pipeline.solver_sparse_scalar": _SOLVER_ITERS,
@@ -255,6 +281,8 @@ def _stage_engine(name: str, engine: str) -> str | None:
         "pipeline.testbed_execution",
         "pipeline.study_cold",
         "pipeline.cached_rerun",
+        "pipeline.obs_overhead_off",
+        "pipeline.obs_overhead_on",
     ):
         return engine
     return None
@@ -323,6 +351,21 @@ def cache_speedup(payload: dict) -> float | None:
     if not cold or not warm:
         return None
     return cold / warm
+
+
+def obs_overhead(payload: dict) -> float | None:
+    """Timeline-tracing overhead ratio (None if stages are absent).
+
+    ``obs_overhead_on / obs_overhead_off`` — how much slower the
+    uncached study runs with an in-memory timeline attached than with
+    observability fully disabled (1.0 means free).
+    """
+    stages = payload.get("stages", {})
+    off = stages.get("obs_overhead_off", {}).get("seconds")
+    on = stages.get("obs_overhead_on", {}).get("seconds")
+    if not off or not on:
+        return None
+    return on / off
 
 
 def solver_speedup(payload: dict, instance: str = "dense") -> float | None:

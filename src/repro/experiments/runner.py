@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -43,6 +44,8 @@ from repro.dag.generator import DagParameters
 from repro.dag.graph import TaskGraph
 from repro.obs.manifest import RunManifest
 from repro.obs.recorder import Recorder, get_recorder, recording
+from repro.obs.sinks import MemorySink
+from repro.obs.timeline import Timeline
 from repro.profiling.calibration import SimulatorSuite
 from repro.scheduling.costs import SchedulingCosts
 from repro.scheduling.driver import schedule_dag
@@ -199,6 +202,32 @@ def _run_cell(
     """
     platform = emulator.platform
     obs = get_recorder()
+    tl = obs.timeline if obs.enabled else None
+    cell_ctx = (
+        tl.context(variant=suite.name, n=params.n)
+        if tl is not None
+        else nullcontext()
+    )
+    with cell_ctx:
+        return _run_cell_body(
+            suite, params, graph, algorithm, emulator, obs,
+            costs=costs, cache=cache, engine=engine, simulator=simulator,
+        )
+
+
+def _run_cell_body(
+    suite: SimulatorSuite,
+    params: DagParameters,
+    graph: TaskGraph,
+    algorithm: str,
+    emulator: TGridEmulator,
+    obs: Recorder,
+    costs: SchedulingCosts | None = None,
+    cache: ResultCache | None = None,
+    engine: str | None = None,
+    simulator: ApplicationSimulator | None = None,
+) -> RunRecord:
+    platform = emulator.platform
     if costs is None:
         costs = SchedulingCosts(
             graph,
@@ -278,6 +307,7 @@ def _pool_init(
     obs_enabled: bool,
     cache: ResultCache | None = None,
     engine: str | None = None,
+    timeline_enabled: bool = False,
 ) -> None:
     _POOL_STATE["dags"] = dags
     _POOL_STATE["suites"] = suites
@@ -285,6 +315,7 @@ def _pool_init(
     _POOL_STATE["obs_enabled"] = obs_enabled
     _POOL_STATE["cache"] = cache
     _POOL_STATE["engine"] = engine
+    _POOL_STATE["timeline_enabled"] = timeline_enabled
     # Per-suite simulator reuse within a worker: the array backend's
     # arena and consumption memos then amortize across every cell the
     # worker processes (simulators are reusable across runs).
@@ -319,7 +350,12 @@ def _pool_run_cell(
         )
         state["simulators"][suite_idx] = simulator
     if state["obs_enabled"]:
-        worker_obs = Recorder.to_memory()
+        # A worker timeline numbers its runs from 0; the parent's
+        # Timeline.absorb renumbers by its running offset, so absorbing
+        # per-cell payloads in grid submission order reproduces the
+        # serial run numbering exactly.
+        tl = Timeline() if state.get("timeline_enabled") else None
+        worker_obs = Recorder(MemorySink(), timeline=tl)
         with recording(worker_obs):
             record = _run_cell(
                 suite, params, graph, algorithm, emulator, cache=cache,
@@ -388,7 +424,10 @@ def run_study(
             max_workers=min(workers, len(cells)) or 1,
             mp_context=ctx,
             initializer=_pool_init,
-            initargs=(dags, suites, emulator, obs.enabled, cache, engine),
+            initargs=(
+                dags, suites, emulator, obs.enabled, cache, engine,
+                obs.timeline is not None,
+            ),
         ) as pool:
             # ``map`` yields in submission order regardless of
             # completion order: records and absorbed observability

@@ -47,10 +47,14 @@ from repro.obs.report import (
     report_file,
 )
 from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink
+from repro.obs.timeline import Timeline, load_timeline, timeline_lines
 
 __all__ = [
     "Recorder",
     "SpanStats",
+    "Timeline",
+    "load_timeline",
+    "timeline_lines",
     "get_recorder",
     "set_recorder",
     "recording",

@@ -59,11 +59,14 @@ class SpanStats:
         return self.total / self.count if self.count else 0.0
 
     def to_dict(self) -> dict:
+        # A zero-count span has no minimum: serialize None (JSON null)
+        # rather than the +inf sentinel, which is not valid JSON, or a
+        # fake 0.0, which strict consumers would read as a real timing.
         return {
             "count": self.count,
             "total_s": self.total,
             "mean_s": self.mean,
-            "min_s": self.min if self.count else 0.0,
+            "min_s": self.min if self.count else None,
             "max_s": self.max,
         }
 
@@ -113,11 +116,20 @@ class Recorder:
     manager, and ``event()`` / ``count()`` return immediately.  Hot
     paths should still guard with ``if rec.enabled:`` so not even the
     call happens.
+
+    ``timeline`` optionally attaches a simulated-time
+    :class:`~repro.obs.timeline.Timeline`; instrumented code reaches it
+    via ``rec.timeline`` and guards with ``if tl is not None:``.  A
+    recorder with a timeline is enabled even over a null sink (counters
+    still accumulate; events are discarded).
     """
 
-    def __init__(self, sink: Sink | None = None) -> None:
+    def __init__(self, sink: Sink | None = None, timeline=None) -> None:
         self.sink: Sink = sink if sink is not None else NullSink()
-        self.enabled: bool = not isinstance(self.sink, NullSink)
+        self.timeline = timeline
+        self.enabled: bool = (
+            not isinstance(self.sink, NullSink) or timeline is not None
+        )
         self.counters: dict[str, float] = {}
         self.spans: dict[str, SpanStats] = {}
 
@@ -187,13 +199,16 @@ class Recorder:
         per worker back to the parent, which folds them in with
         :meth:`absorb`.
         """
-        return {
+        state = {
             "records": list(getattr(self.sink, "records", ())),
             "counters": dict(self.counters),
             "spans": {
                 name: stats.to_dict() for name, stats in self.spans.items()
             },
         }
+        if self.timeline is not None:
+            state["timeline"] = self.timeline.export_state()
+        return state
 
     def absorb(self, state: dict) -> None:
         """Fold an :meth:`export_state` payload into this recorder.
@@ -223,12 +238,31 @@ class Recorder:
                 stats.min = agg["min_s"]
             if agg["max_s"] > stats.max:
                 stats.max = agg["max_s"]
+        timeline_state = state.get("timeline")
+        if timeline_state is not None and self.timeline is not None:
+            self.timeline.absorb(timeline_state)
 
     # -- rollups -------------------------------------------------------
     def metrics(self) -> dict:
-        """Counter values plus per-span aggregate timings."""
+        """Counter values plus per-span aggregate timings.
+
+        With a timeline attached, its per-kind record counts join the
+        counters as ``timeline.<kind>`` (plus ``timeline.runs``), so
+        manifests and ``repro report`` see the timeline volume without
+        reading the timeline file.
+        """
+        counters = dict(self.counters)
+        if self.timeline is not None:
+            for kind, count in self.timeline.counts.items():
+                name = f"timeline.{kind}"
+                counters[name] = counters.get(name, 0) + count
+            if self.timeline.run_count:
+                counters["timeline.runs"] = (
+                    counters.get("timeline.runs", 0)
+                    + self.timeline.run_count
+                )
         return {
-            "counters": dict(sorted(self.counters.items())),
+            "counters": dict(sorted(counters.items())),
             "spans": {
                 name: stats.to_dict()
                 for name, stats in sorted(self.spans.items())
@@ -237,6 +271,8 @@ class Recorder:
 
     def close(self) -> None:
         self.sink.close()
+        if self.timeline is not None:
+            self.timeline.close()
 
 
 #: Process-global recorder; disabled (null sink) unless the CLI or a test

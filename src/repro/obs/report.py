@@ -220,6 +220,24 @@ def render_report(
             )
         )
 
+    timeline_counts = {
+        name[len("timeline."):]: value
+        for name, value in counters.items()
+        if name.startswith("timeline.")
+    }
+    if timeline_counts:
+        lines.append("")
+        lines.append("simulated-time timeline (see --timeline-out):")
+        lines.append(
+            format_table(
+                ["kind", "records"],
+                [
+                    [kind, f"{value:g}"]
+                    for kind, value in sorted(timeline_counts.items())
+                ],
+            )
+        )
+
     breakdown = _study_breakdown(records)
     if breakdown:
         lines.append("")

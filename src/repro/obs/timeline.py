@@ -1,0 +1,327 @@
+"""Simulated-time timeline: typed records of what happened *inside* a run.
+
+The recorder (:mod:`repro.obs.recorder`) measures the reproduction in
+wall-clock time — how long the scheduler or the engine took.  The
+timeline measures it in **simulated time**: when each task started and
+finished on which hosts, when each redistribution ran, which allocation
+decisions produced the schedule, and how the max-min solver re-shared
+resources at every solve.  That is the paper's own unit of comparison,
+so two timelines can be diffed cell by cell (see
+:mod:`repro.obs.diff`) and exported to external viewers (see
+:mod:`repro.obs.export`).
+
+Record kinds (one JSON object per line in ``--timeline-out`` files)::
+
+    meta        {"kind","schema","source"}            stream header
+    alloc       {... ,"task","p","t_cp","t_a","step"} one grow decision
+    alloc_done  {... ,"reason","total_alloc","t_cp","t_a","steps"}
+    share       {... ,"t","action","rate"}            one rate assignment
+    task        {... ,"task","hosts","start","finish","startup"}
+    xfer        {... ,"src","dst","start","finish","overhead","volume"}
+    run         {... ,"engine","makespan","tasks","xfers"}  run summary
+
+Every record inside a run additionally carries the context fields the
+enclosing scopes pushed: ``run`` (sequential id), ``role`` (``"sim"``
+or ``"experiment"``), ``dag``, ``algorithm``, ``model``, and — inside a
+study — ``variant`` (suite name) and ``n``.
+
+Determinism contract
+--------------------
+Timelines are pure functions of simulated state: both engine backends
+emit byte-identical record streams for the same cell, except for the
+single ``engine`` provenance field of the trailing ``run`` record
+(asserted by ``tests/experiments/test_engine_backends.py``; see
+:func:`timeline_lines`).  Worker timelines merge deterministically:
+:meth:`Timeline.absorb` renumbers worker-local run ids by the parent's
+running offset, so a parallel study's merged timeline equals the
+serial one record for record.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import Iterator, Sequence, Union
+
+from repro.obs.sinks import JsonlSink, MemorySink, Sink
+
+__all__ = ["Timeline", "timeline_lines", "load_timeline"]
+
+from pathlib import Path
+
+
+class Timeline:
+    """Collects simulated-time records over a sink.
+
+    A timeline rides on a :class:`~repro.obs.recorder.Recorder`
+    (``Recorder(sink, timeline=...)``); instrumented code reaches it via
+    ``rec.timeline`` and guards every emission with ``if tl is not
+    None:`` — the same zero-cost-when-disabled discipline as the
+    recorder's ``enabled`` flag.
+    """
+
+    SCHEMA = 1
+
+    def __init__(self, sink: Sink | None = None) -> None:
+        self.sink: Sink = sink if sink is not None else MemorySink()
+        # Context stack: the top dict is merged into every record.
+        self._stack: list[dict] = [{}]
+        self._run_seq = 0
+        self._header_written = False
+        #: Per-kind record counts (surface in ``Recorder.metrics`` as
+        #: ``timeline.<kind>`` counters).
+        self.counts: dict[str, int] = {}
+        #: Engine backends that produced runs in this timeline.
+        self.engines: set[str] = set()
+
+    # -- construction helpers ------------------------------------------
+    @classmethod
+    def to_memory(cls) -> "Timeline":
+        return cls(MemorySink())
+
+    @classmethod
+    def to_file(cls, path: Union[str, Path]) -> "Timeline":
+        return cls(JsonlSink(path))
+
+    @property
+    def records(self) -> list[dict] | None:
+        """The buffered records (memory sinks only; None for streams)."""
+        return getattr(self.sink, "records", None)
+
+    @property
+    def run_count(self) -> int:
+        return self._run_seq
+
+    # -- emission ------------------------------------------------------
+    def _ensure_header(self) -> None:
+        if self._header_written:
+            return
+        self._header_written = True
+        self.counts["meta"] = self.counts.get("meta", 0) + 1
+        self.sink.write(
+            {"kind": "meta", "schema": self.SCHEMA, "source": "repro"}
+        )
+
+    def _emit(self, kind: str, fields: dict) -> None:
+        self._ensure_header()
+        record = {"kind": kind}
+        record.update(self._stack[-1])
+        record.update(fields)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.sink.write(record)
+
+    @contextmanager
+    def context(self, **fields: object) -> Iterator["Timeline"]:
+        """Push tag fields onto every record emitted inside the block."""
+        merged = dict(self._stack[-1])
+        merged.update(fields)
+        self._stack.append(merged)
+        try:
+            yield self
+        finally:
+            self._stack.pop()
+
+    def begin_run(self, **fields: object) -> int:
+        """Open a run scope; returns its sequential id.
+
+        Every record until the matching :meth:`end_run` carries the
+        run id, a ``role`` (defaulting to ``"sim"`` unless an enclosing
+        :meth:`context` set one) and the given fields (``dag``,
+        ``algorithm``, ``model``, ...).
+        """
+        run_id = self._run_seq
+        self._run_seq = run_id + 1
+        merged = dict(self._stack[-1])
+        merged.setdefault("role", "sim")
+        merged["run"] = run_id
+        merged.update(fields)
+        self._stack.append(merged)
+        return run_id
+
+    def end_run(self, *, engine: str, **fields: object) -> None:
+        """Close the current run scope with a summary ``run`` record.
+
+        ``engine`` names the backend that produced the run — the one
+        provenance field allowed to differ across backends.
+        """
+        if len(self._stack) < 2:
+            raise RuntimeError("end_run without a matching begin_run")
+        self.engines.add(engine)
+        record_fields = {"engine": engine}
+        record_fields.update(fields)
+        self._emit("run", record_fields)
+        self._stack.pop()
+
+    def abort_run(self) -> None:
+        """Close the current run scope without a summary record."""
+        if len(self._stack) >= 2:
+            self._stack.pop()
+
+    # Typed emitters.  All simulated-time quantities are plain floats
+    # straight from the engines, so both backends serialize the same
+    # bytes; callers must pass Python scalars (use ``float()`` on numpy
+    # values).
+    def alloc(
+        self, task: int, p: int, t_cp: float, t_a: float, step: int
+    ) -> None:
+        """One allocation-grow decision (CPA-family loop)."""
+        self._emit(
+            "alloc",
+            {"task": task, "p": p, "t_cp": t_cp, "t_a": t_a, "step": step},
+        )
+
+    def alloc_done(
+        self,
+        reason: str,
+        total_alloc: int,
+        t_cp: float,
+        t_a: float,
+        steps: int,
+    ) -> None:
+        """Allocation-phase summary (why the grow loop stopped)."""
+        self._emit(
+            "alloc_done",
+            {
+                "reason": reason,
+                "total_alloc": total_alloc,
+                "t_cp": t_cp,
+                "t_a": t_a,
+                "steps": steps,
+            },
+        )
+
+    def share(self, t: float, action: str, rate: float) -> None:
+        """One resource-share (rate) assignment at simulated time ``t``."""
+        self._emit("share", {"t": t, "action": action, "rate": rate})
+
+    def task(
+        self,
+        task: int,
+        hosts: Sequence[int],
+        start: float,
+        finish: float,
+        startup: float,
+    ) -> None:
+        """One completed task execution."""
+        self._emit(
+            "task",
+            {
+                "task": task,
+                "hosts": list(hosts),
+                "start": start,
+                "finish": finish,
+                "startup": startup,
+            },
+        )
+
+    def xfer(
+        self,
+        src: int,
+        dst: int,
+        start: float,
+        finish: float,
+        overhead: float,
+        volume: float,
+    ) -> None:
+        """One completed redistribution transfer."""
+        self._emit(
+            "xfer",
+            {
+                "src": src,
+                "dst": dst,
+                "start": start,
+                "finish": finish,
+                "overhead": overhead,
+                "volume": volume,
+            },
+        )
+
+    # -- cross-process merge -------------------------------------------
+    def export_state(self) -> dict:
+        """Portable snapshot (memory sinks only), for pool workers."""
+        return {
+            "records": list(getattr(self.sink, "records", ())),
+            "runs": self._run_seq,
+            "engines": sorted(self.engines),
+        }
+
+    def absorb(self, state: dict) -> None:
+        """Fold a worker's :meth:`export_state` payload into this timeline.
+
+        Worker run ids (numbered from 0 per worker) are offset by this
+        timeline's running total, so absorbing per-cell payloads in grid
+        submission order reproduces the serial numbering exactly.  The
+        worker's ``meta`` header is dropped (the merged stream has one).
+        """
+        offset = self._run_seq
+        self._run_seq = offset + int(state.get("runs", 0))
+        self.engines.update(state.get("engines", ()))
+        for record in state["records"]:
+            kind = record.get("kind")
+            if kind == "meta":
+                continue
+            self._ensure_header()
+            if offset and "run" in record:
+                record = dict(record)
+                record["run"] = record["run"] + offset
+            self.counts[kind] = self.counts.get(kind, 0) + 1
+            self.sink.write(record)
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+def timeline_lines(
+    records: Sequence[dict], *, mask_engine: bool = False
+) -> list[str]:
+    """Canonical JSONL serialization of timeline records.
+
+    With ``mask_engine=True`` the ``engine`` field of ``run`` records is
+    dropped — the canonical form under which the object and array
+    backends are byte-identical (it is the only field allowed to
+    differ).
+    """
+    lines: list[str] = []
+    for record in records:
+        if (
+            mask_engine
+            and record.get("kind") == "run"
+            and "engine" in record
+        ):
+            record = {k: v for k, v in record.items() if k != "engine"}
+        lines.append(json.dumps(record, separators=(",", ":")))
+    return lines
+
+
+def load_timeline(path: Union[str, Path]) -> list[dict]:
+    """Parse a ``--timeline-out`` JSONL file into its records.
+
+    Raises :class:`~repro.obs.report.TraceReadError` (the same error
+    the trace reporter uses) on missing files, malformed JSON, or
+    streams that are not timelines.
+    """
+    from repro.obs.report import TraceReadError
+
+    path = Path(path)
+    if not path.exists():
+        raise TraceReadError(f"timeline file not found: {path}")
+    records: list[dict] = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceReadError(
+                f"{path}:{lineno}: invalid JSON ({exc.msg})"
+            ) from None
+        if not isinstance(record, dict) or "kind" not in record:
+            raise TraceReadError(
+                f"{path}:{lineno}: not a timeline record (no 'kind' field"
+                "; is this a --trace-out file?)"
+            )
+        records.append(record)
+    return records

@@ -100,6 +100,7 @@ def allocation_loop(
         return alloc
     stop = stop or (lambda t_cp, t_a, _alloc: t_cp <= t_a)
     obs = get_recorder()
+    tl = obs.timeline if obs.enabled else None
 
     dp = CriticalPathDP(graph)
     agg_speed = costs.platform.aggregate_speed
@@ -161,6 +162,8 @@ def allocation_loop(
                 t_cp=t_cp,
                 t_a=t_a,
             )
+            if tl is not None:
+                tl.alloc(chosen, p_new, t_cp, t_a, grows)
         if grows >= budget:
             stop_reason = "iteration_budget"
             break
@@ -178,6 +181,8 @@ def allocation_loop(
             t_cp=t_cp,
             t_a=t_a,
         )
+        if tl is not None:
+            tl.alloc_done(stop_reason, sum(alloc.values()), t_cp, t_a, grows)
     return alloc
 
 

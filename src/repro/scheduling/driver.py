@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Callable
 
 from repro.cache.keys import costs_fingerprint, dag_fingerprint
@@ -91,7 +92,13 @@ def _schedule_dag_uncached(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {known}"
         ) from None
-    with obs.span("sched.allocate", algorithm=algorithm, dag=graph.name):
+    tl = obs.timeline if obs.enabled else None
+    tl_ctx = (
+        tl.context(dag=graph.name, algorithm=algorithm)
+        if tl is not None
+        else nullcontext()
+    )
+    with tl_ctx, obs.span("sched.allocate", algorithm=algorithm, dag=graph.name):
         alloc = allocator(graph, costs)
     with obs.span("sched.map", algorithm=algorithm, dag=graph.name):
         schedule = map_allocations(graph, costs, alloc, algorithm=algorithm)

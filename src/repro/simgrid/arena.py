@@ -296,6 +296,8 @@ class ArraySimulationEngine:
         self._alive: list[int] = []
         self._rates_dirty = False
         self._obs = get_recorder()
+        # Simulated-time timeline, mirroring the object engine's hook.
+        self._tl = self._obs.timeline
 
     # ------------------------------------------------------------------
     @property
@@ -412,6 +414,8 @@ class ArraySimulationEngine:
         if best == math.inf:
             return False
         a.rate[slot] = best
+        if self._tl is not None:
+            self._tl.share(self.now, a.objs[slot].name, best)
         return True
 
     def _solve(self) -> None:
@@ -434,6 +438,20 @@ class ArraySimulationEngine:
             obs.timing("engine.solve", time.perf_counter() - t0)
         else:
             self._solve_rates(working)
+        tl = self._tl
+        if tl is not None:
+            # Share records iterate the working set in slot (creation)
+            # order, matching the object engine's creation-order walk;
+            # non-finite rates (resource-free actions) are skipped.
+            a = self._arena
+            objs = a.objs
+            rate_item = a.rate.item
+            now = self.now
+            inf = math.inf
+            for s in working:
+                r = rate_item(s)
+                if r != inf:
+                    tl.share(now, objs[s].name, r)
 
     def _solve_rates(self, working: list) -> None:
         a = self._arena

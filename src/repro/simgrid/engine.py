@@ -149,6 +149,10 @@ class SimulationEngine:
         # hot loop pays one attribute load + branch when tracing is off —
         # no event dicts are ever built on the disabled path.
         self._obs = get_recorder()
+        # Simulated-time timeline (None unless the recorder carries
+        # one); share emissions below guard with ``is not None`` — the
+        # same one-load-one-branch cost as the ``enabled`` checks.
+        self._tl = self._obs.timeline
         self.steps_taken = 0
         self.solver_calls = 0
 
@@ -250,6 +254,8 @@ class SimulationEngine:
         if math.isinf(best):
             return False
         action.rate = best
+        if self._tl is not None:
+            self._tl.share(self.now, action.name, best)
         return True
 
     def _solve(self) -> None:
@@ -278,6 +284,19 @@ class SimulationEngine:
             rates = solve_rates(working, self._capacity, validate=False)
         for action, rate in rates.items():
             action.rate = rate
+        tl = self._tl
+        if tl is not None:
+            # Share records iterate the working set in creation order
+            # (not the solver's freeze-order dict), matching the array
+            # backend's slot order; non-finite rates (resource-free
+            # actions) are skipped — they are not JSON-serialisable and
+            # carry no sharing information.
+            now = self.now
+            inf = math.inf
+            for action in working:
+                rate = action.rate
+                if rate != inf:
+                    tl.share(now, action.name, rate)
 
     def _time_to_event(self, action: Action) -> float:
         if action.in_latency_phase:

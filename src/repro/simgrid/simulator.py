@@ -577,6 +577,31 @@ class ApplicationSimulator:
 
     def run(self, graph: TaskGraph, schedule: Schedule) -> SimulationTrace:
         """Simulate the application; returns the trace with the makespan."""
+        obs = get_recorder()
+        tl = obs.timeline if obs.enabled else None
+        if tl is None:
+            return self._run(graph, schedule, obs, None)
+        tl.begin_run(
+            dag=graph.name,
+            algorithm=schedule.algorithm,
+            model=self.task_model.name,
+        )
+        try:
+            trace = self._run(graph, schedule, obs, tl)
+        except BaseException:
+            tl.abort_run()
+            raise
+        tl.end_run(
+            engine=self.engine,
+            makespan=trace.makespan,
+            tasks=len(trace.tasks),
+            xfers=len(trace.edges),
+        )
+        return trace
+
+    def _run(
+        self, graph: TaskGraph, schedule: Schedule, obs, tl
+    ) -> SimulationTrace:
         graph.validate()
         schedule.validate(graph, self.platform)
         state = _ExecutionState(graph, schedule)
@@ -585,13 +610,15 @@ class ApplicationSimulator:
         def on_task_complete(eng, action) -> None:
             task_id, startup = action.payload
             state.task_finished(task_id)
-            trace.tasks[task_id] = TaskRecord(
+            rec = trace.tasks[task_id] = TaskRecord(
                 task_id=task_id,
                 hosts=schedule.hosts(task_id),
                 start=action.start_time,
                 finish=eng.now,
                 startup_overhead=startup,
             )
+            if tl is not None:
+                tl.task(task_id, rec.hosts, rec.start, rec.finish, startup)
             # Launch redistributions to successors.
             for succ in graph.successors(task_id):
                 start_redistribution(eng, task_id, succ)
@@ -607,6 +634,8 @@ class ApplicationSimulator:
                 overhead=overhead,
                 volume_bytes=volume,
             )
+            if tl is not None:
+                tl.xfer(src, dst, action.start_time, eng.now, overhead, volume)
             state.edge_arrived(dst)
             start_ready_tasks(eng)
 
@@ -633,7 +662,6 @@ class ApplicationSimulator:
             )
         trace.makespan = makespan
         trace.validate_against(graph, schedule)
-        obs = get_recorder()
         if obs.enabled:
             obs.count("sim.runs")
             obs.count("sim.tasks_executed", len(trace.tasks))

@@ -234,10 +234,17 @@ class TGridEmulator:
         obs = get_recorder()
         if obs.enabled:
             obs.count("testbed.executions")
+        tl = obs.timeline if obs.enabled else None
         with obs.span(
             "testbed.execute", dag=graph.name, algorithm=schedule.algorithm
         ):
-            return executor.run(graph, schedule)
+            if tl is None:
+                return executor.run(graph, schedule)
+            # Tag the emulated run's timeline as the experiment side, so
+            # `repro diff` can pair it against (or apart from) pure-sim
+            # runs of the same cell.
+            with tl.context(role="experiment"):
+                return executor.run(graph, schedule)
 
     def makespan(
         self, graph: TaskGraph, schedule: Schedule, run_label: object = 0

@@ -82,6 +82,8 @@ class TestBenchRun:
             "study_cold",
             "study_cold_array",
             "cached_rerun",
+            "obs_overhead_off",
+            "obs_overhead_on",
             "solver_dense_scalar",
             "solver_dense_vectorized",
             "solver_sparse_scalar",

@@ -16,6 +16,7 @@ from repro.dag.generator import generate_paper_dags
 from repro.cache.result_cache import ResultCache
 from repro.experiments.runner import run_study
 from repro.obs.recorder import Recorder, recording
+from repro.obs.timeline import Timeline, timeline_lines
 from repro.platform.personalities import bayreuth_cluster
 from repro.profiling.calibration import build_analytical_suite
 from repro.scheduling import SchedulingCosts, schedule_dag
@@ -99,6 +100,39 @@ def test_full_traces_match_across_backends(study_inputs):
             assert emu_arr == emu_obj
             compared += 1
     assert compared == len(dags) * 2
+
+
+def test_timelines_match_byte_for_byte_across_backends(study_inputs):
+    # The simulated-time timeline is part of the engine contract: both
+    # backends must emit the same records in the same order with the
+    # same floats — task lifetimes, redistributions, allocation steps,
+    # and per-action share changes alike.
+    _platform, dags, suite, emulator = study_inputs
+    timelines = {}
+    for kind in ("object", "array"):
+        rec = Recorder(timeline=Timeline())
+        with recording(rec):
+            run_study(dags, [suite], emulator, engine=kind)
+        timelines[kind] = rec.timeline
+    obj, arr = timelines["object"], timelines["array"]
+    for counts in (obj.counts, arr.counts):
+        assert counts["task"] > 0
+        assert counts["xfer"] > 0
+        assert counts["share"] > 0
+        assert counts["alloc"] > 0
+    assert obj.engines == {"object"} and arr.engines == {"array"}
+    # Masking the engine tag (carried only by the trailing run records)
+    # must leave the two timelines byte-identical.
+    assert timeline_lines(arr.records, mask_engine=True) == timeline_lines(
+        obj.records, mask_engine=True
+    )
+    # And the engine tag is the *only* difference even unmasked.
+    assert sum(
+        a != b
+        for a, b in zip(
+            timeline_lines(obj.records), timeline_lines(arr.records)
+        )
+    ) == sum(r["kind"] == "run" for r in obj.records)
 
 
 def test_simulate_batch_matches_individual_runs(study_inputs, tmp_path):

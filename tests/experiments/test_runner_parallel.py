@@ -6,6 +6,8 @@ import pytest
 
 from repro.dag.generator import generate_paper_dags
 from repro.obs.recorder import Recorder, recording
+from repro.obs.sinks import MemorySink
+from repro.obs.timeline import Timeline, timeline_lines
 from repro.platform.personalities import bayreuth_cluster
 from repro.profiling.calibration import build_analytical_suite
 from repro.experiments.runner import run_study
@@ -65,6 +67,60 @@ def test_parallel_merges_observability_deterministically(study_inputs):
     assert set(s_spans) == set(p_spans)
     for name in s_spans:
         assert s_spans[name]["count"] == p_spans[name]["count"]
+
+
+def test_parallel_timeline_matches_serial_byte_for_byte(study_inputs):
+    dags, suite, emulator = study_inputs
+    timelines = []
+    for workers in (1, 2):
+        rec = Recorder(timeline=Timeline())
+        with recording(rec):
+            run_study(dags, [suite], emulator, workers=workers)
+        timelines.append(rec.timeline)
+    serial, parallel = timelines
+    assert serial.run_count == parallel.run_count > 0
+    # Worker timelines are absorbed in grid submission order and their
+    # run ids renumbered, so the merged timeline is byte-identical to
+    # serial emission — simulated time has no wall-clock jitter.
+    assert timeline_lines(parallel.records) == timeline_lines(serial.records)
+
+
+def test_absorb_determinism_with_interleaved_spans_and_events():
+    # Workers interleave events, counters, spans, and timeline runs;
+    # absorbing their payloads in a fixed order must always produce the
+    # same merged state regardless of how each worker interleaved them.
+    def worker_state(idx):
+        rec = Recorder(MemorySink(), timeline=Timeline())
+        rec.event("cell.start", idx=idx)
+        with rec.span("cell.work", idx=idx):
+            rec.timeline.begin_run(dag=f"d{idx}", algorithm="hcpa")
+            rec.timeline.task(0, (0,), 0.0, 1.0 + idx, 0.0)
+            rec.timeline.end_run(
+                engine="object", makespan=1.0 + idx, tasks=1, xfers=0
+            )
+            rec.count("cells")
+        rec.event("cell.done", idx=idx)
+        return rec.export_state()
+
+    states = [worker_state(i) for i in range(3)]
+    parents = []
+    for _ in range(2):
+        parent = Recorder(MemorySink(), timeline=Timeline())
+        for state in states:
+            parent.absorb(state)
+        parents.append(parent)
+    first, second = parents
+    assert first.sink.records == second.sink.records
+    assert [r["idx"] for r in first.sink.records if r["name"] == "cell.start"] \
+        == [0, 1, 2]
+    assert first.counters["cells"] == 3
+    assert first.spans["cell.work"].count == 3
+    assert timeline_lines(first.timeline.records) == timeline_lines(
+        second.timeline.records
+    )
+    runs = [r for r in first.timeline.records if r["kind"] == "run"]
+    assert [r["run"] for r in runs] == [0, 1, 2]
+    assert [r["dag"] for r in runs] == ["d0", "d1", "d2"]
 
 
 def test_parallel_study_attaches_manifest(study_inputs):

@@ -1,0 +1,146 @@
+"""Tests for the trace exporters: Chrome trace-event JSON, OpenMetrics."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    export_file,
+    openmetrics_lines,
+    summarize_file,
+    validate_chrome_trace,
+)
+from repro.obs.recorder import Recorder, recording
+from repro.obs.sinks import JsonlSink
+from repro.obs.timeline import Timeline
+from repro.obs.report import TraceReadError
+
+
+def _timeline_records():
+    tl = Timeline()
+    with tl.context(variant="analytic", n=2000):
+        tl.begin_run(dag="d", algorithm="hcpa", model="m")
+        tl.task(0, (0, 1), 0.0, 2.0, 0.25)
+        tl.xfer(0, 1, 2.0, 3.0, 0.1, 1e6)
+        tl.task(1, (2,), 3.0, 5.0, 0.0)
+        tl.end_run(engine="object", makespan=5.0, tasks=2, xfers=1)
+    return tl.records
+
+
+class TestChromeTrace:
+    def test_events_and_validation(self):
+        trace = chrome_trace(_timeline_records())
+        validate_chrome_trace(trace)
+        events = trace["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        # task0 spans two hosts -> two slices; plus xfer and task1.
+        assert len(slices) == 4
+        t0 = [e for e in slices if e["name"] == "task0"]
+        assert {e["tid"] for e in t0} == {0, 1}
+        assert all(e["ts"] == 0.0 and e["dur"] == 2e6 for e in t0)
+        (x,) = [e for e in slices if e["cat"] == "xfer"]
+        assert x["tid"] == 1001  # lane for destination task 1
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(metas) == 1
+        assert "analytic" in metas[0]["args"]["name"]
+        assert "[sim]" in metas[0]["args"]["name"]
+
+    def test_validation_rejects_bad_traces(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "Q"}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        {
+                            "ph": "X",
+                            "pid": 0,
+                            "tid": 0,
+                            "name": "t",
+                            "ts": float("nan"),
+                            "dur": 1.0,
+                        }
+                    ]
+                }
+            )
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "M", "pid": 0, "tid": 0, "args": {}}]}
+            )
+
+    def test_export_file_chrome(self, tmp_path):
+        path = tmp_path / "tl.jsonl"
+        tl = Timeline.to_file(path)
+        for record in _timeline_records():
+            tl.sink.write(record)
+        tl.close()
+        text = export_file(path, "chrome")
+        obj = json.loads(text)
+        validate_chrome_trace(obj)
+
+    def test_export_file_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_file(tmp_path / "x.jsonl", "svg")
+
+
+class TestOpenMetrics:
+    def test_timeline_rollup(self, tmp_path):
+        path = tmp_path / "tl.jsonl"
+        tl = Timeline.to_file(path)
+        for record in _timeline_records():
+            tl.sink.write(record)
+        tl.close()
+        lines = openmetrics_lines(path)
+        assert lines[-1] == "# EOF"
+        text = "\n".join(lines)
+        assert 'repro_timeline_records_total{kind="task"} 2' in text
+        assert 'algorithm="hcpa"' in text
+        assert "repro_run_makespan_seconds" in text
+
+    def test_trace_rollup_uses_manifest(self, tmp_path):
+        from repro.obs.manifest import RunManifest, emit_manifest
+        from repro.platform.personalities import bayreuth_cluster
+
+        path = tmp_path / "trace.jsonl"
+        recorder = Recorder(JsonlSink(path))
+        with recording(recorder):
+            recorder.count("sim.runs", 3)
+            with recorder.span("sched.allocate"):
+                pass
+            manifest = RunManifest.collect(
+                seed=0, cluster=bayreuth_cluster(4), recorder=recorder
+            )
+            emit_manifest(recorder, manifest)
+        recorder.close()
+        text = "\n".join(openmetrics_lines(path))
+        assert 'repro_counter_total{name="sim.runs"} 3' in text
+        assert 'repro_span_seconds_total{name="sched.allocate"}' in text
+        assert text.endswith("# EOF")
+
+    def test_trace_without_manifest_errors(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "event", "name": "x"}\n')
+        with pytest.raises(TraceReadError):
+            openmetrics_lines(path)
+
+
+class TestSummary:
+    def test_timeline_summary(self, tmp_path):
+        path = tmp_path / "tl.jsonl"
+        tl = Timeline.to_file(path)
+        for record in _timeline_records():
+            tl.sink.write(record)
+        tl.close()
+        text = summarize_file(path)
+        assert "record kinds:" in text
+        assert "runs:" in text
+        assert "hcpa" in text and "object" in text
+
+    def test_trace_summary_falls_back_to_types(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "event", "name": "x"}\n')
+        text = summarize_file(path)
+        assert "record types:" in text

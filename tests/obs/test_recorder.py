@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs.recorder import (
     Recorder,
+    SpanStats,
     get_recorder,
     recording,
     set_recorder,
@@ -94,6 +95,24 @@ class TestEnabledRecorder:
         assert set(metrics["spans"]["s"]) == {
             "count", "total_s", "mean_s", "min_s", "max_s",
         }
+
+    def test_zero_count_span_serializes_min_as_null(self):
+        # Regression: an untouched SpanStats carries min=inf, which
+        # json.dumps renders as the non-standard literal `Infinity`.
+        stats = SpanStats().to_dict()
+        assert stats["min_s"] is None
+        assert stats["count"] == 0 and stats["max_s"] == 0.0
+        assert "Infinity" not in json.dumps(stats)
+        counted = SpanStats()
+        counted.add(0.5)
+        assert counted.to_dict()["min_s"] == 0.5
+
+    def test_absorb_skips_zero_count_span_aggregates(self):
+        payload = Recorder.to_memory().export_state()
+        payload["spans"]["empty"] = SpanStats().to_dict()
+        parent = Recorder.to_memory()
+        parent.absorb(payload)
+        assert "empty" not in parent.spans
 
 
 class TestGlobalRecorder:

@@ -146,6 +146,82 @@ class TestObservabilityFlags:
         assert "sched.allocate" in out
 
 
+class TestTimelineCommands:
+    def _timeline(self, tmp_path, name, seed="0"):
+        path = tmp_path / name
+        rc = main(["--seed", seed, "--timeline-out", str(path),
+                   "simulate", "--algorithm", "hcpa"])
+        assert rc == 0
+        return path
+
+    def test_timeline_out_writes_jsonl(self, capsys, tmp_path):
+        path = self._timeline(tmp_path, "tl.jsonl")
+        capsys.readouterr()
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        assert records[0] == {"kind": "meta", "schema": 1, "source": "repro"}
+        kinds = {r["kind"] for r in records}
+        assert {"alloc", "share", "task", "run"} <= kinds
+        roles = {r["role"] for r in records if r["kind"] == "run"}
+        assert roles == {"sim", "experiment"}
+
+    def test_timeline_out_does_not_change_results(self, capsys, tmp_path):
+        main(["simulate", "--algorithm", "hcpa"])
+        plain = capsys.readouterr().out
+        self._timeline(tmp_path, "tl.jsonl")
+        traced = capsys.readouterr().out
+        assert plain == traced
+
+    def test_trace_export_chrome(self, capsys, tmp_path):
+        from repro.obs.export import validate_chrome_trace
+
+        path = self._timeline(tmp_path, "tl.jsonl")
+        out_path = tmp_path / "tl.chrome.json"
+        rc = main(["trace", "export", str(path), "--format", "chrome",
+                   "--out", str(out_path)])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        trace = json.loads(out_path.read_text())
+        validate_chrome_trace(trace)
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_trace_export_openmetrics(self, capsys, tmp_path):
+        path = self._timeline(tmp_path, "tl.jsonl")
+        rc = main(["trace", "export", str(path), "--format", "openmetrics"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro_timeline_records_total" in out
+        assert out.rstrip().endswith("# EOF")
+
+    def test_trace_summary(self, capsys, tmp_path):
+        path = self._timeline(tmp_path, "tl.jsonl")
+        rc = main(["trace", "summary", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "record kinds:" in out
+        assert "hcpa" in out
+
+    def test_trace_export_missing_file_errors_cleanly(self, capsys, tmp_path):
+        rc = main(["trace", "export", str(tmp_path / "absent.jsonl")])
+        assert rc == 2
+        assert capsys.readouterr().err
+
+    def test_diff_command(self, capsys, tmp_path):
+        a = self._timeline(tmp_path, "a.jsonl", seed="0")
+        b = self._timeline(tmp_path, "b.jsonl", seed="1")
+        rc = main(["diff", str(a), str(b)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan delta" in out
+        assert "exec" in out and "redist" in out
+
+    def test_diff_rejects_non_timeline_input(self, capsys, tmp_path):
+        bad = tmp_path / "trace.jsonl"
+        bad.write_text('{"type": "event", "name": "x"}\n')
+        rc = main(["diff", str(bad), str(bad)])
+        assert rc == 2
+        assert capsys.readouterr().err
+
+
 class TestReportCommand:
     def test_missing_trace_errors_cleanly(self, capsys, tmp_path):
         rc = main(["report", str(tmp_path / "missing.jsonl")])
