@@ -25,7 +25,15 @@ Flags::
     --engine NAME       simulation backend for the pipeline stages
                         (object | array; default honors REPRO_ENGINE)
     --assert-solver     exit 1 if the vectorized solver is slower than
-                        the scalar kernel on the dense instance
+                        the scalar kernel on the dense instance, or
+                        slower on the sparse instance when the measured
+                        crossover says it should win there
+
+Every payload also carries a ``crossovers`` section: the measured
+scalar/vectorized crossover of the solver and step-scan kernel pairs
+(see ``repro profile --what wall`` and docs/performance.md).  Rolling
+per-machine regression tracking lives in ``repro bench --check``
+(:mod:`repro.experiments.bench_history`), not here.
 """
 
 from __future__ import annotations
@@ -82,6 +90,12 @@ def test_bench_pipeline():
     assert obs_overhead(payload) is not None
     assert solver_speedup(payload) is not None
     assert solver_speedup(payload, "sparse") is not None
+    # The measured-crossover section covers both kernel pairs and
+    # yields a usable dispatch threshold for each.
+    assert set(payload["crossovers"]) == {"solver", "step_scan"}
+    for pair in payload["crossovers"].values():
+        assert pair["unit"] in ("entries", "actions")
+        assert pair["threshold"] >= 0
 
 
 def _print_stages(payload: dict) -> None:
@@ -105,6 +119,17 @@ def _print_stages(payload: dict) -> None:
                 f"  vectorized solver ({instance}): "
                 f"{ratio:.2f}x vs scalar kernel"
             )
+    for pair, info in payload.get("crossovers", {}).items():
+        cross = info.get("crossover")
+        where = (
+            f"vectorized wins from ~{cross} {info['unit']}"
+            if cross is not None
+            else f"scalar wins at every measured size ({info['unit']})"
+        )
+        print(
+            f"  {pair} crossover: {where} "
+            f"(dispatch threshold {info['threshold']})"
+        )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -154,6 +179,41 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 1
         print(f"solver assertion passed: vectorized {ratio:.2f}x vs scalar")
+        # Sparse instance: only assert where the measured crossover says
+        # the vectorized kernel should win.  The sparse bench instance
+        # is 192 entries; when the measured crossover lies above it (or
+        # does not exist — today's honest state, see docs/performance.md)
+        # the adaptive dispatch keeps the instance scalar and the slower
+        # vectorized time is expected, not a regression.
+        sparse_ratio = solver_speedup(payload, "sparse")
+        info = payload.get("crossovers", {}).get("solver", {})
+        cross = info.get("crossover")
+        sparse_entries = 48 * 4  # _SOLVER_SPARSE actions x entries
+        if cross is not None and sparse_entries >= cross:
+            if sparse_ratio is None or sparse_ratio < 1.0:
+                print(
+                    "solver assertion FAILED: measured crossover is "
+                    f"{cross} entries but the vectorized kernel is "
+                    f"{'missing' if sparse_ratio is None else f'{sparse_ratio:.2f}x'} "
+                    f"vs scalar on the {sparse_entries}-entry sparse "
+                    "instance",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                "solver assertion passed: vectorized "
+                f"{sparse_ratio:.2f}x vs scalar on the sparse instance "
+                f"(crossover {cross} entries)"
+            )
+        else:
+            print(
+                "solver sparse note: vectorized "
+                f"{sparse_ratio:.2f}x vs scalar at {sparse_entries} "
+                "entries; measured crossover "
+                f"{'absent' if cross is None else cross} — dispatch "
+                f"keeps the instance scalar (threshold "
+                f"{info.get('threshold')})"
+            )
         return 0
 
     if args.compare:

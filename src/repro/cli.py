@@ -14,10 +14,16 @@ Commands
     printing makespans and an optional Gantt chart.
 ``profile``
     Print the raw measurement tables (kernels / startup /
-    redistribution) of the emulated environment.
+    redistribution) of the emulated environment, or — with
+    ``--what wall`` — profile a mini-study's wall-clock time
+    (hierarchical span tree, per-kernel cost table, measured
+    scalar/vectorized crossovers; ``--flame``/``--chrome`` export
+    flamegraph artifacts, ``--save-table`` persists the crossover
+    table for ``REPRO_DISPATCH_TABLE``).
 ``report``
     Summarise a JSONL trace produced with ``--trace-out`` (counters,
-    span timings, per-algorithm makespans).
+    span timings, per-algorithm makespans); ``--json`` emits the same
+    report machine-readably.
 ``trace``
     Export (``trace export``) a timeline/trace file to Chrome
     trace-event JSON or OpenMetrics text, or summarise
@@ -28,7 +34,10 @@ Commands
     wrong-sign HCPA-vs-MCPA cells.
 ``bench``
     Time the pipeline stages; ``--compare`` checks against the
-    committed ``BENCH_pipeline.json`` baseline.
+    committed ``BENCH_pipeline.json`` baseline, ``--check`` against
+    the rolling per-machine history
+    (``benchmarks/history/bench_history.jsonl``, appended on every
+    run unless ``--no-history``).
 ``cache``
     Inspect or invalidate the content-addressed result cache
     (``info`` / ``clear`` / ``prune``).
@@ -37,7 +46,10 @@ Global observability flags (before the subcommand): ``--trace-out PATH``
 streams typed events to a JSONL file and appends a provenance manifest;
 ``--timeline-out PATH`` streams the simulated-time timeline (task /
 transfer / allocation / share records) to a JSONL file; ``--metrics``
-prints the counter/span rollup after the command.
+prints the counter/span rollup after the command; ``--profile``
+attaches a wall-clock profiler whose span-tree/kernel rollup lands in
+``--trace-out`` manifests (``repro report --json``) and prints after
+the command.
 
 Caching: ``--cache-dir PATH`` (global, or after ``study``/``figures``/
 ``simulate``) memoises calibrations, schedules and traces on disk so
@@ -63,6 +75,8 @@ from repro.scheduling.costs import SchedulingCosts
 from repro.scheduling.driver import ALGORITHMS, schedule_dag
 from repro.obs import (
     JsonlSink,
+    MemorySink,
+    Profiler,
     Recorder,
     RunManifest,
     Timeline,
@@ -142,6 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the counter/span metric rollup after the command",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach a wall-clock profiler: prints the span tree and "
+        "kernel cost table after the command, and embeds the rollup "
+        "in --trace-out manifests (see 'repro report --json')",
+    )
+    parser.add_argument(
         "--cache-dir",
         default="",
         metavar="PATH",
@@ -201,13 +222,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dump the experimental trace as JSON")
     add_cache_dir(p_sim)
 
-    p_prof = sub.add_parser("profile", help="print measurement tables")
+    p_prof = sub.add_parser(
+        "profile",
+        help="print measurement tables, or profile wall-clock time "
+        "(--what wall)",
+    )
     p_prof.add_argument(
         "--what",
-        choices=("kernels", "startup", "redistribution"),
+        choices=("kernels", "startup", "redistribution", "wall"),
         default="kernels",
+        help="kernels/startup/redistribution: emulated-environment "
+        "measurement tables; wall: profile a mini-study's wall-clock "
+        "time and measure the scalar/vectorized kernel crossovers",
     )
     p_prof.add_argument("--trials", type=int, default=3)
+    p_prof.add_argument(
+        "--dags", type=int, default=6,
+        help="(--what wall) how many Table I DAGs the profiled "
+        "mini-study runs",
+    )
+    p_prof.add_argument(
+        "--flame", default="", metavar="PATH",
+        help="(--what wall) write a collapsed-stack flamegraph "
+        "(flamegraph.pl / speedscope input)",
+    )
+    p_prof.add_argument(
+        "--chrome", default="", metavar="PATH",
+        help="(--what wall) write the wall-clock profile as Chrome "
+        "trace-event JSON (Perfetto-loadable)",
+    )
+    p_prof.add_argument(
+        "--save-table", default="", metavar="PATH",
+        help="(--what wall) persist the measured crossover table as "
+        "JSON; point REPRO_DISPATCH_TABLE at it to drive the array "
+        "engine's adaptive dispatch",
+    )
 
     p_var = sub.add_parser(
         "variance", help="run-to-run stability of the algorithm comparison"
@@ -237,6 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("trace", help="path to a --trace-out JSONL file")
     p_rep.add_argument(
         "--top", type=int, default=15, help="how many counters to list"
+    )
+    p_rep.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as one machine-readable JSON document "
+        "(counters, timings, cache hit-rates, profile rollup)",
     )
 
     p_trace = sub.add_parser(
@@ -304,6 +359,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--update", action="store_true",
         help="write the measured payload to the baseline path",
+    )
+    p_bench.add_argument(
+        "--check", action="store_true",
+        help="compare against the rolling per-machine history baseline "
+        "(median of recent compatible entries); exit 1 on regression",
+    )
+    p_bench.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="relative slowdown tolerated per stage by --check "
+        "(default 0.10)",
+    )
+    p_bench.add_argument(
+        "--history", default="", metavar="PATH",
+        help="bench history JSONL path (default: "
+        "benchmarks/history/bench_history.jsonl in the checkout)",
+    )
+    p_bench.add_argument(
+        "--no-history", action="store_true",
+        help="do not append this run to the bench history file",
     )
 
     p_cache = sub.add_parser(
@@ -420,7 +494,68 @@ def _cmd_simulate(ctx: StudyContext, args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile_wall(ctx: StudyContext, args: argparse.Namespace) -> int:
+    """Profile a mini-study's wall-clock time and measure crossovers.
+
+    Runs the first ``--dags`` Table I DAGs through the full pipeline
+    (schedule, simulate, execute) with a :class:`Profiler` attached,
+    prints the hierarchical span tree and per-kernel cost table, then
+    runs the controlled :meth:`CrossoverTable.measure` calibration and
+    prints the measured scalar-vs-vectorized crossover for both kernel
+    pairs (solver and step scan).
+    """
+    from repro.experiments.runner import run_study
+    from repro.obs import (
+        CrossoverTable,
+        chrome_profile_trace,
+        collapsed_stacks,
+        recording,
+    )
+
+    profiler = Profiler()
+    dags = ctx.dags[: args.dags]
+    print(
+        f"profiling a {len(dags)}-DAG mini-study "
+        f"(engine={ctx.engine or 'object'}, workers={ctx.workers}) ..."
+    )
+    with recording(Recorder(MemorySink(), profiler=profiler)):
+        run_study(
+            dags,
+            [ctx.suite("analytic")],
+            ctx.emulator,
+            workers=ctx.workers,
+            engine=ctx.engine,
+        )
+    print()
+    print(profiler.render())
+    if args.flame:
+        Path(args.flame).write_text(
+            collapsed_stacks(profiler), encoding="utf-8"
+        )
+        print(f"wrote {args.flame}")
+    if args.chrome:
+        Path(args.chrome).write_text(
+            json.dumps(chrome_profile_trace(profiler), indent=1) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.chrome}")
+
+    print()
+    print("measuring scalar/vectorized crossovers (controlled sweep) ...")
+    table = CrossoverTable.measure()
+    print(table.render())
+    if args.save_table:
+        table.save(args.save_table)
+        print(
+            f"wrote {args.save_table} "
+            f"(export REPRO_DISPATCH_TABLE={args.save_table} to use it)"
+        )
+    return 0
+
+
 def _cmd_profile(ctx: StudyContext, args: argparse.Namespace) -> int:
+    if args.what == "wall":
+        return _profile_wall(ctx, args)
     emu = ctx.emulator
     if args.what == "kernels":
         from repro.profiling.profiler import profile_kernels
@@ -535,7 +670,13 @@ def _cmd_cache(ctx: StudyContext, args: argparse.Namespace) -> int:
 
 def _cmd_report(ctx: StudyContext, args: argparse.Namespace) -> int:
     try:
-        print(report_file(args.trace, top=args.top))
+        if args.json:
+            from repro.obs.report import load_trace, report_json
+
+            records, manifest = load_trace(args.trace)
+            print(json.dumps(report_json(records, manifest), indent=2))
+        else:
+            print(report_file(args.trace, top=args.top))
     except TraceReadError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -575,6 +716,7 @@ def _cmd_diff(ctx: StudyContext, args: argparse.Namespace) -> int:
 
 def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
     from repro.experiments import bench as bench_mod
+    from repro.experiments import bench_history
 
     payload = bench_mod.run_pipeline_bench(
         num_dags=args.dags, repeat=args.repeat, engine=ctx.engine
@@ -596,11 +738,54 @@ def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
                 f"  vectorized solver ({instance}): "
                 f"{ratio:.2f}x vs scalar kernel"
             )
+    for pair, info in payload.get("crossovers", {}).items():
+        cross = info.get("crossover")
+        where = (
+            f"vectorized wins from ~{cross} {info['unit']}"
+            if cross is not None
+            else f"scalar wins at every measured size ({info['unit']})"
+        )
+        print(
+            f"  {pair} crossover: {where} "
+            f"(dispatch threshold {info['threshold']})"
+        )
     baseline_path = (
         Path(args.baseline) if args.baseline
         else bench_mod.default_baseline_path()
     )
+    history_path = (
+        Path(args.history) if args.history
+        else bench_history.default_history_path()
+    )
     status = 0
+    if args.check:
+        try:
+            entries = bench_history.load_history(history_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        comparisons = bench_history.check_against_history(
+            payload, entries, tolerance=args.tolerance
+        )
+        if comparisons is None:
+            config = payload.get("config", {})
+            print(
+                f"bench history: no compatible entries in {history_path} "
+                f"(num_dags={config.get('num_dags')}, "
+                f"engine={config.get('engine')}); this run seeds the "
+                "rolling baseline"
+            )
+        else:
+            print(
+                "rolling-history check "
+                f"(tolerance {args.tolerance:.0%}, {history_path}):"
+            )
+            print(bench_mod.render_comparison(comparisons))
+            if any(c.regressed for c in comparisons):
+                status = 1
+    if not args.no_history:
+        bench_history.append_history(payload, history_path)
+        print(f"appended bench entry to {history_path}")
     if args.compare:
         try:
             baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
@@ -615,7 +800,8 @@ def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print(bench_mod.render_comparison(comparisons))
-        status = 1 if any(c.regressed for c in comparisons) else 0
+        if any(c.regressed for c in comparisons):
+            status = 1
     if args.update:
         baseline_path.write_text(
             json.dumps(payload, indent=2) + "\n", encoding="utf-8"
@@ -670,15 +856,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     recorder: Recorder | None = None
-    if args.trace_out or args.metrics or args.timeline_out:
+    if args.trace_out or args.metrics or args.timeline_out or args.profile:
         sink = JsonlSink(args.trace_out) if args.trace_out else None
         timeline = (
             Timeline.to_file(args.timeline_out) if args.timeline_out else None
         )
+        profiler = Profiler() if args.profile else None
         if sink is None and timeline is None:
-            recorder = Recorder.to_memory()
+            recorder = Recorder(MemorySink(), profiler=profiler)
         else:
-            recorder = Recorder(sink, timeline=timeline)
+            recorder = Recorder(sink, timeline=timeline, profiler=profiler)
         set_recorder(recorder)
     ctx = StudyContext(
         seed=args.seed,
@@ -701,6 +888,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             set_recorder(None)
             if args.metrics:
                 print(_render_metrics(recorder))
+            if recorder.profiler is not None:
+                print("===== wall-clock profile =====")
+                print(recorder.profiler.render())
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -56,6 +56,7 @@ __all__ = [
     "cache_speedup",
     "compare_to_baseline",
     "default_baseline_path",
+    "measured_crossovers",
     "obs_overhead",
     "render_comparison",
     "run_pipeline_bench",
@@ -288,6 +289,32 @@ def _stage_engine(name: str, engine: str) -> str | None:
     return None
 
 
+def measured_crossovers() -> dict:
+    """Measured scalar/vectorized crossovers per kernel pair.
+
+    Runs :meth:`~repro.obs.prof.CrossoverTable.measure` (a controlled
+    calibration: both kernels of both pairs on identical instances
+    over a size grid) and reduces it to the crossover point and the
+    dispatch threshold it implies — the data the recalibration
+    satellite of the dispatch thresholds in
+    :mod:`repro.simgrid.arena` reads, and the ``crossovers`` section
+    of the bench payload.
+    """
+    from repro.obs.prof import PAIRS, CrossoverTable
+    from repro.simgrid import arena
+
+    table = CrossoverTable.measure()
+    defaults = {"step_scan": arena._SMALL_QUEUE, "solver": arena._SMALL_SOLVE}
+    return {
+        pair: {
+            "unit": spec["unit"],
+            "crossover": table.crossover(pair),
+            "threshold": table.threshold(pair, defaults[pair]),
+        }
+        for pair, spec in sorted(PAIRS.items())
+    }
+
+
 def run_pipeline_bench(
     num_dags: int = NUM_DAGS, repeat: int = 1, engine: str | None = None
 ) -> dict:
@@ -336,6 +363,7 @@ def run_pipeline_bench(
         },
         "stages": stages,
         "counters": counters,
+        "crossovers": measured_crossovers(),
     }
 
 

@@ -43,6 +43,7 @@ from repro.cache.result_cache import ResultCache
 from repro.dag.generator import DagParameters
 from repro.dag.graph import TaskGraph
 from repro.obs.manifest import RunManifest
+from repro.obs.prof import Profiler
 from repro.obs.recorder import Recorder, get_recorder, recording
 from repro.obs.sinks import MemorySink
 from repro.obs.timeline import Timeline
@@ -308,6 +309,7 @@ def _pool_init(
     cache: ResultCache | None = None,
     engine: str | None = None,
     timeline_enabled: bool = False,
+    profiler_enabled: bool = False,
 ) -> None:
     _POOL_STATE["dags"] = dags
     _POOL_STATE["suites"] = suites
@@ -316,6 +318,7 @@ def _pool_init(
     _POOL_STATE["cache"] = cache
     _POOL_STATE["engine"] = engine
     _POOL_STATE["timeline_enabled"] = timeline_enabled
+    _POOL_STATE["profiler_enabled"] = profiler_enabled
     # Per-suite simulator reuse within a worker: the array backend's
     # arena and consumption memos then amortize across every cell the
     # worker processes (simulators are reusable across runs).
@@ -355,7 +358,11 @@ def _pool_run_cell(
         # per-cell payloads in grid submission order reproduces the
         # serial run numbering exactly.
         tl = Timeline() if state.get("timeline_enabled") else None
-        worker_obs = Recorder(MemorySink(), timeline=tl)
+        # Worker profiles merge like worker timelines: private per cell,
+        # absorbed in submission order, so the merged span tree's
+        # structure matches the serial run's exactly.
+        prof = Profiler() if state.get("profiler_enabled") else None
+        worker_obs = Recorder(MemorySink(), timeline=tl, profiler=prof)
         with recording(worker_obs):
             record = _run_cell(
                 suite, params, graph, algorithm, emulator, cache=cache,
@@ -426,7 +433,7 @@ def run_study(
             initializer=_pool_init,
             initargs=(
                 dags, suites, emulator, obs.enabled, cache, engine,
-                obs.timeline is not None,
+                obs.timeline is not None, obs.profiler is not None,
             ),
         ) as pool:
             # ``map`` yields in submission order regardless of

@@ -20,6 +20,12 @@ Pieces
     attached to study results and appended to JSONL traces.
 :func:`report_file`
     Human-readable summary of a trace (the ``repro report`` command).
+:class:`Profiler` / :class:`CrossoverTable`
+    Hierarchical wall-clock spans with dimension-tagged kernel probes,
+    and the measured scalar-vs-vectorized crossover table that drives
+    the array engine's adaptive dispatch (``repro profile --what wall``).
+:func:`collapsed_stacks` / :func:`chrome_profile_trace`
+    Flamegraph text and a Chrome-trace wall-clock lane of a profile.
 
 Usage
 -----
@@ -32,7 +38,14 @@ Usage
 3
 """
 
+from repro.obs.flame import (
+    chrome_profile_events,
+    chrome_profile_trace,
+    collapsed_stacks,
+    parse_collapsed,
+)
 from repro.obs.manifest import RunManifest, emit_manifest, platform_info
+from repro.obs.prof import CrossoverTable, Profiler, size_bucket
 from repro.obs.recorder import (
     Recorder,
     SpanStats,
@@ -50,9 +63,16 @@ from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink
 from repro.obs.timeline import Timeline, load_timeline, timeline_lines
 
 __all__ = [
+    "CrossoverTable",
+    "Profiler",
     "Recorder",
     "SpanStats",
     "Timeline",
+    "chrome_profile_events",
+    "chrome_profile_trace",
+    "collapsed_stacks",
+    "parse_collapsed",
+    "size_bucket",
     "load_timeline",
     "timeline_lines",
     "get_recorder",

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Union
 
+from repro.obs.report import TraceReadError
 from repro.obs.timeline import load_timeline
 from repro.util.text import format_table
 
@@ -435,8 +436,25 @@ def diff_files(
     role: str | None = "sim",
     top: int = 5,
 ) -> str:
-    """Load two timeline files and render their comparison."""
-    diff = diff_timelines(
-        load_timeline(a), load_timeline(b), role=role, top=top
-    )
+    """Load two timeline files and render their comparison.
+
+    Empty and run-less (header-only) inputs raise
+    :class:`~repro.obs.report.TraceReadError` up front — diffing them
+    would print a vacuous "paired runs: 0" report that hides the real
+    problem.
+    """
+    a_records, b_records = load_timeline(a), load_timeline(b)
+    for path, records in ((a, a_records), (b, b_records)):
+        if not records:
+            raise TraceReadError(
+                f"{path}: file is empty — no timeline records to diff "
+                "(was the traced command interrupted?)"
+            )
+        if not any(r.get("kind") == "run" for r in records):
+            raise TraceReadError(
+                f"{path}: timeline has no completed runs to pair — only "
+                "header/decision records (rerun a workload, e.g. "
+                "'repro --timeline-out FILE study')"
+            )
+    diff = diff_timelines(a_records, b_records, role=role, top=top)
     return render_diff(diff, str(a), str(b))

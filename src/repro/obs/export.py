@@ -43,6 +43,28 @@ __all__ = [
 _XFER_TID_BASE = 1000
 
 
+def _require_timeline_payload(
+    records: list[dict], path: Union[str, Path]
+) -> None:
+    """Reject empty and header-only timelines with a specific message.
+
+    Both states are legal JSONL (an interrupted run, or a traced
+    command that never simulated anything) but exporting them would
+    silently produce an empty document — worse than an error.
+    """
+    if not records:
+        raise TraceReadError(
+            f"{path}: file is empty — no timeline records to export "
+            "(was the traced command interrupted before it ran anything?)"
+        )
+    if all(r.get("kind") == "meta" for r in records):
+        raise TraceReadError(
+            f"{path}: timeline holds only its stream header — the traced "
+            "command completed no simulated runs (rerun a workload, e.g. "
+            "'repro --timeline-out FILE study')"
+        )
+
+
 def _run_label(record: dict) -> str:
     """Process name of one run: its grid-cell coordinates."""
     parts = []
@@ -235,10 +257,16 @@ def openmetrics_lines(path: Union[str, Path]) -> list[str]:
     """
     records = load_timeline_or_trace(path)
     if records and "kind" in records[0]:
+        _require_timeline_payload(records, path)
         lines = _openmetrics_from_timeline(records)
     else:
         _, manifest = load_trace(path)
         if manifest is None:
+            if not records:
+                raise TraceReadError(
+                    f"{path}: file is empty — nothing to export (was "
+                    "the traced command interrupted before any output?)"
+                )
             raise TraceReadError(
                 f"{path}: trace has no manifest record to export "
                 "(rerun with --trace-out, or pass a --timeline-out file)"
@@ -264,6 +292,7 @@ def export_file(path: Union[str, Path], fmt: str) -> str:
     """Render ``path`` in ``fmt`` (``"chrome"`` or ``"openmetrics"``)."""
     if fmt == "chrome":
         records = load_timeline(path)
+        _require_timeline_payload(records, path)
         trace = chrome_trace(records)
         validate_chrome_trace(trace)
         return json.dumps(trace, indent=1)
@@ -275,6 +304,11 @@ def export_file(path: Union[str, Path], fmt: str) -> str:
 def summarize_file(path: Union[str, Path]) -> str:
     """Per-run table plus record-kind counts (``repro trace summary``)."""
     records = load_timeline_or_trace(path)
+    if not records:
+        raise TraceReadError(
+            f"{path}: no records to summarise — the file is empty "
+            "(for a manifest-only --trace-out file use 'repro report')"
+        )
     lines: list[str] = [f"records: {len(records)}"]
     if records and "kind" in records[0]:
         kinds: dict[str, int] = {}
@@ -292,6 +326,12 @@ def summarize_file(path: Union[str, Path]) -> str:
                 [[k, str(v)] for k, v in sorted(kinds.items())],
             )
         )
+        if not runs:
+            lines.append("")
+            lines.append(
+                "no run records: the traced command completed no "
+                "simulated runs (header-only stream?)"
+            )
         if runs:
             lines.append("")
             lines.append("runs:")

@@ -1,0 +1,644 @@
+"""Hierarchical wall-clock profiler and measured kernel crossovers.
+
+Two instruments live here, both feeding the performance work the
+ROADMAP schedules next (vectorizing the scheduling hot path):
+
+* :class:`Profiler` — nestable named spans forming a call-path tree
+  plus *dimension-tagged kernel probes*.  A span records wall-clock
+  time under its full path (``("sched.allocate", "critical_path_dp")``),
+  so the flamegraph exporters in :mod:`repro.obs.flame` can attribute
+  cost hierarchically; a probe records ``(kernel, size_bucket,
+  seconds)`` so every ``_maxmin_flat`` / ``_maxmin_dense`` solve,
+  scalar/vectorized step scan, ``alloc_grow`` sweep and
+  ``CriticalPathDP`` pass contributes to an empirical per-kernel,
+  per-size cost model.
+* :class:`CrossoverTable` — aggregates scalar-vs-vectorized timings
+  per input size into *measured* crossover points, replacing the
+  hard-coded dispatch thresholds in :mod:`repro.simgrid.arena`
+  (persisted as JSON, loaded via ``REPRO_DISPATCH_TABLE``).
+
+Design rules (matching the Recorder's, see ``docs/observability.md``):
+
+* **Disabled is free.**  Instrumented code holds ``prof = rec.profiler``
+  and guards with ``if prof is not None:`` — no profiler means one
+  attribute load and a branch, no clock reads.
+* **Deterministic merge.**  A profiler's accumulated state is a plain
+  dict (:meth:`Profiler.export_state`), merged across workers by
+  :meth:`Profiler.absorb` in the study runner's submission order; the
+  serialized form is key-sorted, so the *structure* (paths and counts)
+  is byte-identical across worker counts and engine backends.
+* **Wall clocks never feed back.**  Nothing here influences simulated
+  time or scheduling decisions; the dispatch thresholds a
+  :class:`CrossoverTable` yields change only *speed*, never results —
+  the array engine's kernels are bit-identical across thresholds.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "CrossoverTable",
+    "PAIRS",
+    "Profiler",
+    "size_bucket",
+]
+
+#: Path separator in serialized span keys and collapsed stacks.  Span
+#: names are dotted identifiers and must not contain it.
+PATH_SEP = ";"
+
+#: The scalar/vectorized kernel pairs the dispatch crossovers describe.
+#: ``unit`` names the size dimension the pair is bucketed by: the
+#: max-min solver dispatches on total consumption *entries* in the
+#: working set, the step scan on *actions* in the alive queue.
+PAIRS: dict[str, dict[str, str]] = {
+    "solver": {
+        "unit": "entries",
+        "scalar": "maxmin_flat",
+        "vectorized": "maxmin_dense",
+    },
+    "step_scan": {
+        "unit": "actions",
+        "scalar": "scan_scalar",
+        "vectorized": "scan_vector",
+    },
+}
+
+
+def size_bucket(n: int) -> int:
+    """Power-of-two bucket of a size (``0`` for empty instances).
+
+    Buckets keep the probe tables small while preserving the order of
+    magnitude the dispatch decision depends on: ``1..1 -> 1``,
+    ``2 -> 2``, ``3..4 -> 4``, ``5..8 -> 8`` and so on (the bucket is
+    the smallest power of two >= n).
+    """
+    if n <= 0:
+        return 0
+    return 1 << (int(n) - 1).bit_length()
+
+
+def _merge_stats(into: list, count: int, total: float, mn: float, mx: float) -> None:
+    into[0] += count
+    into[1] += total
+    if mn < into[2]:
+        into[2] = mn
+    if mx > into[3]:
+        into[3] = mx
+
+
+def _stats_dict(stats: list) -> dict:
+    count, total, mn, mx = stats
+    return {
+        "count": count,
+        "total_s": total,
+        "mean_s": total / count if count else 0.0,
+        "min_s": mn if count else None,
+        "max_s": mx,
+    }
+
+
+class Profiler:
+    """Accumulates span-path timings and kernel probes.
+
+    Span state is a flat dict keyed by the full path tuple — the tree
+    is implicit in the keys, which is what the collapsed-stack format
+    wants anyway.  The *stack* is thread-local (each worker thread
+    nests independently); the aggregate dicts are shared, which is safe
+    under the GIL for the append-only update pattern used here.
+    """
+
+    __slots__ = ("spans", "kernels", "_local")
+
+    def __init__(self) -> None:
+        #: ``{path tuple: [count, total_s, min_s, max_s]}``
+        self.spans: dict[tuple[str, ...], list] = {}
+        #: ``{(kernel, size_bucket): [count, total_s, min_s, max_s]}``
+        self.kernels: dict[tuple[str, int], list] = {}
+        self._local = threading.local()
+
+    # -- span stack ----------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_path(self) -> tuple[str, ...]:
+        """The open span path of the calling thread (for tests)."""
+        return tuple(self._stack())
+
+    def push(self, name: str) -> None:
+        """Open a nested span (the Recorder calls this on span entry)."""
+        self._stack().append(name)
+
+    def pop(self, seconds: float) -> None:
+        """Close the innermost span, folding its duration into the tree."""
+        stack = self._stack()
+        path = tuple(stack)
+        stack.pop()
+        self._record(path, seconds)
+
+    def leaf(self, name: str, seconds: float) -> None:
+        """Record a pre-timed child under the current path (no nesting).
+
+        The profiler twin of ``Recorder.timing``: hot paths that clock
+        themselves (``engine.solve``) attribute the measurement to the
+        tree without the push/pop bookkeeping.
+        """
+        self._record(tuple(self._stack()) + (name,), seconds)
+
+    def _record(self, path: tuple[str, ...], seconds: float) -> None:
+        stats = self.spans.get(path)
+        if stats is None:
+            self.spans[path] = [1, seconds, seconds, seconds]
+        else:
+            _merge_stats(stats, 1, seconds, seconds, seconds)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Directly time a block (for code without a Recorder handle)."""
+        self.push(name)
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.pop(time.perf_counter() - t0)
+
+    # -- kernel probes -------------------------------------------------
+    def probe(self, kernel: str, size: int, seconds: float) -> None:
+        """Record one kernel invocation at an input size.
+
+        ``size`` is bucketed to the next power of two, so the table
+        stays a handful of rows per kernel while still resolving the
+        scalar/vectorized crossover region.
+        """
+        key = (kernel, size_bucket(size))
+        stats = self.kernels.get(key)
+        if stats is None:
+            self.kernels[key] = [1, seconds, seconds, seconds]
+        else:
+            _merge_stats(stats, 1, seconds, seconds, seconds)
+
+    # -- merge / serialization -----------------------------------------
+    def export_state(self) -> dict:
+        """Plain-dict snapshot (picklable, JSON-able), key-sorted."""
+        return {
+            "spans": {
+                PATH_SEP.join(path): _stats_dict(stats)
+                for path, stats in sorted(self.spans.items())
+            },
+            "kernels": {
+                f"{kernel}{PATH_SEP}{bucket}": _stats_dict(stats)
+                for (kernel, bucket), stats in sorted(self.kernels.items())
+            },
+        }
+
+    def absorb(self, state: dict) -> None:
+        """Fold an :meth:`export_state` payload into this profiler.
+
+        Counts and totals sum, min/max widen — the same merge the
+        Recorder applies to span aggregates, so worker profiles folded
+        in submission order yield a deterministic structure.
+        """
+        for key, agg in state.get("spans", {}).items():
+            if not agg["count"]:
+                continue
+            path = tuple(key.split(PATH_SEP))
+            stats = self.spans.get(path)
+            if stats is None:
+                stats = self.spans[path] = [0, 0.0, float("inf"), 0.0]
+            _merge_stats(
+                stats, agg["count"], agg["total_s"], agg["min_s"], agg["max_s"]
+            )
+        for key, agg in state.get("kernels", {}).items():
+            if not agg["count"]:
+                continue
+            kernel, _, bucket = key.rpartition(PATH_SEP)
+            kkey = (kernel, int(bucket))
+            stats = self.kernels.get(kkey)
+            if stats is None:
+                stats = self.kernels[kkey] = [0, 0.0, float("inf"), 0.0]
+            _merge_stats(
+                stats, agg["count"], agg["total_s"], agg["min_s"], agg["max_s"]
+            )
+
+    def structure(self) -> dict:
+        """Deterministic shape of the profile: paths/keys and counts only.
+
+        Wall-clock durations jitter run to run; the *structure* — which
+        spans nested under which, how many times, which kernels ran at
+        which size buckets — is a pure function of the workload, so the
+        determinism tests compare exactly this.
+        """
+        return {
+            "spans": {
+                PATH_SEP.join(path): stats[0]
+                for path, stats in sorted(self.spans.items())
+            },
+            "kernels": {
+                f"{kernel}{PATH_SEP}{bucket}": stats[0]
+                for (kernel, bucket), stats in sorted(self.kernels.items())
+            },
+        }
+
+    # -- rollups -------------------------------------------------------
+    def kernel_table(self) -> list[tuple[str, int, int, float, float]]:
+        """Sorted ``(kernel, bucket, calls, total_s, mean_s)`` rows."""
+        rows = []
+        for (kernel, bucket), stats in sorted(self.kernels.items()):
+            count, total = stats[0], stats[1]
+            rows.append(
+                (kernel, bucket, count, total, total / count if count else 0.0)
+            )
+        return rows
+
+    def render(self) -> str:
+        """Human-readable span tree plus the kernel cost table."""
+        lines = ["span tree (wall-clock):"]
+        if not self.spans:
+            lines.append("  (no spans recorded)")
+        header = f"  {'path':<44} {'calls':>7} {'total':>10} {'mean':>10}"
+        if self.spans:
+            lines.append(header)
+        for path, stats in sorted(self.spans.items()):
+            count, total = stats[0], stats[1]
+            label = "  " * (len(path) - 1) + path[-1]
+            lines.append(
+                f"  {label:<44} {count:>7} {total:>9.4f}s "
+                f"{1e6 * total / count:>8.1f}us"
+            )
+        lines.append("")
+        lines.append("kernel cost table (per (kernel, size bucket)):")
+        if not self.kernels:
+            lines.append("  (no kernel probes recorded)")
+        else:
+            lines.append(
+                f"  {'kernel':<18} {'size<=':>8} {'calls':>8} "
+                f"{'total':>10} {'mean':>10}"
+            )
+            for kernel, bucket, count, total, mean in self.kernel_table():
+                lines.append(
+                    f"  {kernel:<18} {bucket:>8} {count:>8} "
+                    f"{total:>9.4f}s {1e6 * mean:>8.1f}us"
+                )
+        return "\n".join(lines)
+
+
+class CrossoverTable:
+    """Measured scalar-vs-vectorized kernel costs per input size.
+
+    One row per (pair, size): the mean per-call seconds of the scalar
+    and the vectorized kernel on the *same* instance.  The table is the
+    data behind the array engine's adaptive dispatch: the measured
+    crossover replaces the hard-coded size thresholds (see
+    :func:`repro.simgrid.arena.dispatch_thresholds` and the
+    ``REPRO_DISPATCH_TABLE`` environment variable).
+    """
+
+    SCHEMA = 1
+
+    def __init__(self) -> None:
+        #: ``{pair: {size: {"scalar_s", "vectorized_s", "iters"}}}``;
+        #: one-sided rows (from observed probes, where dispatch only
+        #: exercised one kernel per size) hold None for the other side.
+        self.samples: dict[str, dict[int, dict]] = {}
+
+    # -- construction --------------------------------------------------
+    def add(
+        self,
+        pair: str,
+        size: int,
+        *,
+        scalar_s: float | None = None,
+        vectorized_s: float | None = None,
+        iters: int = 1,
+    ) -> None:
+        if pair not in PAIRS:
+            raise ValueError(
+                f"unknown kernel pair {pair!r}; choose from {sorted(PAIRS)}"
+            )
+        row = self.samples.setdefault(pair, {}).setdefault(
+            size, {"scalar_s": None, "vectorized_s": None, "iters": 0}
+        )
+        if scalar_s is not None:
+            row["scalar_s"] = scalar_s
+        if vectorized_s is not None:
+            row["vectorized_s"] = vectorized_s
+        row["iters"] = max(row["iters"], iters)
+
+    @classmethod
+    def from_profile(cls, profiler: Profiler) -> "CrossoverTable":
+        """Build a (possibly one-sided) table from observed kernel probes.
+
+        Production dispatch runs only one kernel per size, so rows from
+        a live profile usually have a single side — still useful as the
+        per-size cost model ``repro profile`` prints, and rows where
+        both sides happen to exist contribute crossover evidence.
+        """
+        table = cls()
+        sides = {
+            spec["scalar"]: (pair, "scalar_s")
+            for pair, spec in PAIRS.items()
+        }
+        sides.update(
+            (spec["vectorized"], (pair, "vectorized_s"))
+            for pair, spec in PAIRS.items()
+        )
+        for (kernel, bucket), stats in sorted(profiler.kernels.items()):
+            side = sides.get(kernel)
+            if side is None or not stats[0]:
+                continue
+            pair, field = side
+            table.add(
+                pair, bucket, **{field: stats[1] / stats[0]}, iters=stats[0]
+            )
+        return table
+
+    # -- queries -------------------------------------------------------
+    def sizes(self, pair: str) -> list[int]:
+        """Sizes with *both* sides measured, ascending."""
+        rows = self.samples.get(pair, {})
+        return sorted(
+            s
+            for s, row in rows.items()
+            if row["scalar_s"] is not None and row["vectorized_s"] is not None
+        )
+
+    def crossover(self, pair: str) -> int | None:
+        """Smallest measured size from which the vectorized kernel wins.
+
+        "Wins" must be *stable*: the returned size and every larger
+        measured size have ``vectorized_s <= scalar_s``.  Returns None
+        when the vectorized kernel never stably wins in the measured
+        range (the honest answer for a kernel that needs more work —
+        see ``docs/performance.md`` on ``solver_sparse_vectorized``).
+        """
+        sizes = self.sizes(pair)
+        crossover = None
+        for size in reversed(sizes):
+            row = self.samples[pair][size]
+            if row["vectorized_s"] <= row["scalar_s"]:
+                crossover = size
+            else:
+                break
+        return crossover
+
+    def threshold(self, pair: str, default: int) -> int:
+        """Dispatch threshold: sizes ``<= threshold`` take the scalar kernel.
+
+        The largest measured size at which the scalar kernel still won
+        (the last size below :meth:`crossover`).  With no crossover the
+        scalar kernel wins everywhere measured, so the threshold is the
+        largest measured size; with no two-sided measurements at all
+        the caller's ``default`` passes through.
+        """
+        sizes = self.sizes(pair)
+        if not sizes:
+            return default
+        crossover = self.crossover(pair)
+        if crossover is None:
+            return sizes[-1]
+        below = [s for s in sizes if s < crossover]
+        return below[-1] if below else 0
+
+    # -- measurement ---------------------------------------------------
+    @classmethod
+    def measure(
+        cls,
+        *,
+        solver_actions: tuple[int, ...] = (2, 4, 8, 16, 32, 64, 96, 128),
+        scan_actions: tuple[int, ...] = (4, 8, 16, 32, 64, 128, 256, 512),
+        entries_per_action: int = 4,
+        repeat: int = 3,
+    ) -> "CrossoverTable":
+        """Run both kernels of both pairs over a size grid and time them.
+
+        Controlled calibration — unlike :meth:`from_profile`, every size
+        runs *both* kernels on the identical instance, so every row is
+        two-sided and yields crossover evidence.  Instances are
+        deterministic (seeded) and sized like production traffic: the
+        solver grid uses sparse CSR rows (``entries_per_action`` entries
+        each — the regime the engine's working sets live in), the step
+        scan drives a real :class:`ArraySimulationEngine` queue.  Each
+        size keeps the fastest of ``repeat`` timing passes (the pass
+        least disturbed by the machine).
+        """
+        # Lazy imports: arena imports this module's consumers' layer
+        # (obs), so prof must not import arena at module load.
+        import random
+
+        import numpy as np
+
+        from repro.obs.recorder import Recorder, recording
+        from repro.platform.personalities import bayreuth_cluster
+        from repro.simgrid.arena import ArraySimulationEngine, layout_for
+        from repro.simgrid.sharing import _maxmin_dense, _maxmin_flat
+
+        table = cls()
+        perf = time.perf_counter
+        resources = 193  # a 64-node star platform's resource-id count
+
+        with recording(Recorder()):  # calibration never records itself
+            for actions in solver_actions:
+                rng = random.Random(20260806 + actions)
+                counts: list[int] = []
+                e_rid: list[int] = []
+                e_w: list[float] = []
+                for _ in range(actions):
+                    counts.append(entries_per_action)
+                    e_rid.extend(
+                        rng.sample(range(resources), entries_per_action)
+                    )
+                    e_w.extend(
+                        rng.uniform(0.5, 2.0)
+                        for _ in range(entries_per_action)
+                    )
+                caps = [rng.uniform(1.0, 8.0) for _ in range(resources)]
+                np_args = (
+                    np.asarray(counts, dtype=np.intp),
+                    np.asarray(e_rid, dtype=np.intp),
+                    np.asarray(e_w, dtype=float),
+                    np.asarray(caps, dtype=float),
+                )
+                total = actions * entries_per_action
+                iters = max(3, 512 // total)
+                scalar_best = vector_best = float("inf")
+                # Warm-up doubles as the bit-identity check.
+                if _maxmin_flat(counts, e_rid, e_w, caps) != _maxmin_dense(
+                    *np_args
+                ).tolist():  # pragma: no cover - kernel bug
+                    raise RuntimeError(
+                        f"solver kernels diverged at {total} entries"
+                    )
+                for _ in range(repeat):
+                    t0 = perf()
+                    for _ in range(iters):
+                        _maxmin_flat(counts, e_rid, e_w, caps)
+                    scalar_best = min(scalar_best, (perf() - t0) / iters)
+                    t0 = perf()
+                    for _ in range(iters):
+                        _maxmin_dense(*np_args)
+                    vector_best = min(vector_best, (perf() - t0) / iters)
+                table.add(
+                    "solver",
+                    total,
+                    scalar_s=scalar_best,
+                    vectorized_s=vector_best,
+                    iters=iters,
+                )
+
+            layout = layout_for(bayreuth_cluster(2))
+            for actions in scan_actions:
+                engine = ArraySimulationEngine(layout)
+                rids = engine.alloc_private_rids([1.0] * actions)
+                for i, rid in enumerate(rids):
+                    # Distinct works so the scan's min/threshold logic
+                    # does real comparisons (all-equal rows would fire
+                    # together and short-circuit the firing pass).
+                    engine.add_entries(f"cal{i}", 1.0 + i, [rid], [1.0])
+                alive = engine._alive
+                arena = engine._arena
+                rem0 = arena.remaining.copy()
+                lat0 = arena.latency.copy()
+                iters = max(3, 1024 // actions)
+                scalar_best = vector_best = float("inf")
+                for scan, attr in (
+                    (engine._scan_small, "scalar_s"),
+                    (engine._scan_vector, "vectorized_s"),
+                ):
+                    best = float("inf")
+                    for _ in range(repeat):
+                        acc = 0.0
+                        for _ in range(iters):
+                            # Restore outside the timed window: the scan
+                            # mutates now/remaining/latency.
+                            arena.remaining[:] = rem0
+                            arena.latency[:] = lat0
+                            engine.now = 0.0
+                            engine._rates_dirty = False
+                            t0 = perf()
+                            scan(alive)
+                            acc += perf() - t0
+                        best = min(best, acc / iters)
+                    if attr == "scalar_s":
+                        scalar_best = best
+                    else:
+                        vector_best = best
+                table.add(
+                    "step_scan",
+                    actions,
+                    scalar_s=scalar_best,
+                    vectorized_s=vector_best,
+                    iters=iters,
+                )
+        return table
+
+    # -- serialization -------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "schema": self.SCHEMA,
+            "pairs": {
+                pair: {
+                    str(size): dict(row)
+                    for size, row in sorted(rows.items())
+                }
+                for pair, rows in sorted(self.samples.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CrossoverTable":
+        schema = payload.get("schema")
+        if schema != cls.SCHEMA:
+            raise ValueError(
+                f"unsupported crossover-table schema {schema!r} "
+                f"(expected {cls.SCHEMA})"
+            )
+        table = cls()
+        for pair, rows in payload.get("pairs", {}).items():
+            if pair not in PAIRS:
+                raise ValueError(f"unknown kernel pair {pair!r} in table")
+            for size, row in rows.items():
+                table.add(
+                    pair,
+                    int(size),
+                    scalar_s=row.get("scalar_s"),
+                    vectorized_s=row.get("vectorized_s"),
+                    iters=row.get("iters", 1),
+                )
+        return table
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CrossoverTable":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise FileNotFoundError(
+                f"crossover table not found: {path} (generate one with "
+                "'repro profile --what wall --save-table PATH')"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"crossover table {path} is not valid JSON: {exc}"
+            ) from None
+        return cls.from_json(payload)
+
+    # -- rendering -----------------------------------------------------
+    def render(self) -> str:
+        """Human-readable per-size table with a crossover verdict per pair."""
+        lines = []
+        for pair, spec in sorted(PAIRS.items()):
+            rows = self.samples.get(pair)
+            lines.append(
+                f"{pair} ({spec['scalar']} vs {spec['vectorized']}, "
+                f"sized by {spec['unit']}):"
+            )
+            if not rows:
+                lines.append("  (no measurements)")
+                continue
+            lines.append(
+                f"  {spec['unit']:>8} {'scalar':>12} {'vectorized':>12} "
+                f"{'ratio':>7}  winner"
+            )
+            for size in sorted(rows):
+                row = rows[size]
+                s, v = row["scalar_s"], row["vectorized_s"]
+                s_txt = f"{1e6 * s:>10.1f}us" if s is not None else f"{'-':>12}"
+                v_txt = f"{1e6 * v:>10.1f}us" if v is not None else f"{'-':>12}"
+                if s is not None and v is not None:
+                    ratio = f"{s / v:>6.2f}x"
+                    winner = "vectorized" if v <= s else "scalar"
+                else:
+                    ratio = f"{'-':>7}"
+                    winner = "(one-sided)"
+                lines.append(f"  {size:>8} {s_txt} {v_txt} {ratio}  {winner}")
+            crossover = self.crossover(pair)
+            if crossover is not None:
+                lines.append(
+                    f"  measured crossover: vectorized wins from "
+                    f"~{crossover} {spec['unit']}"
+                )
+            elif self.sizes(pair):
+                lines.append(
+                    "  measured crossover: none — scalar wins at every "
+                    "measured size"
+                )
+            else:
+                lines.append(
+                    "  measured crossover: unknown (no two-sided rows)"
+                )
+        return "\n".join(lines)

@@ -98,6 +98,9 @@ class _Span:
         self._t0 = 0.0
 
     def __enter__(self) -> "_Span":
+        prof = self._recorder.profiler
+        if prof is not None:
+            prof.push(self._name)
         self._t0 = time.perf_counter()
         return self
 
@@ -122,13 +125,26 @@ class Recorder:
     via ``rec.timeline`` and guards with ``if tl is not None:``.  A
     recorder with a timeline is enabled even over a null sink (counters
     still accumulate; events are discarded).
+
+    ``profiler`` optionally attaches a wall-clock
+    :class:`~repro.obs.prof.Profiler`; every :meth:`span` then also
+    nests a profiler span (building the call-path tree) and
+    :meth:`timing` feeds profiler leaves.  Kernel probes reach it via
+    ``rec.profiler`` and guard with ``if prof is not None:``.  Like a
+    timeline, an attached profiler enables the recorder even over a
+    null sink.
     """
 
-    def __init__(self, sink: Sink | None = None, timeline=None) -> None:
+    def __init__(
+        self, sink: Sink | None = None, timeline=None, profiler=None
+    ) -> None:
         self.sink: Sink = sink if sink is not None else NullSink()
         self.timeline = timeline
+        self.profiler = profiler
         self.enabled: bool = (
-            not isinstance(self.sink, NullSink) or timeline is not None
+            not isinstance(self.sink, NullSink)
+            or timeline is not None
+            or profiler is not None
         )
         self.counters: dict[str, float] = {}
         self.spans: dict[str, SpanStats] = {}
@@ -178,8 +194,14 @@ class Recorder:
         if stats is None:
             stats = self.spans[name] = SpanStats()
         stats.add(seconds)
+        prof = self.profiler
+        if prof is not None:
+            prof.leaf(name, seconds)
 
     def _finish_span(self, name: str, seconds: float, fields: dict) -> None:
+        prof = self.profiler
+        if prof is not None:
+            prof.pop(seconds)
         stats = self.spans.get(name)
         if stats is None:
             stats = self.spans[name] = SpanStats()
@@ -208,6 +230,8 @@ class Recorder:
         }
         if self.timeline is not None:
             state["timeline"] = self.timeline.export_state()
+        if self.profiler is not None:
+            state["profile"] = self.profiler.export_state()
         return state
 
     def absorb(self, state: dict) -> None:
@@ -241,6 +265,9 @@ class Recorder:
         timeline_state = state.get("timeline")
         if timeline_state is not None and self.timeline is not None:
             self.timeline.absorb(timeline_state)
+        profile_state = state.get("profile")
+        if profile_state is not None and self.profiler is not None:
+            self.profiler.absorb(profile_state)
 
     # -- rollups -------------------------------------------------------
     def metrics(self) -> dict:
@@ -261,13 +288,18 @@ class Recorder:
                     counters.get("timeline.runs", 0)
                     + self.timeline.run_count
                 )
-        return {
+        rollup = {
             "counters": dict(sorted(counters.items())),
             "spans": {
                 name: stats.to_dict()
                 for name, stats in sorted(self.spans.items())
             },
         }
+        if self.profiler is not None:
+            # Only when attached: recorders without a profiler keep the
+            # exact metrics shape older manifests and tests expect.
+            rollup["profile"] = self.profiler.export_state()
+        return rollup
 
     def close(self) -> None:
         self.sink.close()

@@ -21,7 +21,13 @@ from repro.util.errors import ReproError
 from repro.util.stats import relative_error
 from repro.util.text import format_table
 
-__all__ = ["TraceReadError", "load_trace", "render_report", "report_file"]
+__all__ = [
+    "TraceReadError",
+    "load_trace",
+    "render_report",
+    "report_file",
+    "report_json",
+]
 
 
 class TraceReadError(ReproError):
@@ -136,6 +142,73 @@ def _study_breakdown(records: list[dict]) -> list[list[object]]:
     return rows
 
 
+def report_json(
+    records: list[dict], manifest: RunManifest | None
+) -> dict:
+    """Machine-readable report of one trace (``repro report --json``).
+
+    The same sources and fallbacks as :func:`render_report` — manifest
+    rollups where present, stream-derived aggregates otherwise — but as
+    one JSON-serialisable document, so the bench history store and any
+    study service consume reports without scraping the text tables.
+    """
+    counters: dict[str, float] = {}
+    if manifest is not None:
+        counters.update(manifest.metrics.get("counters", {}))
+    if not counters:
+        counters = dict(_event_counts(records))
+
+    cache: dict[str, dict] = {}
+    for layer, hits, misses, rate in _cache_rows(counters):
+        cache[layer] = {
+            "hits": float(hits),
+            "misses": float(misses),
+            "hit_rate_pct": float(rate),
+        }
+
+    spans = (
+        manifest.metrics.get("spans", {}) if manifest is not None else {}
+    ) or _span_rollup(records)
+
+    study = [
+        {
+            "algorithm": algorithm,
+            "simulator": simulator,
+            "runs": runs,
+            "mean_sim_makespan": mean_sim,
+            "mean_exp_makespan": mean_exp,
+            "mean_abs_error_pct": err,
+        }
+        for algorithm, simulator, runs, mean_sim, mean_exp, err
+        in _study_breakdown(records)
+    ]
+
+    timeline = {
+        name[len("timeline."):]: value
+        for name, value in counters.items()
+        if name.startswith("timeline.")
+    }
+
+    return {
+        "schema": 1,
+        "manifest": manifest.to_dict() if manifest is not None else None,
+        "records": len(records),
+        "events": _event_counts(records),
+        "counters": dict(sorted(counters.items())),
+        "cache": cache,
+        "spans": spans,
+        "timeline": timeline,
+        "study": study,
+        # Wall-clock profile rollup (span paths + kernel cost table);
+        # present only when the run attached a Profiler.
+        "profile": (
+            manifest.metrics.get("profile")
+            if manifest is not None
+            else None
+        ),
+    }
+
+
 def render_report(
     records: list[dict],
     manifest: RunManifest | None,
@@ -219,6 +292,36 @@ def render_report(
                 ["span", "count", "total [s]", "mean [ms]", "max [ms]"], rows
             )
         )
+
+    profile = (
+        manifest.metrics.get("profile") if manifest is not None else None
+    )
+    if profile:
+        prof_spans = profile.get("spans", {})
+        kernels = profile.get("kernels", {})
+        lines.append("")
+        lines.append(
+            f"wall-clock profile: {len(prof_spans)} span paths, "
+            f"{len(kernels)} kernel rows "
+            "(full detail: repro report --json)"
+        )
+        if kernels:
+            rows = [
+                [
+                    key.rsplit(";", 1)[0],
+                    key.rsplit(";", 1)[1],
+                    agg["count"],
+                    f"{1e6 * agg['total_s'] / agg['count']:.1f}"
+                    if agg["count"]
+                    else "-",
+                ]
+                for key, agg in sorted(kernels.items())
+            ]
+            lines.append(
+                format_table(
+                    ["kernel", "size<=", "calls", "mean [us]"], rows[:top]
+                )
+            )
 
     timeline_counts = {
         name[len("timeline."):]: value

@@ -101,6 +101,7 @@ def allocation_loop(
     stop = stop or (lambda t_cp, t_a, _alloc: t_cp <= t_a)
     obs = get_recorder()
     tl = obs.timeline if obs.enabled else None
+    prof = obs.profiler
 
     dp = CriticalPathDP(graph)
     agg_speed = costs.platform.aggregate_speed
@@ -129,7 +130,13 @@ def allocation_loop(
             # records would swamp the trace and the loop itself.
             t0 = time.perf_counter()
             bl = dp.bottom_levels(cost)
-            obs.timing("sched.critical_path", time.perf_counter() - t0)
+            seconds = time.perf_counter() - t0
+            obs.timing("sched.critical_path", seconds)
+            if prof is not None:
+                # Kernel probe sized by task count: the DP's work is one
+                # pass over the DAG, so the (kernel, size) cost model
+                # predicts what a vectorized replacement must beat.
+                prof.probe("critical_path_dp", len(alloc), seconds)
         else:
             bl = dp.bottom_levels(cost)
         t_cp = dp.length(bl)
@@ -141,7 +148,16 @@ def allocation_loop(
         if not growable:
             stop_reason = "critical_path_capped"
             break
-        chosen = select(growable, alloc)
+        if prof is not None:
+            t0 = time.perf_counter()
+            chosen = select(growable, alloc)
+            # Sized by candidate count: the grow sweep scans the
+            # critical path's growable tasks once per step.
+            prof.probe(
+                "alloc_grow", len(growable), time.perf_counter() - t0
+            )
+        else:
+            chosen = select(growable, alloc)
         if chosen is None:
             stop_reason = "no_beneficial_candidate"
             break

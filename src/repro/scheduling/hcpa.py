@@ -89,14 +89,19 @@ def hcpa_allocate(
     if beta < 1.0:
         raise ValueError(f"beta must be >= 1 (CPA's criterion), got {beta}")
     P = costs.num_procs
-    levels = precedence_levels(graph)
-    level_size: dict[int, int] = {}
-    for lvl in levels.values():
-        level_size[lvl] = level_size.get(lvl, 0) + 1
-    cap: dict[int, int] = {
-        t: max(1, math.ceil(P / level_size[levels[t]])) for t in graph.task_ids
-    }
     obs = get_recorder()
+    # Phase span: the static cap construction is HCPA's only work on
+    # top of the shared loop, so profiles separate it from the grow
+    # sweeps it bounds.
+    with obs.span("alloc.hcpa.caps", dag=graph.name):
+        levels = precedence_levels(graph)
+        level_size: dict[int, int] = {}
+        for lvl in levels.values():
+            level_size[lvl] = level_size.get(lvl, 0) + 1
+        cap: dict[int, int] = {
+            t: max(1, math.ceil(P / level_size[levels[t]]))
+            for t in graph.task_ids
+        }
     if obs.enabled:
         obs.event(
             "sched.hcpa.caps",

@@ -27,13 +27,15 @@ __all__ = ["mcpa_allocate"]
 
 def mcpa_allocate(graph: TaskGraph, costs: SchedulingCosts) -> dict[int, int]:
     """Level-bounded CPA allocation."""
-    levels = precedence_levels(graph)
-    members: dict[int, list[int]] = {}
-    for task_id, lvl in levels.items():
-        members.setdefault(lvl, []).append(task_id)
-    P = costs.num_procs
-
     obs = get_recorder()
+    # Phase span: the level-membership index is MCPA's only setup work
+    # on top of the shared loop, mirroring HCPA's cap-construction span.
+    with obs.span("alloc.mcpa.levels", dag=graph.name):
+        levels = precedence_levels(graph)
+        members: dict[int, list[int]] = {}
+        for task_id, lvl in levels.items():
+            members.setdefault(lvl, []).append(task_id)
+    P = costs.num_procs
 
     def level_load(task_id: int, alloc: dict[int, int]) -> int:
         return sum(alloc[t] for t in members[levels[task_id]])

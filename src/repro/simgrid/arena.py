@@ -53,11 +53,13 @@ from repro.simgrid.sharing import _maxmin_dense, _maxmin_flat
 from repro.util.errors import SimulationError
 
 __all__ = [
+    "DISPATCH_ENV_VAR",
     "ENGINE_BACKENDS",
     "ActionArena",
     "ArrayAction",
     "ArraySimulationEngine",
     "ResourceLayout",
+    "dispatch_thresholds",
     "layout_for",
     "resolve_engine",
 ]
@@ -66,17 +68,59 @@ __all__ = [
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 ENGINE_BACKENDS = ("object", "array")
 
+#: Environment variable naming a measured
+#: :class:`~repro.obs.prof.CrossoverTable` JSON file; when set, its
+#: crossovers replace the static dispatch thresholds below (generate
+#: one with ``repro profile --what wall --save-table PATH``).
+DISPATCH_ENV_VAR = "REPRO_DISPATCH_TABLE"
+
 _NO_ENTRIES: tuple = ()
 
 #: Queue size up to which the scalar step scan is used; larger queues
 #: take the vectorized scan.  Both scans are bit-identical, so the
-#: threshold is purely a speed knob (measured crossover ~128 actions —
-#: see docs/performance.md).
-_SMALL_QUEUE = 128
+#: threshold is purely a speed knob.  The default is
+#: ``CrossoverTable.measure()``'s threshold on the reference machine
+#: (vectorized scan wins from ~64 actions; see docs/performance.md);
+#: a ``REPRO_DISPATCH_TABLE`` file recalibrates it per host.
+_SMALL_QUEUE = 32
 #: Working-set entry total up to which the flat scalar max-min kernel
-#: is used; larger instances take :func:`_maxmin_dense` (measured
-#: crossover ~250 entries).
-_SMALL_SOLVE = 256
+#: is used; larger instances take :func:`_maxmin_dense`.  Same
+#: provenance and override path as ``_SMALL_QUEUE``; the measured
+#: sparse-regime tables show the scalar kernel winning at every size
+#: up to 512 entries (the vectorized kernel's fixed per-round cost —
+#: the regression PR 7's vectorization work targets), so the default
+#: sits at the top of the measured range.
+_SMALL_SOLVE = 512
+
+#: Parsed thresholds per table path, so every engine of a study does
+#: not re-read the JSON.
+_DISPATCH_CACHE: dict[str, tuple[int, int]] = {}
+
+
+def dispatch_thresholds() -> tuple[int, int]:
+    """The ``(step-scan, solver)`` scalar/vectorized dispatch thresholds.
+
+    Sizes up to the threshold run the scalar kernel.  Without
+    ``REPRO_DISPATCH_TABLE`` the module defaults apply (read at call
+    time, so tests may monkeypatch ``_SMALL_QUEUE``/``_SMALL_SOLVE``);
+    with it, the named :class:`~repro.obs.prof.CrossoverTable` supplies
+    measured thresholds, falling back to the defaults for pairs the
+    table has no two-sided rows for.  Thresholds only select between
+    bit-identical kernels — results never depend on them.
+    """
+    path = os.environ.get(DISPATCH_ENV_VAR)
+    if not path:
+        return _SMALL_QUEUE, _SMALL_SOLVE
+    cached = _DISPATCH_CACHE.get(path)
+    if cached is None:
+        from repro.obs.prof import CrossoverTable
+
+        table = CrossoverTable.load(path)
+        cached = _DISPATCH_CACHE[path] = (
+            table.threshold("step_scan", _SMALL_QUEUE),
+            table.threshold("solver", _SMALL_SOLVE),
+        )
+    return cached
 
 
 def resolve_engine(engine: str | None = None) -> str:
@@ -298,6 +342,12 @@ class ArraySimulationEngine:
         self._obs = get_recorder()
         # Simulated-time timeline, mirroring the object engine's hook.
         self._tl = self._obs.timeline
+        # Wall-clock profiler for the kernel probes (None when absent:
+        # every probe site costs one attribute load and a branch).
+        self._prof = self._obs.profiler
+        # Dispatch thresholds resolved once per engine: module defaults
+        # or a measured REPRO_DISPATCH_TABLE (see dispatch_thresholds).
+        self._small_queue, self._small_solve = dispatch_thresholds()
 
     # ------------------------------------------------------------------
     @property
@@ -422,7 +472,7 @@ class ArraySimulationEngine:
         """Mirror of ``SimulationEngine._solve`` over the arena state."""
         alive = self._alive
         lat = self._arena.latency
-        if len(alive) <= _SMALL_QUEUE:
+        if len(alive) <= self._small_queue:
             lat_item = lat.item
             working = [s for s in alive if lat_item(s) <= 0.0]
         else:
@@ -474,17 +524,27 @@ class ArraySimulationEngine:
                 start = e_start[s]
                 rids += e_rid[start : start + c]
                 ws += e_w[start : start + c]
-        if total <= _SMALL_SOLVE:
-            rates = _maxmin_flat(counts, rids, ws, a.caps_list)
+        prof = self._prof
+        if total <= self._small_solve:
+            if prof is not None:
+                t0 = time.perf_counter()
+                rates = _maxmin_flat(counts, rids, ws, a.caps_list)
+                prof.probe("maxmin_flat", total, time.perf_counter() - t0)
+            else:
+                rates = _maxmin_flat(counts, rids, ws, a.caps_list)
             for s, r in zip(working, rates):
                 rate[s] = r
         else:
+            if prof is not None:
+                t0 = time.perf_counter()
             res = _maxmin_dense(
                 np.asarray(counts, dtype=np.intp),
                 np.asarray(rids, dtype=np.intp),
                 np.asarray(ws, dtype=float),
                 a.caps,
             )
+            if prof is not None:
+                prof.probe("maxmin_dense", total, time.perf_counter() - t0)
             rate[np.asarray(working, dtype=np.intp)] = res
 
     # ------------------------------------------------------------------
@@ -624,10 +684,22 @@ class ArraySimulationEngine:
         if self._rates_dirty:
             self._solve()
             self._rates_dirty = False
-        if len(alive) <= _SMALL_QUEUE:
-            dt, completed = self._scan_small(alive)
+        prof = self._prof
+        n_alive = len(alive)
+        if n_alive <= self._small_queue:
+            if prof is not None:
+                t0 = time.perf_counter()
+                dt, completed = self._scan_small(alive)
+                prof.probe("scan_scalar", n_alive, time.perf_counter() - t0)
+            else:
+                dt, completed = self._scan_small(alive)
         else:
-            dt, completed = self._scan_vector(alive)
+            if prof is not None:
+                t0 = time.perf_counter()
+                dt, completed = self._scan_vector(alive)
+                prof.probe("scan_vector", n_alive, time.perf_counter() - t0)
+            else:
+                dt, completed = self._scan_vector(alive)
         a = self._arena
         if completed:
             cap_refs = a.cap_refs

@@ -153,6 +153,9 @@ class SimulationEngine:
         # one); share emissions below guard with ``is not None`` — the
         # same one-load-one-branch cost as the ``enabled`` checks.
         self._tl = self._obs.timeline
+        # Wall-clock profiler (None unless the recorder carries one);
+        # the solve probe guards with ``is not None`` likewise.
+        self._prof = self._obs.profiler
         self.steps_taken = 0
         self.solver_calls = 0
 
@@ -279,7 +282,18 @@ class SimulationEngine:
             # system and distort the timings it reports.
             t0 = time.perf_counter()
             rates = solve_rates(working, self._capacity, validate=False)
-            obs.timing("engine.solve", time.perf_counter() - t0)
+            seconds = time.perf_counter() - t0
+            obs.timing("engine.solve", seconds)
+            prof = self._prof
+            if prof is not None:
+                # The object engine's dict solver under the same size
+                # dimension (total consumption entries) as the array
+                # kernels, so kernel cost tables compare backends.
+                prof.probe(
+                    "solve_rates",
+                    sum(len(w) for w in working.values()),
+                    seconds,
+                )
         else:
             rates = solve_rates(working, self._capacity, validate=False)
         for action, rate in rates.items():

@@ -1,0 +1,67 @@
+"""Profile *structure* is a pure function of the workload.
+
+Wall-clock durations jitter run to run, but which spans nested under
+which, how many times each fired, and which kernels ran at which size
+buckets must be byte-identical across worker counts (deterministic
+merge in submission order) and — for the span tree — across engine
+backends (the engines are observationally equivalent above the kernel
+layer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.generator import generate_paper_dags
+from repro.experiments.runner import run_study
+from repro.obs.prof import Profiler
+from repro.obs.recorder import Recorder, recording
+from repro.obs.sinks import MemorySink
+from repro.platform.personalities import bayreuth_cluster
+from repro.profiling.calibration import build_analytical_suite
+from repro.testbed.tgrid import TGridEmulator
+
+
+@pytest.fixture(scope="module")
+def study_inputs():
+    platform = bayreuth_cluster(8)
+    emulator = TGridEmulator(platform, seed=0)
+    suite = build_analytical_suite(platform)
+    dags = generate_paper_dags(seed=0)[:3]
+    return dags, suite, emulator
+
+
+def _profiled_study(study_inputs, *, workers=1, engine=None):
+    dags, suite, emulator = study_inputs
+    prof = Profiler()
+    with recording(Recorder(MemorySink(), profiler=prof)):
+        run_study(dags, [suite], emulator, workers=workers, engine=engine)
+    return prof
+
+
+def test_structure_identical_across_worker_counts(study_inputs):
+    serial = _profiled_study(study_inputs, workers=1)
+    parallel = _profiled_study(study_inputs, workers=2)
+    assert serial.structure() == parallel.structure()
+    # Not vacuous: the study actually produced spans and kernel probes.
+    assert serial.structure()["spans"]
+    assert serial.structure()["kernels"]
+
+
+def test_span_structure_identical_across_engines(study_inputs):
+    obj = _profiled_study(study_inputs, engine="object")
+    arr = _profiled_study(study_inputs, engine="array")
+    # The span tree (which phases ran, how often) matches exactly; the
+    # kernel probes legitimately differ (each backend runs its own
+    # solver/scan kernels), so only the span half is compared.
+    assert obj.structure()["spans"] == arr.structure()["spans"]
+    assert obj.structure()["kernels"] != arr.structure()["kernels"]
+
+
+def test_worker_profiles_reach_the_parent_recorder(study_inputs):
+    """With workers > 1 the probes come from subprocesses via absorb."""
+    prof = _profiled_study(study_inputs, workers=2, engine="array")
+    kernels = {kernel for kernel, _bucket in prof.kernels}
+    # The array engine's dispatch kernels fired inside pool workers and
+    # were merged back into the parent's profiler.
+    assert "scan_scalar" in kernels or "scan_vector" in kernels

@@ -194,3 +194,31 @@ class TestDiff:
             "a", "b",
         )
         assert "wrong-sign cells: none" in no_flip
+
+
+class TestDegenerateInputs:
+    """Empty and run-less timelines are rejected with specific messages."""
+
+    def test_empty_file_rejected(self, tmp_path):
+        from repro.obs.report import TraceReadError
+
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(TraceReadError, match="empty"):
+            diff_files(empty, empty)
+
+    def test_header_only_rejected(self, tmp_path):
+        from repro.obs.report import TraceReadError
+
+        header = tmp_path / "header.jsonl"
+        header.write_text('{"kind": "meta", "schema": 1, "source": "repro"}\n')
+        ok = tmp_path / "ok.jsonl"
+        tl = Timeline.to_file(ok)
+        tl.begin_run(dag="d", algorithm="hcpa", model="m")
+        tl.task(0, (0,), 0.0, 1.0, 0.0)
+        tl.end_run(engine="object", makespan=1.0, tasks=1, xfers=0)
+        tl.close()
+        # The offending side is named whichever position it is in.
+        for a, b in ((header, ok), (ok, header)):
+            with pytest.raises(TraceReadError, match="no completed runs"):
+                diff_files(a, b)

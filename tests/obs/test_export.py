@@ -144,3 +144,49 @@ class TestSummary:
         path.write_text('{"type": "event", "name": "x"}\n')
         text = summarize_file(path)
         assert "record types:" in text
+
+
+class TestDegenerateInputs:
+    """Empty and header-only files get specific messages, not silence."""
+
+    @staticmethod
+    def _header_only(tmp_path):
+        path = tmp_path / "header.jsonl"
+        path.write_text('{"kind": "meta", "schema": 1, "source": "repro"}\n')
+        return path
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceReadError, match="empty"):
+            summarize_file(path)
+        for fmt in ("chrome", "openmetrics"):
+            with pytest.raises(TraceReadError, match="empty"):
+                export_file(path, fmt)
+
+    def test_header_only_export_rejected(self, tmp_path):
+        path = self._header_only(tmp_path)
+        for fmt in ("chrome", "openmetrics"):
+            with pytest.raises(TraceReadError, match="header"):
+                export_file(path, fmt)
+
+    def test_header_only_summary_notes_missing_runs(self, tmp_path):
+        text = summarize_file(self._header_only(tmp_path))
+        assert "no run records" in text
+
+    def test_manifest_only_trace_still_exports_openmetrics(self, tmp_path):
+        # A --trace-out file whose only record is the manifest is not
+        # "empty": its metric rollup is the whole export.
+        path = tmp_path / "trace.jsonl"
+        rec = Recorder.to_memory()
+        with recording(rec):
+            with rec.span("sched.allocate"):
+                pass
+        from repro.obs.manifest import RunManifest
+
+        manifest = RunManifest.collect(seed=0, recorder=rec)
+        record = dict(manifest.to_dict())
+        record["type"] = "manifest"
+        path.write_text(json.dumps(record) + "\n")
+        text = export_file(path, "openmetrics")
+        assert "repro_span_seconds_total" in text

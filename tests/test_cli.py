@@ -221,6 +221,36 @@ class TestTimelineCommands:
         assert rc == 2
         assert capsys.readouterr().err
 
+    def test_empty_file_errors_cleanly_everywhere(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        for argv in (
+            ["trace", "summary", str(empty)],
+            ["trace", "export", str(empty), "--format", "chrome"],
+            ["trace", "export", str(empty), "--format", "openmetrics"],
+            ["diff", str(empty), str(empty)],
+        ):
+            assert main(argv) == 2
+            captured = capsys.readouterr()
+            assert "empty" in captured.err
+            assert "Traceback" not in captured.err
+
+    def test_header_only_timeline_errors_cleanly(self, capsys, tmp_path):
+        header = tmp_path / "header.jsonl"
+        header.write_text('{"kind": "meta", "schema": 1, "source": "repro"}\n')
+        for argv in (
+            ["trace", "export", str(header), "--format", "chrome"],
+            ["trace", "export", str(header), "--format", "openmetrics"],
+        ):
+            assert main(argv) == 2
+            assert "header" in capsys.readouterr().err
+        assert main(["diff", str(header), str(header)]) == 2
+        assert "no completed runs" in capsys.readouterr().err
+        # The summary still renders (the kind table is honest) but says
+        # explicitly that no runs completed.
+        assert main(["trace", "summary", str(header)]) == 0
+        assert "no run records" in capsys.readouterr().out
+
 
 class TestReportCommand:
     def test_missing_trace_errors_cleanly(self, capsys, tmp_path):
@@ -234,6 +264,32 @@ class TestReportCommand:
         rc = main(["report", str(bad)])
         assert rc == 2
         assert "invalid JSON" in capsys.readouterr().err
+
+    def test_json_report_with_profile(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        rc = main(["--trace-out", str(trace), "--profile",
+                   "simulate", "--algorithm", "hcpa"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wall-clock profile" in out  # --profile prints the tree
+        rc = main(["report", str(trace), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == 1
+        assert doc["manifest"]["seed"] == 0
+        assert doc["counters"]
+        assert doc["spans"]
+        # The profiler rollup rode along in the manifest metrics.
+        assert doc["profile"]["spans"]
+        assert doc["profile"]["kernels"]
+
+    def test_json_report_without_profile_is_null(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["--trace-out", str(trace), "dag"]) == 0
+        capsys.readouterr()
+        assert main(["report", str(trace), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["profile"] is None
 
 
 class TestFiguresCommand:
@@ -260,6 +316,101 @@ class TestProfileCommand:
         rc = main(["profile", "--what", "redistribution", "--trials", "1"])
         assert rc == 0
         assert "redistribution overhead" in capsys.readouterr().out
+
+    def test_wall_profile(self, capsys, tmp_path, monkeypatch):
+        from repro.obs.flame import parse_collapsed
+        from repro.obs.prof import CrossoverTable
+
+        # The controlled calibration sweep takes tens of seconds; a
+        # canned table keeps this a CLI-wiring test (the sweep itself
+        # is exercised by the bench payload's crossovers section).
+        canned = CrossoverTable()
+        canned.add("solver", 8, scalar_s=1e-6, vectorized_s=2e-6)
+        canned.add("step_scan", 32, scalar_s=2e-6, vectorized_s=3e-6)
+        canned.add("step_scan", 64, scalar_s=2e-6, vectorized_s=1e-6)
+        monkeypatch.setattr(
+            CrossoverTable, "measure", classmethod(lambda cls, **kw: canned)
+        )
+        flame = tmp_path / "profile.folded"
+        chrome = tmp_path / "profile.chrome.json"
+        table = tmp_path / "dispatch.json"
+        rc = main(["profile", "--what", "wall", "--dags", "1",
+                   "--flame", str(flame), "--chrome", str(chrome),
+                   "--save-table", str(table)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "kernel cost table" in out
+        assert "vectorized wins from ~64 actions" in out
+        assert "REPRO_DISPATCH_TABLE" in out
+        stacks = parse_collapsed(flame.read_text())
+        assert any(path[0] == "study.execute" for path in stacks)
+        doc = json.loads(chrome.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+        loaded = CrossoverTable.load(table)
+        assert loaded.crossover("step_scan") == 64
+
+
+class TestBenchCommand:
+    """CLI wiring of the history-backed regression check.
+
+    The real pipeline bench takes minutes, so these tests stub
+    ``run_pipeline_bench`` with a canned payload; the measurement
+    itself is covered by ``benchmarks/bench_pipeline.py`` (tier 2) and
+    the rolling-baseline math by ``tests/experiments/test_bench_history``.
+    """
+
+    @staticmethod
+    def _stub(monkeypatch, factor=1.0):
+        import repro.experiments.bench as bench_mod
+
+        payload = {
+            "created": "2026-08-07T00:00:00+0000",
+            "version": "0.0.0-test",
+            "config": {"num_dags": 2, "engine": "object", "repeat": 1},
+            "counters": {},
+            "crossovers": {
+                "solver": {"unit": "entries", "crossover": None,
+                           "threshold": 512},
+                "step_scan": {"unit": "actions", "crossover": 64,
+                              "threshold": 32},
+            },
+            "stages": {
+                name: {"seconds": factor * base, "units": 4,
+                       "seconds_per_unit": factor * base / 4}
+                for name, base in (("scheduling", 1.0), ("simulation", 0.5))
+            },
+        }
+        monkeypatch.setattr(
+            bench_mod, "run_pipeline_bench",
+            lambda num_dags, repeat=1, engine=None: payload,
+        )
+
+    def test_check_seeds_then_passes_then_catches_slowdown(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        hist = tmp_path / "hist.jsonl"
+        self._stub(monkeypatch)
+        assert main(["bench", "--check", "--history", str(hist)]) == 0
+        out = capsys.readouterr().out
+        assert "no compatible entries" in out
+        assert "appended bench entry" in out
+        assert "crossover" in out
+        assert main(["bench", "--check", "--history", str(hist)]) == 0
+        assert "PASS" in capsys.readouterr().out
+        # A synthetic 2x slowdown must fail the gate with exit code 1.
+        self._stub(monkeypatch, factor=2.0)
+        assert main(["bench", "--check", "--history", str(hist)]) == 1
+        out = capsys.readouterr().out
+        assert "scheduling" in out and "simulation" in out
+        assert len(hist.read_text().splitlines()) == 3
+
+    def test_no_history_skips_append(self, capsys, tmp_path, monkeypatch):
+        hist = tmp_path / "hist.jsonl"
+        self._stub(monkeypatch)
+        assert main(["bench", "--no-history", "--history", str(hist)]) == 0
+        assert "appended" not in capsys.readouterr().out
+        assert not hist.exists()
 
 
 class TestVarianceCommand:
