@@ -1,14 +1,15 @@
 """Pipeline stage benchmark: where does the wall-clock time go?
 
 Thin entry point over :mod:`repro.experiments.bench`, which times the
-four stages every study run goes through — DAG generation, scheduling,
-simulation, testbed execution — plus a cold/warm full-study pair
-through the content-addressed result cache, a cold study on the array
-engine backend, a timeline-tracing on/off overhead pair, and a
-scalar-vs-vectorized max-min solver
-micro-benchmark, and writes the aggregate to ``BENCH_pipeline.json``
-at the repository root.  This seeds the benchmark trajectory every
-future performance PR measures against.
+four stages every study run goes through — DAG generation, scheduling
+(an object-vs-array allocation-phase pair), simulation, testbed
+execution — plus a cold/warm full-study pair through the
+content-addressed result cache, cold studies on the array engine and
+array scheduler backends, a timeline-tracing on/off overhead pair, and
+a scalar-vs-vectorized max-min solver micro-benchmark, and writes the
+aggregate to ``BENCH_pipeline.json`` at the repository root.  This
+seeds the benchmark trajectory every future performance PR measures
+against.
 
 Run directly (``python benchmarks/bench_pipeline.py``) or via pytest
 (``pytest benchmarks/bench_pipeline.py``); ``repro bench`` is the same
@@ -24,15 +25,22 @@ Flags::
                         --compare is given)
     --engine NAME       simulation backend for the pipeline stages
                         (object | array; default honors REPRO_ENGINE)
+    --sched NAME        scheduler backend for the study stages
+                        (object | array; default honors REPRO_SCHED)
     --assert-solver     exit 1 if the vectorized solver is slower than
                         the scalar kernel on the dense instance, or
                         slower on the sparse instance when the measured
                         crossover says it should win there
+    --assert-sched      exit 1 if the object and array scheduler
+                        backends diverge on any allocation, event,
+                        counter, timeline line or profile structure
+                        under forced kernel dispatch
 
 Every payload also carries a ``crossovers`` section: the measured
-scalar/vectorized crossover of the solver and step-scan kernel pairs
-(see ``repro profile --what wall`` and docs/performance.md).  Rolling
-per-machine regression tracking lives in ``repro bench --check``
+scalar/vectorized crossover of the solver, step-scan, critical-path-DP
+and allocation-grow kernel pairs (see ``repro profile --what wall``
+and docs/performance.md).  Rolling per-machine regression tracking
+lives in ``repro bench --check``
 (:mod:`repro.experiments.bench_history`), not here.
 """
 
@@ -49,11 +57,13 @@ if str(REPO_ROOT / "src") not in sys.path:  # script use without install
 
 from repro.experiments.bench import (  # noqa: E402
     NUM_DAGS,
+    assert_sched_identity,
     cache_speedup,
     compare_to_baseline,
     obs_overhead,
     render_comparison,
     run_pipeline_bench,
+    sched_speedup,
     solver_speedup,
 )
 
@@ -67,11 +77,12 @@ def run_benchmark(num_dags: int = NUM_DAGS) -> dict:
 
 def test_bench_pipeline():
     """Pytest entry: the bench runs and every stage takes positive time."""
-    payload = run_pipeline_bench(num_dags=3, engine="object")
+    payload = run_pipeline_bench(num_dags=3, engine="object", sched="object")
     assert set(payload["stages"]) == {
-        "dag_generation", "scheduling", "simulation", "testbed_execution",
-        "study_cold", "study_cold_array", "cached_rerun",
-        "obs_overhead_off", "obs_overhead_on",
+        "dag_generation", "scheduling", "scheduling_array",
+        "simulation", "testbed_execution",
+        "study_cold", "study_cold_array", "study_cold_sched_array",
+        "cached_rerun", "obs_overhead_off", "obs_overhead_on",
         "solver_dense_scalar", "solver_dense_vectorized",
         "solver_sparse_scalar", "solver_sparse_vectorized",
     }
@@ -83,6 +94,13 @@ def test_bench_pipeline():
     assert payload["stages"]["study_cold_array"]["engine"] == "array"
     assert "engine" not in payload["stages"]["dag_generation"]
     assert payload["config"]["engine"] == "object"
+    # Allocation-phase stages record the scheduler backend likewise.
+    assert payload["stages"]["scheduling"]["sched"] == "object"
+    assert payload["stages"]["scheduling_array"]["sched"] == "array"
+    assert payload["stages"]["study_cold_sched_array"]["sched"] == "array"
+    assert payload["stages"]["study_cold_sched_array"]["engine"] == "array"
+    assert "sched" not in payload["stages"]["dag_generation"]
+    assert payload["config"]["sched"] == "object"
     assert payload["counters"]["engine.steps"] > 0
     # The warm re-run replayed every cell from the cache.
     assert payload["counters"]["cache.hits"] > 0
@@ -90,11 +108,14 @@ def test_bench_pipeline():
     assert obs_overhead(payload) is not None
     assert solver_speedup(payload) is not None
     assert solver_speedup(payload, "sparse") is not None
-    # The measured-crossover section covers both kernel pairs and
+    assert sched_speedup(payload) is not None
+    # The measured-crossover section covers every kernel pair and
     # yields a usable dispatch threshold for each.
-    assert set(payload["crossovers"]) == {"solver", "step_scan"}
+    assert set(payload["crossovers"]) == {
+        "solver", "step_scan", "critical_path_dp", "alloc_grow",
+    }
     for pair in payload["crossovers"].values():
-        assert pair["unit"] in ("entries", "actions")
+        assert pair["unit"] in ("entries", "actions", "tasks", "candidates")
         assert pair["threshold"] >= 0
 
 
@@ -119,6 +140,12 @@ def _print_stages(payload: dict) -> None:
                 f"  vectorized solver ({instance}): "
                 f"{ratio:.2f}x vs scalar kernel"
             )
+    sched_ratio = sched_speedup(payload)
+    if sched_ratio is not None:
+        print(
+            f"  array scheduler: {sched_ratio:.2f}x vs object "
+            "allocation loop"
+        )
     for pair, info in payload.get("crossovers", {}).items():
         cross = info.get("crossover")
         where = (
@@ -155,16 +182,46 @@ def main(argv: list[str] | None = None) -> int:
         "(default honors REPRO_ENGINE)",
     )
     parser.add_argument(
+        "--sched",
+        choices=("object", "array"),
+        default=None,
+        help="scheduler backend for the study stages "
+        "(default honors REPRO_SCHED)",
+    )
+    parser.add_argument(
         "--assert-solver",
         action="store_true",
         help="exit 1 if the vectorized solver is slower than the "
         "scalar kernel on the dense instance",
     )
+    parser.add_argument(
+        "--assert-sched",
+        action="store_true",
+        help="exit 1 if the scheduler backends diverge under forced "
+        "kernel dispatch",
+    )
     args = parser.parse_args(argv)
 
     payload = run_pipeline_bench(
-        num_dags=args.dags, repeat=args.repeat, engine=args.engine
+        num_dags=args.dags,
+        repeat=args.repeat,
+        engine=args.engine,
+        sched=args.sched,
     )
+
+    def check_sched() -> int:
+        if not args.assert_sched:
+            return 0
+        try:
+            checked = assert_sched_identity(args.dags)
+        except RuntimeError as exc:
+            print(f"sched assertion FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"sched assertion passed: {checked} cases bit-identical "
+            "across backends"
+        )
+        return 0
 
     def check_solver() -> int:
         if not args.assert_solver:
@@ -238,12 +295,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {OUTPUT}")
         if any(c.regressed for c in comparisons):
             return 1
-        return check_solver()
+        return check_solver() or check_sched()
 
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {OUTPUT}")
     _print_stages(payload)
-    return check_solver()
+    return check_solver() or check_sched()
 
 
 if __name__ == "__main__":

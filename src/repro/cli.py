@@ -136,6 +136,14 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical (REPRO_ENGINE sets the default)",
     )
     parser.add_argument(
+        "--sched",
+        choices=("object", "array"),
+        default=None,
+        help="CPA-family scheduling backend: the object allocation "
+        "loop (default) or the flat-array core; results are "
+        "bit-identical (REPRO_SCHED sets the default)",
+    )
+    parser.add_argument(
         "--trace-out",
         default="",
         metavar="PATH",
@@ -254,8 +262,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument(
         "--save-table", default="", metavar="PATH",
         help="(--what wall) persist the measured crossover table as "
-        "JSON; point REPRO_DISPATCH_TABLE at it to drive the array "
-        "engine's adaptive dispatch",
+        "JSON; point REPRO_DISPATCH_TABLE at it to drive the adaptive "
+        "dispatch of both the array engine and the array scheduler",
     )
 
     p_var = sub.add_parser(
@@ -379,6 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-history", action="store_true",
         help="do not append this run to the bench history file",
     )
+    p_bench.add_argument(
+        "--assert-sched", action="store_true",
+        help="run the scheduler-backend bit-identity sweep (object vs "
+        "array allocations, events, counters, timeline, profile) with "
+        "forced kernel dispatch; exit 1 on divergence",
+    )
 
     p_cache = sub.add_parser(
         "cache", help="inspect or invalidate the result cache"
@@ -469,7 +483,9 @@ def _cmd_simulate(ctx: StudyContext, args: argparse.Namespace) -> int:
         startup_model=suite.startup_model,
         redistribution_model=suite.redistribution_model,
     )
-    schedule = schedule_dag(graph, costs, args.algorithm, cache=ctx.cache)
+    schedule = schedule_dag(
+        graph, costs, args.algorithm, cache=ctx.cache, sched=ctx.sched
+    )
     simulator = ApplicationSimulator(
         ctx.platform,
         suite.task_model,
@@ -516,7 +532,8 @@ def _profile_wall(ctx: StudyContext, args: argparse.Namespace) -> int:
     dags = ctx.dags[: args.dags]
     print(
         f"profiling a {len(dags)}-DAG mini-study "
-        f"(engine={ctx.engine or 'object'}, workers={ctx.workers}) ..."
+        f"(engine={ctx.engine or 'object'}, sched={ctx.sched or 'object'}, "
+        f"workers={ctx.workers}) ..."
     )
     with recording(Recorder(MemorySink(), profiler=profiler)):
         run_study(
@@ -525,6 +542,7 @@ def _profile_wall(ctx: StudyContext, args: argparse.Namespace) -> int:
             ctx.emulator,
             workers=ctx.workers,
             engine=ctx.engine,
+            sched=ctx.sched,
         )
     print()
     print(profiler.render())
@@ -622,7 +640,7 @@ def _cmd_attribution(ctx: StudyContext, args: argparse.Namespace) -> int:
         startup_model=suite.startup_model,
         redistribution_model=suite.redistribution_model,
     )
-    schedule = schedule_dag(graph, costs, args.algorithm)
+    schedule = schedule_dag(graph, costs, args.algorithm, sched=ctx.sched)
     att = attribute_gap(graph, schedule, suite, ctx.profile_suite, ctx.emulator)
     print(f"dag: {att.dag_label}  algorithm: {args.algorithm}")
     print(f"analytic simulation: {att.base_makespan:8.2f} s")
@@ -719,7 +737,10 @@ def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
     from repro.experiments import bench_history
 
     payload = bench_mod.run_pipeline_bench(
-        num_dags=args.dags, repeat=args.repeat, engine=ctx.engine
+        num_dags=args.dags,
+        repeat=args.repeat,
+        engine=ctx.engine,
+        sched=ctx.sched,
     )
     total = sum(s["seconds"] for s in payload["stages"].values())
     for name, stage in payload["stages"].items():
@@ -738,6 +759,12 @@ def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
                 f"  vectorized solver ({instance}): "
                 f"{ratio:.2f}x vs scalar kernel"
             )
+    sched_ratio = bench_mod.sched_speedup(payload)
+    if sched_ratio is not None:
+        print(
+            f"  array scheduler: {sched_ratio:.2f}x vs object "
+            "allocation loop"
+        )
     for pair, info in payload.get("crossovers", {}).items():
         cross = info.get("crossover")
         where = (
@@ -758,6 +785,17 @@ def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
         else bench_history.default_history_path()
     )
     status = 0
+    if args.assert_sched:
+        try:
+            checked = bench_mod.assert_sched_identity(args.dags)
+        except RuntimeError as exc:
+            print(f"sched identity: FAILED — {exc}", file=sys.stderr)
+            status = 1
+        else:
+            print(
+                f"sched identity: {checked} cases bit-identical across "
+                "backends"
+            )
     if args.check:
         try:
             entries = bench_history.load_history(history_path)
@@ -772,7 +810,8 @@ def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
             print(
                 f"bench history: no compatible entries in {history_path} "
                 f"(num_dags={config.get('num_dags')}, "
-                f"engine={config.get('engine')}); this run seeds the "
+                f"engine={config.get('engine')}, "
+                f"sched={config.get('sched')}); this run seeds the "
                 "rolling baseline"
             )
         else:
@@ -872,6 +911,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir or None,
         engine=args.engine,
+        sched=args.sched,
     )
     try:
         return _COMMANDS[args.command](ctx, args)

@@ -5,15 +5,26 @@ DAG generation, scheduling, simulation, testbed execution — plus a
 cold/warm full-study pair through the content-addressed result cache
 (:mod:`repro.cache`), a second cold study on the array engine backend
 (``study_cold_array``; its records are asserted equal to the object
-cold run's), a timeline-tracing overhead pair (``obs_overhead_off`` /
-``obs_overhead_on``: the same uncached study with observability
-disabled vs with a simulated-time timeline attached), and a max-min
-solver micro-benchmark (scalar vs vectorized
+cold run's), a third cold study with the array *scheduler* also
+engaged (``study_cold_sched_array``), a timeline-tracing overhead pair
+(``obs_overhead_off`` / ``obs_overhead_on``: the same uncached study
+with observability disabled vs with a simulated-time timeline
+attached), and a max-min solver micro-benchmark (scalar vs vectorized
 kernel on synthetic dense/sparse instances), using the observability
 layer's span timers, and compares the result against the committed
 baseline (``BENCH_pipeline.json`` at the repository root).  Each stage
 that runs a simulation engine records which backend produced it in the
-stage's ``engine`` field.
+stage's ``engine`` field; stages that run the allocation phase record
+the scheduler backend in a ``sched`` field.
+
+The scheduling stage is an allocation-phase pair: ``scheduling`` runs
+the object allocation loop and ``scheduling_array`` the flat-array
+core (:mod:`repro.scheduling.arena`) on identical inputs, both with
+observability disabled so the pair isolates pure scheduler throughput
+(emission cost is the obs-overhead pair's job).  Their ratio is
+:func:`sched_speedup`; allocations are asserted equal, and
+:func:`assert_sched_identity` (the ``--assert-sched`` flag) sweeps
+the forced-dispatch bit-identity check across backends.
 
 Noise handling: wall-clock benchmarks on shared machines jitter by tens
 of percent, so ``repeat`` runs the whole measurement several times and
@@ -42,7 +53,9 @@ from repro.experiments.runner import run_study
 from repro.obs import Recorder, Timeline, recording
 from repro.platform.personalities import bayreuth_cluster
 from repro.profiling.calibration import build_analytical_suite
+from repro.scheduling.arena import ARRAY_ALLOCATORS, resolve_sched
 from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.driver import ALGORITHMS as _OBJECT_ALLOCATORS
 from repro.scheduling.driver import schedule_dag
 from repro.simgrid.arena import resolve_engine
 from repro.simgrid.sharing import _maxmin_dense, _maxmin_flat
@@ -53,6 +66,7 @@ __all__ = [
     "DEFAULT_BASELINE",
     "NUM_DAGS",
     "StageComparison",
+    "assert_sched_identity",
     "cache_speedup",
     "compare_to_baseline",
     "default_baseline_path",
@@ -60,6 +74,7 @@ __all__ = [
     "obs_overhead",
     "render_comparison",
     "run_pipeline_bench",
+    "sched_speedup",
 ]
 
 #: Study subset: enough work to time meaningfully, small enough for CI
@@ -72,10 +87,12 @@ DEFAULT_BASELINE = "BENCH_pipeline.json"
 _STAGE_NAMES = (
     "pipeline.dag_generation",
     "pipeline.scheduling",
+    "pipeline.scheduling_array",
     "pipeline.simulation",
     "pipeline.testbed_execution",
     "pipeline.study_cold",
     "pipeline.study_cold_array",
+    "pipeline.study_cold_sched_array",
     "pipeline.cached_rerun",
     "pipeline.obs_overhead_off",
     "pipeline.obs_overhead_on",
@@ -116,7 +133,7 @@ def default_baseline_path() -> Path:
 
 
 def _measure(
-    num_dags: int, engine: str
+    num_dags: int, engine: str, sched: str
 ) -> tuple[dict[str, float], dict[str, int], dict]:
     """One timed pass; returns (stage seconds, stage units, counters)."""
     recorder = Recorder.to_memory()
@@ -128,20 +145,62 @@ def _measure(
         emulator = TGridEmulator(platform, seed=0)
         suite = build_analytical_suite(platform)
 
-        schedules = []
-        with recorder.span("pipeline.scheduling"):
-            for _params, graph in dags:
-                costs = SchedulingCosts(
+        # Allocation-phase pair: the object allocation loop vs the
+        # flat-array core on identical inputs.  Both legs run with
+        # observability disabled (the outer spans are bound to the
+        # measuring recorder, so timings still land in this pass) and
+        # each builds its own cost providers, so both pay the same
+        # model-evaluation misses.  Allocations are asserted equal —
+        # the backends are bit-identical by construction.
+        def _costed() -> list[tuple]:
+            return [
+                (
                     graph,
-                    platform,
-                    suite.task_model,
-                    startup_model=suite.startup_model,
-                    redistribution_model=suite.redistribution_model,
+                    SchedulingCosts(
+                        graph,
+                        platform,
+                        suite.task_model,
+                        startup_model=suite.startup_model,
+                        redistribution_model=suite.redistribution_model,
+                    ),
                 )
-                for algorithm in ALGORITHMS:
-                    schedules.append(
-                        (graph, schedule_dag(graph, costs, algorithm))
-                    )
+                for _params, graph in dags
+            ]
+
+        costed = _costed()
+        allocs_object = []
+        with recorder.span("pipeline.scheduling"):
+            with recording(Recorder()):
+                for graph, costs in costed:
+                    for algorithm in ALGORITHMS:
+                        allocs_object.append(
+                            _OBJECT_ALLOCATORS[algorithm](
+                                graph, costs, sched="object"
+                            )
+                        )
+        allocs_array = []
+        with recorder.span("pipeline.scheduling_array"):
+            with recording(Recorder()):
+                for graph, costs in _costed():
+                    for algorithm in ALGORITHMS:
+                        allocs_array.append(
+                            ARRAY_ALLOCATORS[algorithm](graph, costs)
+                        )
+        if allocs_array != allocs_object:  # pragma: no cover - arena bug
+            raise RuntimeError(
+                "array scheduler allocations diverged from the object loop"
+            )
+
+        # Full schedules for the downstream simulation/testbed stages,
+        # built untimed (the pair above isolates the allocation phase;
+        # mapping is shared object code either way) under the measuring
+        # recorder so the usual sched.* counters land in the payload.
+        schedules = []
+        for graph, costs in costed:
+            for algorithm in ALGORITHMS:
+                schedules.append(
+                    (graph, schedule_dag(graph, costs, algorithm))
+                )
 
         simulator = ApplicationSimulator(
             platform,
@@ -167,11 +226,21 @@ def _measure(
             cache = ResultCache(cache_root)
             with recorder.span("pipeline.study_cold"):
                 cold = run_study(
-                    dags, [suite], emulator, cache=cache, engine=engine
+                    dags,
+                    [suite],
+                    emulator,
+                    cache=cache,
+                    engine=engine,
+                    sched=sched,
                 )
             with recorder.span("pipeline.cached_rerun"):
                 warm = run_study(
-                    dags, [suite], emulator, cache=cache, engine=engine
+                    dags,
+                    [suite],
+                    emulator,
+                    cache=cache,
+                    engine=engine,
+                    sched=sched,
                 )
         finally:
             shutil.rmtree(cache_root, ignore_errors=True)
@@ -189,13 +258,43 @@ def _measure(
             cache = ResultCache(cache_root)
             with recorder.span("pipeline.study_cold_array"):
                 cold_array = run_study(
-                    dags, [suite], emulator, cache=cache, engine="array"
+                    dags,
+                    [suite],
+                    emulator,
+                    cache=cache,
+                    engine="array",
+                    sched=sched,
                 )
         finally:
             shutil.rmtree(cache_root, ignore_errors=True)
         if cold_array.records != cold.records:  # pragma: no cover
             raise RuntimeError(
                 "array-engine study diverged from the object-engine study"
+            )
+
+        # The cold study once more with both array backends engaged —
+        # array simulation engine *and* array scheduler — on its own
+        # fresh cache so nothing is replayed.  Asserted bit-identical
+        # to the object cold run, so the stage times identical work
+        # with the flat-array allocation core in the loop.
+        cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+        try:
+            cache = ResultCache(cache_root)
+            with recorder.span("pipeline.study_cold_sched_array"):
+                cold_sched = run_study(
+                    dags,
+                    [suite],
+                    emulator,
+                    cache=cache,
+                    engine="array",
+                    sched="array",
+                )
+        finally:
+            shutil.rmtree(cache_root, ignore_errors=True)
+        if cold_sched.records != cold.records:  # pragma: no cover
+            raise RuntimeError(
+                "array-scheduler study diverged from the object-scheduler "
+                "study"
             )
 
         # Timeline-tracing overhead pair: the same uncached study with
@@ -207,10 +306,14 @@ def _measure(
         # in this pass's metrics.
         with recorder.span("pipeline.obs_overhead_off"):
             with recording(Recorder()):
-                obs_off = run_study(dags, [suite], emulator, engine=engine)
+                obs_off = run_study(
+                    dags, [suite], emulator, engine=engine, sched=sched
+                )
         with recorder.span("pipeline.obs_overhead_on"):
             with recording(Recorder(timeline=Timeline())):
-                obs_on = run_study(dags, [suite], emulator, engine=engine)
+                obs_on = run_study(
+                    dags, [suite], emulator, engine=engine, sched=sched
+                )
         if obs_on.records != obs_off.records:  # pragma: no cover
             raise RuntimeError(
                 "timeline-traced study diverged from the untraced study"
@@ -249,11 +352,13 @@ def _measure(
     num_cells = len(dags) * len(ALGORITHMS)
     units = {
         "pipeline.dag_generation": num_dags,
-        "pipeline.scheduling": len(schedules),
+        "pipeline.scheduling": len(allocs_object),
+        "pipeline.scheduling_array": len(allocs_array),
         "pipeline.simulation": len(schedules),
         "pipeline.testbed_execution": len(schedules),
         "pipeline.study_cold": num_cells,
         "pipeline.study_cold_array": num_cells,
+        "pipeline.study_cold_sched_array": num_cells,
         "pipeline.cached_rerun": num_cells,
         "pipeline.obs_overhead_off": num_cells,
         "pipeline.obs_overhead_on": num_cells,
@@ -275,7 +380,10 @@ def _measure(
 
 def _stage_engine(name: str, engine: str) -> str | None:
     """Which engine backend produced a stage's numbers (None: neither)."""
-    if name == "pipeline.study_cold_array":
+    if name in (
+        "pipeline.study_cold_array",
+        "pipeline.study_cold_sched_array",
+    ):
         return "array"
     if name in (
         "pipeline.simulation",
@@ -289,22 +397,48 @@ def _stage_engine(name: str, engine: str) -> str | None:
     return None
 
 
+def _stage_sched(name: str, sched: str) -> str | None:
+    """Which scheduler backend ran a stage's allocations (None: neither)."""
+    if name in (
+        "pipeline.scheduling_array",
+        "pipeline.study_cold_sched_array",
+    ):
+        return "array"
+    if name == "pipeline.scheduling":
+        return "object"
+    if name in (
+        "pipeline.study_cold",
+        "pipeline.study_cold_array",
+        "pipeline.cached_rerun",
+        "pipeline.obs_overhead_off",
+        "pipeline.obs_overhead_on",
+    ):
+        return sched
+    return None
+
+
 def measured_crossovers() -> dict:
     """Measured scalar/vectorized crossovers per kernel pair.
 
     Runs :meth:`~repro.obs.prof.CrossoverTable.measure` (a controlled
-    calibration: both kernels of both pairs on identical instances
+    calibration: both kernels of every pair on identical instances
     over a size grid) and reduces it to the crossover point and the
     dispatch threshold it implies — the data the recalibration
     satellite of the dispatch thresholds in
-    :mod:`repro.simgrid.arena` reads, and the ``crossovers`` section
-    of the bench payload.
+    :mod:`repro.simgrid.arena` and :mod:`repro.scheduling.arena`
+    reads, and the ``crossovers`` section of the bench payload.
     """
     from repro.obs.prof import PAIRS, CrossoverTable
+    from repro.scheduling import arena as sched_arena
     from repro.simgrid import arena
 
     table = CrossoverTable.measure()
-    defaults = {"step_scan": arena._SMALL_QUEUE, "solver": arena._SMALL_SOLVE}
+    defaults = {
+        "step_scan": arena._SMALL_QUEUE,
+        "solver": arena._SMALL_SOLVE,
+        "critical_path_dp": sched_arena._SMALL_DP,
+        "alloc_grow": sched_arena._SMALL_GROW,
+    }
     return {
         pair: {
             "unit": spec["unit"],
@@ -316,7 +450,10 @@ def measured_crossovers() -> dict:
 
 
 def run_pipeline_bench(
-    num_dags: int = NUM_DAGS, repeat: int = 1, engine: str | None = None
+    num_dags: int = NUM_DAGS,
+    repeat: int = 1,
+    engine: str | None = None,
+    sched: str | None = None,
 ) -> dict:
     """Time each pipeline stage; returns the BENCH payload.
 
@@ -326,14 +463,19 @@ def run_pipeline_bench(
     selects the simulation backend for the simulation/testbed/study
     stages (``None``: honor ``REPRO_ENGINE``, default ``object``); the
     ``study_cold_array`` stage always runs on the array backend so the
-    payload carries both sides of the comparison.
+    payload carries both sides of the comparison.  ``sched`` likewise
+    selects the scheduler backend for the study stages (``None``:
+    honor ``REPRO_SCHED``, default ``object``); the scheduling stage
+    pair and ``study_cold_sched_array`` always pin their backends so
+    the payload carries both sides of that comparison too.
     """
     if repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
     engine = resolve_engine(engine)
-    seconds, units, counters = _measure(num_dags, engine)
+    sched = resolve_sched(sched)
+    seconds, units, counters = _measure(num_dags, engine, sched)
     for _ in range(repeat - 1):
-        again, _units, _counters = _measure(num_dags, engine)
+        again, _units, _counters = _measure(num_dags, engine, sched)
         for name, value in again.items():
             if value < seconds[name]:
                 seconds[name] = value
@@ -348,6 +490,9 @@ def run_pipeline_bench(
         stage_engine = _stage_engine(name, engine)
         if stage_engine is not None:
             stage["engine"] = stage_engine
+        stage_sched = _stage_sched(name, sched)
+        if stage_sched is not None:
+            stage["sched"] = stage_sched
         stages[name.removeprefix("pipeline.")] = stage
     return {
         "bench": "pipeline",
@@ -360,6 +505,7 @@ def run_pipeline_bench(
             "simulator": "analytic",
             "repeat": repeat,
             "engine": engine,
+            "sched": sched,
         },
         "stages": stages,
         "counters": counters,
@@ -409,6 +555,103 @@ def solver_speedup(payload: dict, instance: str = "dense") -> float | None:
     if not scalar or not vector:
         return None
     return scalar / vector
+
+
+def sched_speedup(payload: dict) -> float | None:
+    """Object-vs-array scheduler ratio (None if stages are absent).
+
+    ``scheduling / scheduling_array`` — how many times faster the
+    flat-array allocation core runs the bench's allocation phase than
+    the object loop on identical inputs (> 1 means faster).
+    """
+    stages = payload.get("stages", {})
+    obj = stages.get("scheduling", {}).get("seconds")
+    arr = stages.get("scheduling_array", {}).get("seconds")
+    if not obj or not arr:
+        return None
+    return obj / arr
+
+
+def assert_sched_identity(num_dags: int = NUM_DAGS) -> int:
+    """Bit-identity sweep between the scheduler backends.
+
+    Runs every CPA-family algorithm over the bench's DAG subset on
+    both backends with the array core's internal dispatch forced both
+    ways (all-scalar kernels, then all-incremental/vectorized), and
+    compares allocations, observability events, counters, timeline
+    lines and profiler structure case by case.  Raises
+    :class:`RuntimeError` on the first divergence; returns the number
+    of cases compared.  Backs the ``--assert-sched`` bench flag.
+    """
+    import os
+
+    from repro.obs import MemorySink, Profiler
+    from repro.obs.timeline import timeline_lines
+    from repro.scheduling import arena as sched_arena
+    from repro.simgrid.arena import DISPATCH_ENV_VAR
+
+    platform = bayreuth_cluster(32)
+    suite = build_analytical_suite(platform)
+    dags = generate_paper_dags(seed=0)[:num_dags]
+    algorithms = ("cpa",) + ALGORITHMS
+    facets = ("allocations", "events", "counters", "timeline", "profile")
+
+    def _costs(graph):
+        return SchedulingCosts(
+            graph,
+            platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+        )
+
+    def _run(allocator, graph):
+        costs = _costs(graph)
+        sink = MemorySink()
+        rec = Recorder(sink, timeline=Timeline(), profiler=Profiler())
+        with recording(rec):
+            alloc = allocator(graph, costs)
+        return (
+            alloc,
+            [r for r in sink.records if r.get("type") == "event"],
+            dict(rec.counters),
+            timeline_lines(rec.timeline.records),
+            rec.profiler.structure(),
+        )
+
+    saved = (sched_arena._SMALL_DP, sched_arena._SMALL_GROW)
+    saved_table = os.environ.pop(DISPATCH_ENV_VAR, None)
+    checked = 0
+    try:
+        # Force the array core's kernel dispatch all-scalar, then
+        # all-incremental/vectorized, so both code paths are exercised
+        # regardless of this host's measured thresholds.
+        for forced in ((10**9, 10**9), (-1, -1)):
+            sched_arena._SMALL_DP, sched_arena._SMALL_GROW = forced
+            sched_arena._SCHED_DISPATCH_CACHE.clear()
+            for _params, graph in dags:
+                for algorithm in algorithms:
+                    obj = _run(
+                        lambda g, c: _OBJECT_ALLOCATORS[algorithm](
+                            g, c, sched="object"
+                        ),
+                        graph,
+                    )
+                    arr = _run(ARRAY_ALLOCATORS[algorithm], graph)
+                    for facet, x, y in zip(facets, obj, arr):
+                        if x != y:
+                            raise RuntimeError(
+                                f"scheduler backends diverged on {facet} "
+                                f"(dag={graph.name}, algorithm={algorithm}, "
+                                f"forced dispatch={forced})"
+                            )
+                    checked += 1
+    finally:
+        sched_arena._SMALL_DP, sched_arena._SMALL_GROW = saved
+        sched_arena._SCHED_DISPATCH_CACHE.clear()
+        if saved_table is not None:
+            os.environ[DISPATCH_ENV_VAR] = saved_table
+    return checked
 
 
 @dataclass(frozen=True)

@@ -11,8 +11,10 @@ as the committed-baseline comparison's threshold (see
 ``docs/performance.md``).
 
 Entries are compatible when they measured the same work: equal
-``num_dags`` and engine backend.  Incompatible entries are skipped,
-not errors — the history file accumulates across configurations.
+``num_dags``, engine backend and scheduler backend (entries written
+before the scheduler switch existed count as ``object``).
+Incompatible entries are skipped, not errors — the history file
+accumulates across configurations.
 """
 
 from __future__ import annotations
@@ -60,6 +62,7 @@ def history_entry(payload: dict) -> dict:
         "version": payload.get("version", __version__),
         "num_dags": config.get("num_dags"),
         "engine": config.get("engine"),
+        "sched": config.get("sched", "object"),
         "repeat": config.get("repeat"),
         "stages": {
             name: stage["seconds"]
@@ -109,6 +112,7 @@ def _compatible(entry: dict, payload: dict) -> bool:
     return (
         entry.get("num_dags") == config.get("num_dags")
         and entry.get("engine") == config.get("engine")
+        and entry.get("sched", "object") == config.get("sched", "object")
     )
 
 

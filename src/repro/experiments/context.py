@@ -56,6 +56,11 @@ class StudyContext:
         ``"array"``; None resolves via ``REPRO_ENGINE``).  Backends are
         bit-identical, so the choice only affects wall-clock time — see
         :mod:`repro.simgrid.arena`.
+    sched:
+        Scheduling (allocation) backend for the CPA-family algorithms
+        (``"object"`` or ``"array"``; None resolves via
+        ``REPRO_SCHED``).  Bit-identical like the engine backends — see
+        :mod:`repro.scheduling.arena`.
     """
 
     seed: int = 0
@@ -66,6 +71,7 @@ class StudyContext:
     workers: int = 1
     cache_dir: str | Path | None = None
     engine: str | None = None
+    sched: str | None = None
     _studies: dict[tuple[str, ...], StudyResult] = field(
         default_factory=dict, repr=False
     )
@@ -156,6 +162,7 @@ class StudyContext:
                     workers=self.workers,
                     cache=self.cache,
                     engine=self.engine,
+                    sched=self.sched,
                 )
                 self._studies[key] = cached
             merged.records.extend(cached.records)

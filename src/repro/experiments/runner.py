@@ -49,6 +49,7 @@ from repro.obs.sinks import MemorySink
 from repro.obs.timeline import Timeline
 from repro.profiling.calibration import SimulatorSuite
 from repro.scheduling.costs import SchedulingCosts
+from repro.scheduling.arena import resolve_sched
 from repro.scheduling.driver import schedule_dag
 from repro.scheduling.schedule import Schedule
 from repro.simgrid.arena import resolve_engine
@@ -180,6 +181,7 @@ def _run_cell(
     cache: ResultCache | None = None,
     engine: str | None = None,
     simulator: ApplicationSimulator | None = None,
+    sched: str | None = None,
 ) -> RunRecord:
     """One grid cell: schedule, simulate, execute, record.
 
@@ -213,6 +215,7 @@ def _run_cell(
         return _run_cell_body(
             suite, params, graph, algorithm, emulator, obs,
             costs=costs, cache=cache, engine=engine, simulator=simulator,
+            sched=sched,
         )
 
 
@@ -227,6 +230,7 @@ def _run_cell_body(
     cache: ResultCache | None = None,
     engine: str | None = None,
     simulator: ApplicationSimulator | None = None,
+    sched: str | None = None,
 ) -> RunRecord:
     platform = emulator.platform
     if costs is None:
@@ -240,7 +244,7 @@ def _run_cell_body(
     with obs.span(
         "study.schedule", algorithm=algorithm, simulator=suite.name
     ):
-        schedule = schedule_dag(graph, costs, algorithm, cache=cache)
+        schedule = schedule_dag(graph, costs, algorithm, cache=cache, sched=sched)
     if simulator is None:
         simulator = ApplicationSimulator(
             platform,
@@ -310,6 +314,7 @@ def _pool_init(
     engine: str | None = None,
     timeline_enabled: bool = False,
     profiler_enabled: bool = False,
+    sched: str | None = None,
 ) -> None:
     _POOL_STATE["dags"] = dags
     _POOL_STATE["suites"] = suites
@@ -319,6 +324,7 @@ def _pool_init(
     _POOL_STATE["engine"] = engine
     _POOL_STATE["timeline_enabled"] = timeline_enabled
     _POOL_STATE["profiler_enabled"] = profiler_enabled
+    _POOL_STATE["sched"] = sched
     # Per-suite simulator reuse within a worker: the array backend's
     # arena and consumption memos then amortize across every cell the
     # worker processes (simulators are reusable across runs).
@@ -342,6 +348,7 @@ def _pool_run_cell(
     emulator = state["emulator"]
     cache = state.get("cache")
     engine = state.get("engine")
+    sched = state.get("sched")
     simulator = state["simulators"].get(suite_idx)
     if simulator is None:
         simulator = ApplicationSimulator(
@@ -366,12 +373,12 @@ def _pool_run_cell(
         with recording(worker_obs):
             record = _run_cell(
                 suite, params, graph, algorithm, emulator, cache=cache,
-                engine=engine, simulator=simulator,
+                engine=engine, simulator=simulator, sched=sched,
             )
         return record, worker_obs.export_state()
     record = _run_cell(
         suite, params, graph, algorithm, emulator, cache=cache,
-        engine=engine, simulator=simulator,
+        engine=engine, simulator=simulator, sched=sched,
     )
     return record, None
 
@@ -385,6 +392,7 @@ def run_study(
     workers: int = 1,
     cache: ResultCache | None = None,
     engine: str | None = None,
+    sched: str | None = None,
 ) -> StudyResult:
     """Run the full grid; returns every (DAG, algorithm, suite) record.
 
@@ -404,10 +412,16 @@ def run_study(
     ``"array"``; default resolves via ``REPRO_ENGINE``).  Backends are
     bit-identical, so records, traces and cache entries do not depend
     on the choice — only wall-clock time does.
+
+    ``sched`` selects the allocation backend of the CPA-family
+    schedulers the same way (``"object"`` or ``"array"``; default
+    resolves via ``REPRO_SCHED``).  Backends are bit-identical, so it
+    never enters cache keys either.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     engine = resolve_engine(engine)
+    sched = resolve_sched(sched)
     result = StudyResult()
     platform = emulator.platform
     obs = get_recorder()
@@ -434,6 +448,7 @@ def run_study(
             initargs=(
                 dags, suites, emulator, obs.enabled, cache, engine,
                 obs.timeline is not None, obs.profiler is not None,
+                sched,
             ),
         ) as pool:
             # ``map`` yields in submission order regardless of
@@ -465,7 +480,7 @@ def run_study(
                         _run_cell(
                             suite, params, graph, algorithm, emulator,
                             costs=costs, cache=cache, engine=engine,
-                            simulator=simulator,
+                            simulator=simulator, sched=sched,
                         )
                     )
     result.manifest = RunManifest.collect(

@@ -56,7 +56,14 @@ PATH_SEP = ";"
 #: The scalar/vectorized kernel pairs the dispatch crossovers describe.
 #: ``unit`` names the size dimension the pair is bucketed by: the
 #: max-min solver dispatches on total consumption *entries* in the
-#: working set, the step scan on *actions* in the alive queue.
+#: working set, the step scan on *actions* in the alive queue, the
+#: scheduler's bottom-level DP on *tasks* in the DAG and its grow sweep
+#: on critical-path *candidates*.  The scheduler pairs are
+#: calibration-only sides: the live probes in
+#: :mod:`repro.scheduling.arena` keep the aggregate kernel names
+#: (``critical_path_dp`` / ``alloc_grow``) in both backends so profile
+#: structures stay identical across ``sched`` backends, and crossover
+#: evidence comes from :meth:`CrossoverTable.measure`.
 PAIRS: dict[str, dict[str, str]] = {
     "solver": {
         "unit": "entries",
@@ -67,6 +74,16 @@ PAIRS: dict[str, dict[str, str]] = {
         "unit": "actions",
         "scalar": "scan_scalar",
         "vectorized": "scan_vector",
+    },
+    "critical_path_dp": {
+        "unit": "tasks",
+        "scalar": "cp_dp_scalar",
+        "vectorized": "cp_dp_vector",
+    },
+    "alloc_grow": {
+        "unit": "candidates",
+        "scalar": "grow_scalar",
+        "vectorized": "grow_vector",
     },
 }
 
@@ -415,10 +432,12 @@ class CrossoverTable:
         *,
         solver_actions: tuple[int, ...] = (2, 4, 8, 16, 32, 64, 96, 128),
         scan_actions: tuple[int, ...] = (4, 8, 16, 32, 64, 128, 256, 512),
+        dp_tasks: tuple[int, ...] = (8, 16, 32, 64, 128, 256, 512),
+        grow_candidates: tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128, 256),
         entries_per_action: int = 4,
         repeat: int = 3,
     ) -> "CrossoverTable":
-        """Run both kernels of both pairs over a size grid and time them.
+        """Run both kernels of every pair over a size grid and time them.
 
         Controlled calibration — unlike :meth:`from_profile`, every size
         runs *both* kernels on the identical instance, so every row is
@@ -426,18 +445,28 @@ class CrossoverTable:
         deterministic (seeded) and sized like production traffic: the
         solver grid uses sparse CSR rows (``entries_per_action`` entries
         each — the regime the engine's working sets live in), the step
-        scan drives a real :class:`ArraySimulationEngine` queue.  Each
-        size keeps the fastest of ``repeat`` timing passes (the pass
-        least disturbed by the machine).
+        scan drives a real :class:`ArraySimulationEngine` queue, the
+        scheduler pairs run on layered synthetic DAG layouts shaped like
+        the study's graphs (``dp_tasks``) and on HCPA-style capped gain
+        sweeps (``grow_candidates``).  Each size keeps the fastest of
+        ``repeat`` timing passes (the pass least disturbed by the
+        machine).
         """
-        # Lazy imports: arena imports this module's consumers' layer
-        # (obs), so prof must not import arena at module load.
+        # Lazy imports: the arenas import this module's consumers' layer
+        # (obs), so prof must not import them at module load.
         import random
 
         import numpy as np
 
         from repro.obs.recorder import Recorder, recording
         from repro.platform.personalities import bayreuth_cluster
+        from repro.scheduling.arena import (
+            _bl_full_scalar,
+            _bl_full_vector,
+            _grow_scalar,
+            _grow_vector,
+            _synthetic_layout,
+        )
         from repro.simgrid.arena import ArraySimulationEngine, layout_for
         from repro.simgrid.sharing import _maxmin_dense, _maxmin_flat
 
@@ -534,6 +563,85 @@ class CrossoverTable:
                 table.add(
                     "step_scan",
                     actions,
+                    scalar_s=scalar_best,
+                    vectorized_s=vector_best,
+                    iters=iters,
+                )
+
+            for tasks in dp_tasks:
+                rng = random.Random(20260807 + tasks)
+                layout, cost = _synthetic_layout(tasks, rng)
+                n = layout.n
+                bl_s = [0.0] * n
+                bs_s = [-1] * n
+                bl_v = [0.0] * n
+                bs_v = [-1] * n
+                # Warm-up doubles as the bit-identity check (it also
+                # builds the layout's wave arrays outside the timing).
+                _bl_full_scalar(layout, cost, bl_s, bs_s)
+                _bl_full_vector(layout, cost, bl_v, bs_v)
+                if bl_s != bl_v or bs_s != bs_v:  # pragma: no cover
+                    raise RuntimeError(
+                        f"critical-path DP kernels diverged at {tasks} tasks"
+                    )
+                iters = max(3, 2048 // tasks)
+                scalar_best = vector_best = float("inf")
+                for _ in range(repeat):
+                    t0 = perf()
+                    for _ in range(iters):
+                        _bl_full_scalar(layout, cost, bl_s, bs_s)
+                    scalar_best = min(scalar_best, (perf() - t0) / iters)
+                    t0 = perf()
+                    for _ in range(iters):
+                        _bl_full_vector(layout, cost, bl_v, bs_v)
+                    vector_best = min(vector_best, (perf() - t0) / iters)
+                table.add(
+                    "critical_path_dp",
+                    tasks,
+                    scalar_s=scalar_best,
+                    vectorized_s=vector_best,
+                    iters=iters,
+                )
+
+            for cands in grow_candidates:
+                rng = random.Random(20260808 + cands)
+                # HCPA-style instance: caps block about a quarter of the
+                # candidates, so the sweep's skip branch does real work.
+                gains = [rng.uniform(0.0, 2.0) for _ in range(cands)]
+                alloc = [rng.randint(1, 4) for _ in range(cands)]
+                caps = [rng.choice([2, 8, 8, 8]) for _ in range(cands)]
+                growable = list(range(cands))
+                gains_np = np.asarray(gains)
+                alloc_np = np.asarray(alloc, dtype=np.intp)
+                caps_np = np.asarray(caps, dtype=np.intp)
+                machine = 32
+                if _grow_scalar(
+                    growable, gains, alloc, caps, None, None, machine
+                ) != _grow_vector(
+                    growable, gains_np, alloc_np, caps_np, None, None, machine
+                ):  # pragma: no cover - kernel bug
+                    raise RuntimeError(
+                        f"grow-sweep kernels diverged at {cands} candidates"
+                    )
+                iters = max(8, 4096 // cands)
+                scalar_best = vector_best = float("inf")
+                for _ in range(repeat):
+                    t0 = perf()
+                    for _ in range(iters):
+                        _grow_scalar(
+                            growable, gains, alloc, caps, None, None, machine
+                        )
+                    scalar_best = min(scalar_best, (perf() - t0) / iters)
+                    t0 = perf()
+                    for _ in range(iters):
+                        _grow_vector(
+                            growable, gains_np, alloc_np, caps_np,
+                            None, None, machine,
+                        )
+                    vector_best = min(vector_best, (perf() - t0) / iters)
+                table.add(
+                    "alloc_grow",
+                    cands,
                     scalar_s=scalar_best,
                     vectorized_s=vector_best,
                     iters=iters,

@@ -25,7 +25,20 @@ from repro.scheduling.mcpa import mcpa_allocate
 from repro.scheduling.mapping import map_allocations
 from repro.scheduling.mheft import mheft_schedule
 from repro.scheduling.baselines import sequential_allocate, full_parallel_allocate
-from repro.scheduling.driver import ALGORITHMS, ONE_PHASE_ALGORITHMS, schedule_dag
+from repro.scheduling.driver import (
+    ALGORITHMS,
+    ONE_PHASE_ALGORITHMS,
+    SCHED_AWARE,
+    schedule_dag,
+)
+from repro.scheduling.arena import (
+    SCHED_BACKENDS,
+    allocate_batch,
+    cpa_allocate_array,
+    hcpa_allocate_array,
+    mcpa_allocate_array,
+    resolve_sched,
+)
 
 __all__ = [
     "Placement",
@@ -40,5 +53,12 @@ __all__ = [
     "full_parallel_allocate",
     "ALGORITHMS",
     "ONE_PHASE_ALGORITHMS",
+    "SCHED_AWARE",
     "schedule_dag",
+    "SCHED_BACKENDS",
+    "allocate_batch",
+    "cpa_allocate_array",
+    "hcpa_allocate_array",
+    "mcpa_allocate_array",
+    "resolve_sched",
 ]

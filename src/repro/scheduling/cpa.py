@@ -202,7 +202,12 @@ def allocation_loop(
     return alloc
 
 
-def cpa_allocate(graph: TaskGraph, costs: SchedulingCosts) -> dict[int, int]:
+def cpa_allocate(
+    graph: TaskGraph,
+    costs: SchedulingCosts,
+    *,
+    sched: str | None = None,
+) -> dict[int, int]:
     """The original CPA allocation: grow the best-gain critical-path task.
 
     Tasks whose gain is non-positive (adding a processor does not reduce
@@ -210,7 +215,15 @@ def cpa_allocate(graph: TaskGraph, costs: SchedulingCosts) -> dict[int, int]:
     measured models) are never grown; when no critical-path task has
     positive gain the loop stops even if ``T_CP > T_A`` still holds,
     because no further improvement is possible.
+
+    ``sched`` picks the backend: ``"object"`` runs this loop,
+    ``"array"`` the bit-identical flat-array core in
+    :mod:`repro.scheduling.arena`; ``None`` defers to ``REPRO_SCHED``.
     """
+    from repro.scheduling.arena import cpa_allocate_array, resolve_sched
+
+    if resolve_sched(sched) == "array":
+        return cpa_allocate_array(graph, costs)
 
     def select(candidates: list[int], alloc: dict[int, int]) -> int | None:
         best_task = None

@@ -84,8 +84,17 @@ def hcpa_allocate(
     costs: SchedulingCosts,
     *,
     beta: float = DEFAULT_BETA,
+    sched: str | None = None,
 ) -> dict[int, int]:
-    """HCPA allocation: CPA with a concurrency cap and a damped stop."""
+    """HCPA allocation: CPA with a concurrency cap and a damped stop.
+
+    ``sched`` selects the object loop or the bit-identical array core
+    (see :func:`repro.scheduling.cpa.cpa_allocate`).
+    """
+    from repro.scheduling.arena import hcpa_allocate_array, resolve_sched
+
+    if resolve_sched(sched) == "array":
+        return hcpa_allocate_array(graph, costs, beta=beta)
     if beta < 1.0:
         raise ValueError(f"beta must be >= 1 (CPA's criterion), got {beta}")
     P = costs.num_procs

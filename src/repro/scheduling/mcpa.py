@@ -25,8 +25,21 @@ from repro.scheduling.cpa import _cpa_gain, allocation_loop
 __all__ = ["mcpa_allocate"]
 
 
-def mcpa_allocate(graph: TaskGraph, costs: SchedulingCosts) -> dict[int, int]:
-    """Level-bounded CPA allocation."""
+def mcpa_allocate(
+    graph: TaskGraph,
+    costs: SchedulingCosts,
+    *,
+    sched: str | None = None,
+) -> dict[int, int]:
+    """Level-bounded CPA allocation.
+
+    ``sched`` selects the object loop or the bit-identical array core
+    (see :func:`repro.scheduling.cpa.cpa_allocate`).
+    """
+    from repro.scheduling.arena import mcpa_allocate_array, resolve_sched
+
+    if resolve_sched(sched) == "array":
+        return mcpa_allocate_array(graph, costs)
     obs = get_recorder()
     # Phase span: the level-membership index is MCPA's only setup work
     # on top of the shared loop, mirroring HCPA's cap-construction span.

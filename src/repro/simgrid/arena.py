@@ -92,9 +92,36 @@ _SMALL_QUEUE = 32
 #: sits at the top of the measured range.
 _SMALL_SOLVE = 512
 
-#: Parsed thresholds per table path, so every engine of a study does
-#: not re-read the JSON.
-_DISPATCH_CACHE: dict[str, tuple[int, int]] = {}
+#: Parsed tables per (path, mtime): one stat call per lookup instead of
+#: a full re-read/re-parse, while still picking up a recalibrated table
+#: written over the same path.  Shared with the scheduling arena's
+#: :func:`repro.scheduling.arena.sched_dispatch_thresholds`, so one
+#: table file feeds every dispatch consumer from a single parse.
+_TABLE_CACHE: dict[str, tuple[float | None, object]] = {}
+
+#: Derived thresholds per (path, mtime, consumer).
+_DISPATCH_CACHE: dict[tuple[str, float | None], tuple[int, int]] = {}
+
+
+def _table_mtime(path: str) -> float | None:
+    try:
+        return os.path.getmtime(path)
+    except OSError:
+        # Missing/unreadable: let CrossoverTable.load raise its
+        # friendly error (or succeed, if the race resolved).
+        return None
+
+
+def _load_dispatch_table(path: str, mtime: float | None):
+    """The parsed :class:`CrossoverTable` at ``path``, cached by mtime."""
+    cached = _TABLE_CACHE.get(path)
+    if cached is not None and cached[0] == mtime and mtime is not None:
+        return cached[1]
+    from repro.obs.prof import CrossoverTable
+
+    table = CrossoverTable.load(path)
+    _TABLE_CACHE[path] = (mtime, table)
+    return table
 
 
 def dispatch_thresholds() -> tuple[int, int]:
@@ -106,17 +133,19 @@ def dispatch_thresholds() -> tuple[int, int]:
     with it, the named :class:`~repro.obs.prof.CrossoverTable` supplies
     measured thresholds, falling back to the defaults for pairs the
     table has no two-sided rows for.  Thresholds only select between
-    bit-identical kernels — results never depend on them.
+    bit-identical kernels — results never depend on them.  The parsed
+    table is cached by (path, mtime): repeated calls cost one ``stat``,
+    and rewriting the file (recalibration) invalidates naturally.
     """
     path = os.environ.get(DISPATCH_ENV_VAR)
     if not path:
         return _SMALL_QUEUE, _SMALL_SOLVE
-    cached = _DISPATCH_CACHE.get(path)
+    mtime = _table_mtime(path)
+    key = (path, mtime)
+    cached = _DISPATCH_CACHE.get(key)
     if cached is None:
-        from repro.obs.prof import CrossoverTable
-
-        table = CrossoverTable.load(path)
-        cached = _DISPATCH_CACHE[path] = (
+        table = _load_dispatch_table(path, mtime)
+        cached = _DISPATCH_CACHE[key] = (
             table.threshold("step_scan", _SMALL_QUEUE),
             table.threshold("solver", _SMALL_SOLVE),
         )

@@ -77,10 +77,12 @@ class TestBenchRun:
         assert set(payload["stages"]) == {
             "dag_generation",
             "scheduling",
+            "scheduling_array",
             "simulation",
             "testbed_execution",
             "study_cold",
             "study_cold_array",
+            "study_cold_sched_array",
             "cached_rerun",
             "obs_overhead_off",
             "obs_overhead_on",
@@ -102,6 +104,27 @@ class TestBenchRun:
         assert payload["stages"]["study_cold_array"]["engine"] == "array"
         # Pure-python stages have no engine to report.
         assert "engine" not in payload["stages"]["scheduling"]
+
+    def test_stages_record_their_sched_backend(self):
+        payload = run_pipeline_bench(num_dags=2, sched="array")
+        assert payload["config"]["sched"] == "array"
+        for name in ("study_cold", "cached_rerun", "obs_overhead_off"):
+            assert payload["stages"][name]["sched"] == "array"
+        # The allocation-phase pair pins its backends regardless.
+        assert payload["stages"]["scheduling"]["sched"] == "object"
+        assert payload["stages"]["scheduling_array"]["sched"] == "array"
+        assert payload["stages"]["study_cold_sched_array"]["sched"] == "array"
+        # Stages with no allocation phase have no backend to report.
+        assert "sched" not in payload["stages"]["dag_generation"]
+        assert "sched" not in payload["stages"]["solver_dense_scalar"]
+
+    def test_sched_speedup_reads_the_scheduling_pair(self):
+        from repro.experiments.bench import sched_speedup
+
+        payload = run_pipeline_bench(num_dags=2)
+        ratio = sched_speedup(payload)
+        assert ratio is not None and ratio > 0
+        assert sched_speedup({"stages": {}}) is None
 
     def test_cache_speedup_reads_the_cold_warm_pair(self):
         payload = run_pipeline_bench(num_dags=2)

@@ -367,7 +367,10 @@ class TestBenchCommand:
         payload = {
             "created": "2026-08-07T00:00:00+0000",
             "version": "0.0.0-test",
-            "config": {"num_dags": 2, "engine": "object", "repeat": 1},
+            "config": {
+                "num_dags": 2, "engine": "object", "sched": "object",
+                "repeat": 1,
+            },
             "counters": {},
             "crossovers": {
                 "solver": {"unit": "entries", "crossover": None,
@@ -383,7 +386,7 @@ class TestBenchCommand:
         }
         monkeypatch.setattr(
             bench_mod, "run_pipeline_bench",
-            lambda num_dags, repeat=1, engine=None: payload,
+            lambda num_dags, repeat=1, engine=None, sched=None: payload,
         )
 
     def test_check_seeds_then_passes_then_catches_slowdown(
