@@ -5,7 +5,9 @@ four stages every study run goes through — DAG generation, scheduling
 (an object-vs-array allocation-phase pair), simulation, testbed
 execution — plus a cold/warm full-study pair through the
 content-addressed result cache, cold studies on the array engine and
-array scheduler backends, a timeline-tracing on/off overhead pair, and
+array scheduler backends, a study-throughput quartet (the cold study
+through the chunked executor at 1/2/4 workers plus per-cell dispatch
+at 4 workers), a timeline-tracing on/off overhead pair, and
 a scalar-vs-vectorized max-min solver micro-benchmark, and writes the
 aggregate to ``BENCH_pipeline.json`` at the repository root.  This
 seeds the benchmark trajectory every future performance PR measures
@@ -35,6 +37,11 @@ Flags::
                         backends diverge on any allocation, event,
                         counter, timeline line or profile structure
                         under forced kernel dispatch
+    --assert-chunk      exit 1 if the chunked study executor diverges
+                        from the serial loop on any record, event,
+                        counter, timeline line or profile structure
+                        (per-cell, small and single-chunk sizes, plus
+                        a cold/warm cache pair)
 
 Every payload also carries a ``crossovers`` section: the measured
 scalar/vectorized crossover of the solver, step-scan, critical-path-DP
@@ -57,6 +64,7 @@ if str(REPO_ROOT / "src") not in sys.path:  # script use without install
 
 from repro.experiments.bench import (  # noqa: E402
     NUM_DAGS,
+    assert_chunk_identity,
     assert_sched_identity,
     cache_speedup,
     compare_to_baseline,
@@ -65,6 +73,8 @@ from repro.experiments.bench import (  # noqa: E402
     run_pipeline_bench,
     sched_speedup,
     solver_speedup,
+    study_cells_per_sec,
+    study_throughput_speedup,
 )
 
 OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
@@ -82,6 +92,8 @@ def test_bench_pipeline():
         "dag_generation", "scheduling", "scheduling_array",
         "simulation", "testbed_execution",
         "study_cold", "study_cold_array", "study_cold_sched_array",
+        "study_throughput_w1", "study_throughput_w2",
+        "study_throughput_w4", "study_throughput_w4_percell",
         "cached_rerun", "obs_overhead_off", "obs_overhead_on",
         "solver_dense_scalar", "solver_dense_vectorized",
         "solver_sparse_scalar", "solver_sparse_vectorized",
@@ -109,6 +121,18 @@ def test_bench_pipeline():
     assert solver_speedup(payload) is not None
     assert solver_speedup(payload, "sparse") is not None
     assert sched_speedup(payload) is not None
+    assert study_throughput_speedup(payload) is not None
+    assert study_cells_per_sec(payload) is not None
+    # Throughput stages pin their worker count and chunk size and
+    # record the backends like every other study stage.
+    for name in ("study_throughput_w1", "study_throughput_w4_percell"):
+        assert payload["stages"][name]["engine"] == "object"
+        assert payload["stages"][name]["sched"] == "object"
+    # The payload records the host that produced it — wall-clock
+    # trajectories are only comparable on similar machines.
+    host = payload["host"]
+    assert host["cpus"] >= 1
+    assert host["platform"] and host["python"]
     # The measured-crossover section covers every kernel pair and
     # yields a usable dispatch threshold for each.
     assert set(payload["crossovers"]) == {
@@ -145,6 +169,13 @@ def _print_stages(payload: dict) -> None:
         print(
             f"  array scheduler: {sched_ratio:.2f}x vs object "
             "allocation loop"
+        )
+    throughput = study_cells_per_sec(payload)
+    chunk_ratio = study_throughput_speedup(payload)
+    if throughput is not None and chunk_ratio is not None:
+        print(
+            f"  study throughput: {throughput:.1f} cells/s chunked at 4 "
+            f"workers ({chunk_ratio:.2f}x vs per-cell dispatch)"
         )
     for pair, info in payload.get("crossovers", {}).items():
         cross = info.get("crossover")
@@ -200,6 +231,12 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 if the scheduler backends diverge under forced "
         "kernel dispatch",
     )
+    parser.add_argument(
+        "--assert-chunk",
+        action="store_true",
+        help="exit 1 if the chunked study executor diverges from the "
+        "serial loop",
+    )
     args = parser.parse_args(argv)
 
     payload = run_pipeline_bench(
@@ -220,6 +257,20 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"sched assertion passed: {checked} cases bit-identical "
             "across backends"
+        )
+        return 0
+
+    def check_chunk() -> int:
+        if not args.assert_chunk:
+            return 0
+        try:
+            checked = assert_chunk_identity(args.dags)
+        except RuntimeError as exc:
+            print(f"chunk assertion FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"chunk assertion passed: {checked} configurations "
+            "bit-identical with the serial loop"
         )
         return 0
 
@@ -295,12 +346,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {OUTPUT}")
         if any(c.regressed for c in comparisons):
             return 1
-        return check_solver() or check_sched()
+        return check_solver() or check_sched() or check_chunk()
 
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {OUTPUT}")
     _print_stages(payload)
-    return check_solver() or check_sched()
+    return check_solver() or check_sched() or check_chunk()
 
 
 if __name__ == "__main__":

@@ -94,6 +94,25 @@ class ResultCache:
         self.store.put(layer, key_hash, value)
         return value
 
+    def peek(self, layer: str, key: Any) -> tuple[bool, Any]:
+        """Side-effect-free probe of ``(layer, key)``; ``(found, value)``.
+
+        Records no hit/miss counters, warms no LRU tier and discards no
+        stale files (see :meth:`CacheStore.peek`): the study planner
+        uses it to decide *where* a cell should run, and every value a
+        study actually consumes still flows through the counted
+        :meth:`get_or_compute` path afterwards.
+        """
+        return self.store.peek(layer, canonical_hash(key))
+
+    def contains(self, layer: str, key: Any) -> bool:
+        """Existence hint for ``(layer, key)`` without reading the entry.
+
+        Advisory only — a stale entry answers True; callers must treat
+        a wrong hint as "use the normal path", never as data.
+        """
+        return self.store.contains(layer, canonical_hash(key))
+
     # -- maintenance (the ``repro cache`` command) ---------------------
     def info(self) -> CacheStoreInfo:
         return self.store.info()

@@ -122,6 +122,39 @@ class CacheStore:
             self._discard(path, namespace, status)
         return False, None
 
+    def peek(self, namespace: str, key_hash: str) -> tuple[bool, Any]:
+        """Side-effect-free lookup; returns ``(found, value)``.
+
+        Unlike :meth:`get`, a peek never disturbs the state the counted
+        path owns: the LRU is consulted without reordering, a disk hit
+        is neither counted (``cache.bytes_read``) nor remembered in the
+        LRU, and stale or corrupt files are left in place — the counted
+        read that follows a real hit still discards and counts them.
+        The study planner's batched cache front-end probes with this,
+        so probing leaves every counter and every LRU position exactly
+        as if the probe had never happened.
+        """
+        cached = self._lru.get((namespace, key_hash), _MISS)
+        if cached is not _MISS:
+            return True, cached
+        path = self._entry_path(namespace, key_hash)
+        value, status, _nbytes = self._read_entry(path, namespace, key_hash)
+        if status == CacheEntryStatus.HIT:
+            return True, value
+        return False, None
+
+    def contains(self, namespace: str, key_hash: str) -> bool:
+        """Cheap existence hint: LRU membership or an entry file on disk.
+
+        Purely advisory — the file is not read or validated, so a stale
+        or corrupt entry answers True and the counted read that follows
+        discovers the truth.  Callers must treat a wrong hint as "fall
+        back to the normal path", never as data.
+        """
+        if (namespace, key_hash) in self._lru:
+            return True
+        return self._entry_path(namespace, key_hash).exists()
+
     def _read_entry(
         self, path: Path, namespace: str, key_hash: str
     ) -> tuple[Any, str, int]:

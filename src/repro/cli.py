@@ -144,6 +144,15 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical (REPRO_SCHED sets the default)",
     )
     parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cells per pool dispatch for parallel study sweeps "
+        "(0 = auto-size to the pool; results are bit-identical at any "
+        "chunking; REPRO_CHUNK sets the default)",
+    )
+    parser.add_argument(
         "--trace-out",
         default="",
         metavar="PATH",
@@ -392,6 +401,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the scheduler-backend bit-identity sweep (object vs "
         "array allocations, events, counters, timeline, profile) with "
         "forced kernel dispatch; exit 1 on divergence",
+    )
+    p_bench.add_argument(
+        "--assert-chunk", action="store_true",
+        help="run the chunked-executor bit-identity sweep (serial loop "
+        "vs chunked dispatch on records, events, counters, timeline, "
+        "profile, cold and warm caches); exit 1 on divergence",
     )
 
     p_cache = sub.add_parser(
@@ -765,6 +780,13 @@ def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
             f"  array scheduler: {sched_ratio:.2f}x vs object "
             "allocation loop"
         )
+    throughput = bench_mod.study_cells_per_sec(payload)
+    chunk_ratio = bench_mod.study_throughput_speedup(payload)
+    if throughput is not None and chunk_ratio is not None:
+        print(
+            f"  study throughput: {throughput:.1f} cells/s chunked at 4 "
+            f"workers ({chunk_ratio:.2f}x vs per-cell dispatch)"
+        )
     for pair, info in payload.get("crossovers", {}).items():
         cross = info.get("crossover")
         where = (
@@ -795,6 +817,17 @@ def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
             print(
                 f"sched identity: {checked} cases bit-identical across "
                 "backends"
+            )
+    if args.assert_chunk:
+        try:
+            checked = bench_mod.assert_chunk_identity(args.dags)
+        except RuntimeError as exc:
+            print(f"chunk identity: FAILED — {exc}", file=sys.stderr)
+            status = 1
+        else:
+            print(
+                f"chunk identity: {checked} configurations bit-identical "
+                "with the serial loop"
             )
     if args.check:
         try:
@@ -912,6 +945,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         cache_dir=args.cache_dir or None,
         engine=args.engine,
         sched=args.sched,
+        chunk=args.chunk_size,
     )
     try:
         return _COMMANDS[args.command](ctx, args)

@@ -9,7 +9,13 @@ cold run's), a third cold study with the array *scheduler* also
 engaged (``study_cold_sched_array``), a timeline-tracing overhead pair
 (``obs_overhead_off`` / ``obs_overhead_on``: the same uncached study
 with observability disabled vs with a simulated-time timeline
-attached), and a max-min solver micro-benchmark (scalar vs vectorized
+attached), a study-throughput quartet (``study_throughput_w1`` /
+``_w2`` / ``_w4`` / ``_w4_percell``: the same cold study dispatched
+through the chunked executor at one, two and four workers plus
+per-cell dispatch at four workers — :func:`study_throughput_speedup`
+is the chunked-vs-per-cell ratio, :func:`assert_chunk_identity` the
+``--assert-chunk`` bit-identity sweep), and a max-min solver
+micro-benchmark (scalar vs vectorized
 kernel on synthetic dense/sparse instances), using the observability
 layer's span timers, and compares the result against the committed
 baseline (``BENCH_pipeline.json`` at the repository root).  Each stage
@@ -37,6 +43,8 @@ job for the same reason (see ``docs/performance.md``).
 from __future__ import annotations
 
 import json
+import os
+import platform as py_platform
 import random
 import shutil
 import tempfile
@@ -66,15 +74,19 @@ __all__ = [
     "DEFAULT_BASELINE",
     "NUM_DAGS",
     "StageComparison",
+    "assert_chunk_identity",
     "assert_sched_identity",
     "cache_speedup",
     "compare_to_baseline",
     "default_baseline_path",
+    "host_metadata",
     "measured_crossovers",
     "obs_overhead",
     "render_comparison",
     "run_pipeline_bench",
     "sched_speedup",
+    "study_cells_per_sec",
+    "study_throughput_speedup",
 ]
 
 #: Study subset: enough work to time meaningfully, small enough for CI
@@ -93,6 +105,10 @@ _STAGE_NAMES = (
     "pipeline.study_cold",
     "pipeline.study_cold_array",
     "pipeline.study_cold_sched_array",
+    "pipeline.study_throughput_w1",
+    "pipeline.study_throughput_w2",
+    "pipeline.study_throughput_w4",
+    "pipeline.study_throughput_w4_percell",
     "pipeline.cached_rerun",
     "pipeline.obs_overhead_off",
     "pipeline.obs_overhead_on",
@@ -297,6 +313,44 @@ def _measure(
                 "study"
             )
 
+        # Study-throughput quartet: the same cold study dispatched
+        # through the chunked executor at 1/2/4 workers, plus per-cell
+        # (chunk=1) dispatch at 4 workers — the baseline the chunked
+        # path is measured against.  Each leg populates its own fresh
+        # cache (every cell misses, so every cell flows through the
+        # executor) and is asserted record-identical to the cold run.
+        # Chunk settings are pinned so an ambient REPRO_CHUNK cannot
+        # skew the comparison; worker counts beyond the host's cores
+        # clamp to a smaller pool (recorded as runner.workers_clamped
+        # in the counters — read them next to the payload's host
+        # metadata).
+        for stage_name, stage_workers, stage_chunk in (
+            ("pipeline.study_throughput_w1", 1, 0),
+            ("pipeline.study_throughput_w2", 2, 0),
+            ("pipeline.study_throughput_w4", 4, 0),
+            ("pipeline.study_throughput_w4_percell", 4, 1),
+        ):
+            cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+            try:
+                cache = ResultCache(cache_root)
+                with recorder.span(stage_name):
+                    through = run_study(
+                        dags,
+                        [suite],
+                        emulator,
+                        workers=stage_workers,
+                        cache=cache,
+                        engine=engine,
+                        sched=sched,
+                        chunk=stage_chunk,
+                    )
+            finally:
+                shutil.rmtree(cache_root, ignore_errors=True)
+            if through.records != cold.records:  # pragma: no cover
+                raise RuntimeError(
+                    f"{stage_name} study diverged from the cold run"
+                )
+
         # Timeline-tracing overhead pair: the same uncached study with
         # tracing disabled vs with an in-memory timeline attached.
         # Their ratio is the zero-cost-when-disabled check's enabled
@@ -359,6 +413,10 @@ def _measure(
         "pipeline.study_cold": num_cells,
         "pipeline.study_cold_array": num_cells,
         "pipeline.study_cold_sched_array": num_cells,
+        "pipeline.study_throughput_w1": num_cells,
+        "pipeline.study_throughput_w2": num_cells,
+        "pipeline.study_throughput_w4": num_cells,
+        "pipeline.study_throughput_w4_percell": num_cells,
         "pipeline.cached_rerun": num_cells,
         "pipeline.obs_overhead_off": num_cells,
         "pipeline.obs_overhead_on": num_cells,
@@ -373,7 +431,9 @@ def _measure(
     counters = {
         k: v
         for k, v in metrics["counters"].items()
-        if k.startswith(("engine.", "sim.", "sched.", "testbed.", "cache."))
+        if k.startswith(
+            ("engine.", "sim.", "sched.", "testbed.", "cache.", "runner.")
+        )
     }
     return seconds, units, counters
 
@@ -389,6 +449,10 @@ def _stage_engine(name: str, engine: str) -> str | None:
         "pipeline.simulation",
         "pipeline.testbed_execution",
         "pipeline.study_cold",
+        "pipeline.study_throughput_w1",
+        "pipeline.study_throughput_w2",
+        "pipeline.study_throughput_w4",
+        "pipeline.study_throughput_w4_percell",
         "pipeline.cached_rerun",
         "pipeline.obs_overhead_off",
         "pipeline.obs_overhead_on",
@@ -409,6 +473,10 @@ def _stage_sched(name: str, sched: str) -> str | None:
     if name in (
         "pipeline.study_cold",
         "pipeline.study_cold_array",
+        "pipeline.study_throughput_w1",
+        "pipeline.study_throughput_w2",
+        "pipeline.study_throughput_w4",
+        "pipeline.study_throughput_w4_percell",
         "pipeline.cached_rerun",
         "pipeline.obs_overhead_off",
         "pipeline.obs_overhead_on",
@@ -446,6 +514,22 @@ def measured_crossovers() -> dict:
             "threshold": table.threshold(pair, defaults[pair]),
         }
         for pair, spec in sorted(PAIRS.items())
+    }
+
+
+def host_metadata() -> dict:
+    """The bench host's identity, stamped into every payload.
+
+    Wall-clock stage times are only comparable on similar machines, so
+    every payload (and, through it, every history entry) records the
+    cpu count, OS/arch string and python version that produced it —
+    the minimum needed to judge whether two bench trajectories ran on
+    comparable hardware.
+    """
+    return {
+        "cpus": os.cpu_count(),
+        "platform": py_platform.platform(),
+        "python": py_platform.python_version(),
     }
 
 
@@ -498,6 +582,7 @@ def run_pipeline_bench(
         "bench": "pipeline",
         "version": __version__,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),
+        "host": host_metadata(),
         "config": {
             "num_dags": num_dags,
             "algorithms": list(ALGORITHMS),
@@ -570,6 +655,37 @@ def sched_speedup(payload: dict) -> float | None:
     if not obj or not arr:
         return None
     return obj / arr
+
+
+def study_throughput_speedup(payload: dict) -> float | None:
+    """Chunked-vs-per-cell dispatch ratio (None if stages are absent).
+
+    ``study_throughput_w4_percell / study_throughput_w4`` — how many
+    times more cold-study cells/sec the chunked executor sustains than
+    per-cell dispatch at the same four-worker pool (> 1 means chunking
+    pays for the dispatch overhead it amortizes).
+    """
+    stages = payload.get("stages", {})
+    percell = stages.get("study_throughput_w4_percell", {}).get("seconds")
+    chunked = stages.get("study_throughput_w4", {}).get("seconds")
+    if not percell or not chunked:
+        return None
+    return percell / chunked
+
+
+def study_cells_per_sec(
+    payload: dict, stage: str = "study_throughput_w4"
+) -> float | None:
+    """End-to-end cold-study throughput of one bench stage, cells/sec.
+
+    The stage's ``units`` field is its grid-cell count, so
+    ``units / seconds`` is the figure ``docs/performance.md`` and the
+    CI throughput artifact track (None if the stage is absent).
+    """
+    info = payload.get("stages", {}).get(stage)
+    if not info or not info.get("seconds"):
+        return None
+    return info["units"] / info["seconds"]
 
 
 def assert_sched_identity(num_dags: int = NUM_DAGS) -> int:
@@ -651,6 +767,92 @@ def assert_sched_identity(num_dags: int = NUM_DAGS) -> int:
         sched_arena._SCHED_DISPATCH_CACHE.clear()
         if saved_table is not None:
             os.environ[DISPATCH_ENV_VAR] = saved_table
+    return checked
+
+
+def assert_chunk_identity(num_dags: int = NUM_DAGS) -> int:
+    """Bit-identity sweep between the chunked executor and serial loop.
+
+    Runs the bench study grid serially, then through the chunked
+    executor at four workers with per-cell, small and single-chunk
+    sizes, and compares records, observability events, counters,
+    timeline lines and profiler structure case by case; a final
+    cold/warm cache pair exercises the batched cache front-end the
+    same way.  ``runner.workers_clamped`` is excluded (it is the one
+    counter allowed to differ across hosts).  Raises
+    :class:`RuntimeError` on the first divergence; returns the number
+    of configurations compared.  Backs the ``--assert-chunk`` bench
+    flag.
+    """
+    from repro.obs import MemorySink, Profiler
+    from repro.obs.timeline import timeline_lines
+
+    platform = bayreuth_cluster(32)
+    emulator = TGridEmulator(platform, seed=0)
+    suite = build_analytical_suite(platform)
+    dags = generate_paper_dags(seed=0)[:num_dags]
+    facets = ("records", "events", "counters", "timeline", "profile")
+
+    def _run(workers, chunk=None, cache=None):
+        sink = MemorySink()
+        rec = Recorder(sink, timeline=Timeline(), profiler=Profiler())
+        with recording(rec):
+            result = run_study(
+                dags,
+                [suite],
+                emulator,
+                workers=workers,
+                cache=cache,
+                chunk=chunk,
+            )
+        counters = {
+            k: v
+            for k, v in rec.metrics()["counters"].items()
+            if k != "runner.workers_clamped"
+        }
+        return (
+            result.records,
+            [r for r in sink.records if r.get("type") == "event"],
+            counters,
+            timeline_lines(rec.timeline.records),
+            rec.profiler.structure(),
+        )
+
+    def _compare(serial_run, chunked_run, label):
+        for facet, x, y in zip(facets, serial_run, chunked_run):
+            if x != y:
+                raise RuntimeError(
+                    "chunked executor diverged from the serial loop "
+                    f"on {facet} ({label})"
+                )
+
+    checked = 0
+    serial = _run(1)
+    for chunk in (1, 4, 10**9):
+        _compare(serial, _run(4, chunk=chunk), f"workers=4, chunk={chunk}")
+        checked += 1
+    # Cold fills the cache through the pool; warm satisfies every cell
+    # from the planner's batched probe and never dispatches.
+    serial_root = tempfile.mkdtemp(prefix="repro-chunk-identity-")
+    chunked_root = tempfile.mkdtemp(prefix="repro-chunk-identity-")
+    try:
+        serial_cold = _run(1, cache=ResultCache(serial_root))
+        serial_warm = _run(1, cache=ResultCache(serial_root))
+        _compare(
+            serial_cold,
+            _run(4, chunk=4, cache=ResultCache(chunked_root)),
+            "cold cache, workers=4, chunk=4",
+        )
+        checked += 1
+        _compare(
+            serial_warm,
+            _run(4, chunk=4, cache=ResultCache(chunked_root)),
+            "warm cache, workers=4, chunk=4",
+        )
+        checked += 1
+    finally:
+        shutil.rmtree(serial_root, ignore_errors=True)
+        shutil.rmtree(chunked_root, ignore_errors=True)
     return checked
 
 

@@ -60,6 +60,7 @@ def history_entry(payload: dict) -> dict:
             "created", time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime())
         ),
         "version": payload.get("version", __version__),
+        "host": payload.get("host"),
         "num_dags": config.get("num_dags"),
         "engine": config.get("engine"),
         "sched": config.get("sched", "object"),

@@ -61,6 +61,11 @@ class StudyContext:
         (``"object"`` or ``"array"``; None resolves via
         ``REPRO_SCHED``).  Bit-identical like the engine backends — see
         :mod:`repro.scheduling.arena`.
+    chunk:
+        Cells per pool dispatch for parallel sweeps (None resolves via
+        ``REPRO_CHUNK``; 0 = auto-size to the pool).  Any chunking is
+        bit-identical to per-cell dispatch — see
+        :func:`repro.experiments.runner.resolve_chunk`.
     """
 
     seed: int = 0
@@ -72,6 +77,7 @@ class StudyContext:
     cache_dir: str | Path | None = None
     engine: str | None = None
     sched: str | None = None
+    chunk: int | None = None
     _studies: dict[tuple[str, ...], StudyResult] = field(
         default_factory=dict, repr=False
     )
@@ -163,6 +169,7 @@ class StudyContext:
                     cache=self.cache,
                     engine=self.engine,
                     sched=self.sched,
+                    chunk=self.chunk,
                 )
                 self._studies[key] = cached
             merged.records.extend(cached.records)

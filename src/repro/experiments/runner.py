@@ -24,17 +24,52 @@ record-for-record the same study as the serial loop.  Workers record
 observability into their own in-memory recorder; the parent absorbs
 the per-cell payloads in grid submission order, keeping the merged
 event stream deterministic too.
+
+Plan-then-execute pipeline
+--------------------------
+The parallel path runs in three stages, all bit-identical to the
+serial loop:
+
+1. **Planner** (:func:`_plan_cache_hits`): with a cache attached, every
+   cell's schedule/simulation/testbed keys are hashed in one pass —
+   shared fingerprints (emulator, platform+models, per-DAG content)
+   are computed once, not per cell — and probed *side-effect-free*
+   (:meth:`~repro.cache.result_cache.ResultCache.peek`).  Fully cached
+   cells never reach the pool: the parent replays them inline through
+   the exact per-cell path, so their counters and records are the ones
+   the normal counted reads produce.  Shared ``GraphLayout`` /
+   ``ResourceLayout`` lowerings happen once, parent-side, before the
+   fork, so every worker inherits them copy-on-write.
+2. **Chunked executor** (:func:`_pool_run_chunk`): cache-missing cells
+   are dispatched to the pool as whole chunks (``chunk`` cells per
+   future; default ~4 chunks per worker so the pool's shared queue
+   rebalances stragglers work-stealing-style).  A worker runs its
+   chunk's cells sequentially — reusing one simulator per suite, one
+   ``SchedulingCosts`` per (suite, DAG) and the pooled arenas across
+   the chunk — and ships one compact result+observability payload per
+   chunk instead of one pickle per cell.
+3. **Merge**: the parent walks the grid in submission order,
+   interleaving inline cache hits with chunk payload slices.  Chunk
+   counters/span-stats/profiles merge once per chunk (their sums are
+   order-independent); event records and timeline slices are replayed
+   at each cell's grid position, with worker-local run ids rebased per
+   slice — so records, counters, timelines and profiles come out
+   exactly as the serial loop emits them.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.cache.keys import (
+    costs_fingerprint,
     dag_fingerprint,
     emulator_fingerprint,
     schedule_fingerprint,
@@ -49,15 +84,55 @@ from repro.obs.sinks import MemorySink
 from repro.obs.timeline import Timeline
 from repro.profiling.calibration import SimulatorSuite
 from repro.scheduling.costs import SchedulingCosts
-from repro.scheduling.arena import resolve_sched
+from repro.scheduling.arena import graph_layout, resolve_sched
 from repro.scheduling.driver import schedule_dag
 from repro.scheduling.schedule import Schedule
-from repro.simgrid.arena import resolve_engine
+from repro.simgrid.arena import layout_for, resolve_engine
 from repro.simgrid.simulator import ApplicationSimulator
 from repro.testbed.tgrid import TGridEmulator
 from repro.util.stats import relative_error
 
-__all__ = ["RunRecord", "StudyResult", "run_study"]
+__all__ = [
+    "CHUNK_ENV_VAR",
+    "RunRecord",
+    "StudyResult",
+    "resolve_chunk",
+    "run_study",
+]
+
+#: Environment variable naming the default cells-per-chunk of the
+#: parallel study executor (see :func:`resolve_chunk`).
+CHUNK_ENV_VAR = "REPRO_CHUNK"
+
+#: Auto chunk sizing targets this many chunks per pool worker: small
+#: enough that the pool's shared queue rebalances stragglers, large
+#: enough that per-future dispatch overhead stays amortized.
+_CHUNKS_PER_WORKER = 4
+
+
+def resolve_chunk(chunk: int | None = None) -> int:
+    """Resolve the chunk-size setting of the parallel study executor.
+
+    An explicit ``chunk`` wins; ``None`` defers to the ``REPRO_CHUNK``
+    environment variable; an unset variable means auto.  Returns 0 for
+    auto — the executor then aims for :data:`_CHUNKS_PER_WORKER` chunks
+    per pool worker — or the positive cells-per-chunk count
+    (``1`` = per-cell dispatch, the pre-chunking behaviour).
+    """
+    if chunk is None:
+        raw = os.environ.get(CHUNK_ENV_VAR, "").strip()
+        if not raw:
+            return 0
+        try:
+            chunk = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{CHUNK_ENV_VAR} must be an integer (0 = auto), "
+                f"got {raw!r}"
+            ) from None
+    if chunk < 0:
+        raise ValueError(f"chunk size must be >= 0 (0 = auto), got {chunk}")
+    return chunk
 
 
 @dataclass(frozen=True)
@@ -329,26 +404,20 @@ def _pool_init(
     # arena and consumption memos then amortize across every cell the
     # worker processes (simulators are reusable across runs).
     _POOL_STATE["simulators"] = {}
+    # Per-(suite, DAG) SchedulingCosts reuse, mirroring the serial
+    # loop: the memoised task-time estimates carry across a chunk's
+    # algorithms instead of being rebuilt per cell.  (Cost evaluation
+    # emits no observability, so the memo cannot change any counter.)
+    _POOL_STATE["costs"] = {}
 
 
-def _pool_run_cell(
-    cell: tuple[int, int, str]
-) -> tuple[RunRecord, dict | None]:
-    """Run one grid cell in a worker; returns (record, obs payload).
-
-    When the parent's recorder is enabled the worker records into a
-    private in-memory recorder and ships its exported state back —
-    never into any sink inherited across the fork, which the parent
-    process owns.
-    """
+def _chunk_cell(cell: tuple[int, int, str], state: dict) -> RunRecord:
+    """Run one grid cell inside a worker, through the shared memos."""
     suite_idx, dag_idx, algorithm = cell
-    state = _POOL_STATE
     suite = state["suites"][suite_idx]
     params, graph = state["dags"][dag_idx]
     emulator = state["emulator"]
-    cache = state.get("cache")
     engine = state.get("engine")
-    sched = state.get("sched")
     simulator = state["simulators"].get(suite_idx)
     if simulator is None:
         simulator = ApplicationSimulator(
@@ -359,28 +428,335 @@ def _pool_run_cell(
             engine=engine,
         )
         state["simulators"][suite_idx] = simulator
-    if state["obs_enabled"]:
-        # A worker timeline numbers its runs from 0; the parent's
-        # Timeline.absorb renumbers by its running offset, so absorbing
-        # per-cell payloads in grid submission order reproduces the
-        # serial run numbering exactly.
-        tl = Timeline() if state.get("timeline_enabled") else None
-        # Worker profiles merge like worker timelines: private per cell,
-        # absorbed in submission order, so the merged span tree's
-        # structure matches the serial run's exactly.
-        prof = Profiler() if state.get("profiler_enabled") else None
-        worker_obs = Recorder(MemorySink(), timeline=tl, profiler=prof)
-        with recording(worker_obs):
-            record = _run_cell(
-                suite, params, graph, algorithm, emulator, cache=cache,
-                engine=engine, simulator=simulator, sched=sched,
-            )
-        return record, worker_obs.export_state()
-    record = _run_cell(
-        suite, params, graph, algorithm, emulator, cache=cache,
-        engine=engine, simulator=simulator, sched=sched,
+    costs = state["costs"].get((suite_idx, dag_idx))
+    if costs is None:
+        costs = SchedulingCosts(
+            graph,
+            emulator.platform,
+            suite.task_model,
+            startup_model=suite.startup_model,
+            redistribution_model=suite.redistribution_model,
+        )
+        state["costs"][(suite_idx, dag_idx)] = costs
+    return _run_cell(
+        suite, params, graph, algorithm, emulator, costs=costs,
+        cache=state.get("cache"), engine=engine, simulator=simulator,
+        sched=state.get("sched"),
     )
-    return record, None
+
+
+def _pool_run_chunk(
+    cells: Sequence[tuple[int, int, str]]
+) -> tuple[list[RunRecord], dict | None]:
+    """Run one chunk of grid cells in a worker.
+
+    Returns ``(records, obs payload)`` — one compact payload for the
+    whole chunk instead of one pickle per cell.  When the parent's
+    recorder is enabled the worker records every cell into a single
+    private in-memory recorder (never into any sink inherited across
+    the fork, which the parent process owns) and annotates the payload
+    with per-cell ``marks`` — ``(sink records, timeline records,
+    timeline runs)`` high-water marks after each cell — so the parent
+    can replay each cell's record and timeline slice at its exact grid
+    position while folding the order-independent aggregates (counters,
+    span stats, profile sums) in once per chunk.
+    """
+    state = _POOL_STATE
+    records: list[RunRecord] = []
+    if not state["obs_enabled"]:
+        for cell in cells:
+            records.append(_chunk_cell(cell, state))
+        return records, None
+    # A worker timeline numbers its runs from 0; the parent's
+    # Timeline.absorb rebases each slice's run ids by its running
+    # offset minus the slice's run_base, so absorbing chunk slices in
+    # grid submission order reproduces the serial numbering exactly.
+    tl = Timeline() if state.get("timeline_enabled") else None
+    # Worker profiles merge by absolute span path with summed counts,
+    # so one chunk-wide profile absorbs to the same structure as the
+    # serial run's per-cell increments.
+    prof = Profiler() if state.get("profiler_enabled") else None
+    worker_obs = Recorder(MemorySink(), timeline=tl, profiler=prof)
+    marks: list[tuple[int, int, int]] = []
+    with recording(worker_obs):
+        for cell in cells:
+            records.append(_chunk_cell(cell, state))
+            marks.append(
+                (
+                    len(worker_obs.sink.records),
+                    len(tl.records) if tl is not None else 0,
+                    tl.run_count if tl is not None else 0,
+                )
+            )
+    payload = worker_obs.export_state()
+    payload["marks"] = marks
+    return records, payload
+
+
+def _plan_cache_hits(
+    cells: Sequence[tuple[int, int, str]],
+    dags: Sequence[tuple[DagParameters, TaskGraph]],
+    suites: Sequence[SimulatorSuite],
+    emulator: TGridEmulator,
+    cache: ResultCache | None,
+) -> list[bool]:
+    """One-pass batched cache probe: which cells are fully cached?
+
+    Hashes every cell's schedule/simulation/testbed keys with shared
+    fingerprints computed once — the emulator's, one costs/simulator
+    model fingerprint per suite (they do not depend on the DAG), one
+    DAG fingerprint per DAG — and probes the cache *side-effect-free*
+    (:meth:`~repro.cache.result_cache.ResultCache.peek` /
+    :meth:`~repro.cache.result_cache.ResultCache.contains`), so the
+    probe leaves hit/miss counters, byte counters and the LRU exactly
+    as if it never ran.  A True entry is advisory: the parent replays
+    that cell inline through the normal counted path, which still
+    detects (and counts) a stale or corrupt entry — a wrong hint only
+    moves where the cell computes, never what it produces.
+    """
+    if cache is None:
+        return [False] * len(cells)
+    platform = emulator.platform
+    emulator_fp = emulator_fingerprint(emulator)
+    dag_fps: dict[int, dict] = {}
+    suite_fps: dict[int, tuple[dict, dict]] = {}
+    hits: list[bool] = []
+    for suite_idx, dag_idx, algorithm in cells:
+        fps = suite_fps.get(suite_idx)
+        if fps is None:
+            suite = suites[suite_idx]
+            # Built exactly the way the cell path builds them, so the
+            # fingerprints match byte for byte (model defaulting
+            # included).
+            costs_fp = costs_fingerprint(
+                SchedulingCosts(
+                    dags[dag_idx][1],
+                    platform,
+                    suite.task_model,
+                    startup_model=suite.startup_model,
+                    redistribution_model=suite.redistribution_model,
+                )
+            )
+            sim_fp = ApplicationSimulator(
+                platform,
+                suite.task_model,
+                startup_model=suite.startup_model,
+                redistribution_model=suite.redistribution_model,
+            ).model_fingerprint()
+            fps = suite_fps[suite_idx] = (costs_fp, sim_fp)
+        costs_fp, sim_fp = fps
+        dag_fp = dag_fps.get(dag_idx)
+        if dag_fp is None:
+            dag_fp = dag_fps[dag_idx] = dag_fingerprint(dags[dag_idx][1])
+        found, schedule = cache.peek(
+            "schedule",
+            {"algorithm": algorithm, "dag": dag_fp, "costs": costs_fp},
+        )
+        if not found:
+            hits.append(False)
+            continue
+        sched_fp = schedule_fingerprint(schedule)
+        sim_key = {
+            "executor": "simulator",
+            "simulator": sim_fp,
+            "dag": dag_fp,
+            "schedule": sched_fp,
+        }
+        exp_key = {
+            "executor": "testbed",
+            "emulator": emulator_fp,
+            "dag": dag_fp,
+            "schedule": sched_fp,
+            "run_label": 0,
+        }
+        hits.append(
+            cache.contains("simulation", sim_key)
+            and cache.contains("simulation", exp_key)
+        )
+    return hits
+
+
+def _absorb_chunk_slice(obs: Recorder, payload: dict, k: int) -> None:
+    """Replay cell ``k`` of a chunk payload at the current grid position.
+
+    The cell's sink records land in payload order; its timeline slice
+    is rebased from the worker-local run numbering to the parent's via
+    ``run_base`` (see :meth:`Timeline.absorb`).  Aggregates — counters,
+    span stats, the profile — are NOT touched here: they merge once per
+    chunk, which yields the same sums.
+    """
+    marks = payload["marks"]
+    rec_lo, tl_lo, run_lo = marks[k - 1] if k else (0, 0, 0)
+    rec_hi, tl_hi, run_hi = marks[k]
+    sink = obs.sink
+    for record in payload["records"][rec_lo:rec_hi]:
+        sink.write(record)
+    tl_state = payload.get("timeline")
+    if tl_state is not None and obs.timeline is not None:
+        obs.timeline.absorb(
+            {
+                "records": tl_state["records"][tl_lo:tl_hi],
+                "runs": run_hi - run_lo,
+                "run_base": run_lo,
+                "engines": tl_state.get("engines", ()),
+            }
+        )
+
+
+def _run_grid_chunked(
+    result: StudyResult,
+    dags: Sequence[tuple[DagParameters, TaskGraph]],
+    suites: Sequence[SimulatorSuite],
+    emulator: TGridEmulator,
+    algorithms: Sequence[str],
+    workers: int,
+    cache: ResultCache | None,
+    engine: str,
+    sched: str,
+    chunk: int | None,
+    obs: Recorder,
+) -> float:
+    """Plan, dispatch and merge the parallel grid; returns the seconds
+    the parent spent blocked on pool futures (the dispatch wait).
+
+    See the module docstring for the three stages.  The merge walks
+    cell positions in grid submission order — interleaving inline
+    cache-hit replays with worker chunk slices — so records, events,
+    timeline lines and run numbering come out exactly as the serial
+    loop emits them, regardless of chunking or completion order.
+    """
+    platform = emulator.platform
+    cells = [
+        (suite_idx, dag_idx, algorithm)
+        for suite_idx in range(len(suites))
+        for dag_idx in range(len(dags))
+        for algorithm in algorithms
+    ]
+    if not cells:
+        return 0.0
+    hits = _plan_cache_hits(cells, dags, suites, emulator, cache)
+    misses = [pos for pos, hit in enumerate(hits) if not hit]
+    pool_workers = max(1, min(workers, len(misses)))
+    chunk_size = resolve_chunk(chunk)
+    if chunk_size == 0:
+        chunk_size = max(
+            1, math.ceil(len(misses) / (pool_workers * _CHUNKS_PER_WORKER))
+        )
+    chunks = [
+        misses[i : i + chunk_size]
+        for i in range(0, len(misses), chunk_size)
+    ]
+
+    # Parent-side memos for inline cache-hit replays, mirroring the
+    # serial loop's reuse: one simulator per suite, one SchedulingCosts
+    # per (suite, DAG).
+    par_sims: dict[int, ApplicationSimulator] = {}
+    par_costs: dict[tuple[int, int], SchedulingCosts] = {}
+
+    def _parent_cell(pos: int) -> RunRecord:
+        suite_idx, dag_idx, algorithm = cells[pos]
+        suite = suites[suite_idx]
+        params, graph = dags[dag_idx]
+        simulator = par_sims.get(suite_idx)
+        if simulator is None:
+            simulator = par_sims[suite_idx] = ApplicationSimulator(
+                platform,
+                suite.task_model,
+                startup_model=suite.startup_model,
+                redistribution_model=suite.redistribution_model,
+                engine=engine,
+            )
+        costs = par_costs.get((suite_idx, dag_idx))
+        if costs is None:
+            costs = par_costs[(suite_idx, dag_idx)] = SchedulingCosts(
+                graph,
+                platform,
+                suite.task_model,
+                startup_model=suite.startup_model,
+                redistribution_model=suite.redistribution_model,
+            )
+        return _run_cell(
+            suite, params, graph, algorithm, emulator, costs=costs,
+            cache=cache, engine=engine, simulator=simulator, sched=sched,
+        )
+
+    if not chunks:
+        # Every cell is cached: the warm study never touches the pool.
+        for pos in range(len(cells)):
+            result.records.append(_parent_cell(pos))
+        return 0.0
+
+    # Lower the shared layouts once, parent-side, before the fork:
+    # every worker then inherits the memoised GraphLayout (array
+    # scheduler) and ResourceLayout (array engine) copy-on-write
+    # instead of re-lowering them per process.  (Lowering emits no
+    # observability, so this moves work without moving any counter.)
+    if sched == "array":
+        for _params, graph in dags:
+            graph_layout(graph)
+    if engine == "array":
+        layout_for(platform)
+
+    # Fork shares the already-built DAGs/suites/emulator with the
+    # workers for free; other start methods pickle them once via the
+    # initializer args.
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    where: dict[int, tuple[int, int]] = {}
+    for ci, chunk_positions in enumerate(chunks):
+        for k, pos in enumerate(chunk_positions):
+            where[pos] = (ci, k)
+    dispatch_wait = 0.0
+    with ProcessPoolExecutor(
+        max_workers=pool_workers,
+        mp_context=ctx,
+        initializer=_pool_init,
+        initargs=(
+            dags, suites, emulator, obs.enabled, cache, engine,
+            obs.timeline is not None, obs.profiler is not None,
+            sched,
+        ),
+    ) as pool:
+        # All chunks are submitted up front into the pool's shared
+        # queue; idle workers pull the next chunk as they finish, so
+        # uneven chunks rebalance work-stealing-style.  The merge below
+        # still consumes results strictly in grid submission order.
+        futures = [
+            pool.submit(_pool_run_chunk, [cells[pos] for pos in positions])
+            for positions in chunks
+        ]
+        ready: dict[int, tuple[list[RunRecord], dict | None]] = {}
+        for pos in range(len(cells)):
+            if hits[pos]:
+                result.records.append(_parent_cell(pos))
+                continue
+            ci, k = where[pos]
+            fetched = ready.get(ci)
+            if fetched is None:
+                t0 = time.perf_counter()
+                fetched = ready[ci] = futures[ci].result()
+                dispatch_wait += time.perf_counter() - t0
+                payload = fetched[1]
+                if payload is not None:
+                    # Chunk-wide aggregates merge once at first
+                    # contact: counter/span/profile merges are plain
+                    # sums, so per-chunk folding equals the serial
+                    # per-cell accumulation exactly.
+                    obs.absorb(
+                        {
+                            "records": (),
+                            "counters": payload["counters"],
+                            "spans": payload["spans"],
+                            "profile": payload.get("profile"),
+                        }
+                    )
+            records, payload = fetched
+            result.records.append(records[k])
+            if payload is not None:
+                _absorb_chunk_slice(obs, payload, k)
+            if k + 1 == len(chunks[ci]):
+                del ready[ci]
+    return dispatch_wait
 
 
 def run_study(
@@ -393,20 +769,27 @@ def run_study(
     cache: ResultCache | None = None,
     engine: str | None = None,
     sched: str | None = None,
+    chunk: int | None = None,
 ) -> StudyResult:
     """Run the full grid; returns every (DAG, algorithm, suite) record.
 
-    ``workers`` > 1 distributes the grid over a process pool (see the
-    module docstring); the default keeps the serial in-process loop.
-    The records — and, with an enabled recorder, the merged metrics —
-    are identical either way.
+    ``workers`` > 1 distributes the grid over a process pool through
+    the plan-then-execute pipeline (see the module docstring); the
+    default keeps the serial in-process loop.  The records — and, with
+    an enabled recorder, the merged metrics — are identical either
+    way.  Requested workers beyond ``os.cpu_count()`` are clamped to
+    the core count (oversubscribing a process pool only multiplies
+    fork and pickle overhead); the clamp is recorded as a
+    ``runner.workers_clamped`` counter, never applied silently.
 
     ``cache`` enables content-addressed memoization of every cell's
     schedule, simulated trace and emulated trace: a warm re-run skips
     any cell whose inputs are unchanged and returns bit-identical
     records.  The cache is shared safely with pool workers (atomic
     file-per-entry writes); per-layer hit/miss counters land in the
-    recorder either way.
+    recorder either way.  In the parallel path, fully cached cells are
+    detected up front by a batched side-effect-free probe and replayed
+    inline in the parent — they never reach the pool.
 
     ``engine`` selects the simulation backend (``"object"`` or
     ``"array"``; default resolves via ``REPRO_ENGINE``).  Backends are
@@ -417,6 +800,18 @@ def run_study(
     schedulers the same way (``"object"`` or ``"array"``; default
     resolves via ``REPRO_SCHED``).  Backends are bit-identical, so it
     never enters cache keys either.
+
+    ``chunk`` sets the cells-per-chunk of the parallel executor
+    (``None``: honor ``REPRO_CHUNK``; 0 or unset: auto — about
+    :data:`_CHUNKS_PER_WORKER` chunks per pool worker; 1: per-cell
+    dispatch).  Chunking changes dispatch granularity only — results,
+    counters, timelines and profiles are identical for every setting.
+
+    Whatever the path, the recorder's span aggregates gain two
+    wall-clock timings per study: ``study.grid`` (end-to-end grid wall
+    time, the denominator of cells/sec) and ``study.dispatch`` (time
+    the parent spent blocked on pool futures; 0 in the serial loop) —
+    see ``repro report``.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -427,37 +822,22 @@ def run_study(
     obs = get_recorder()
     suites = list(suites)
     dags = list(dags)
-    if workers > 1:
-        cells = [
-            (suite_idx, dag_idx, algorithm)
-            for suite_idx in range(len(suites))
-            for dag_idx in range(len(dags))
-            for algorithm in algorithms
-        ]
-        # Fork shares the already-built DAGs/suites/emulator with the
-        # workers for free; other start methods pickle them once via
-        # the initializer args.
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
+    requested = workers
+    cpus = os.cpu_count() or 1
+    if workers > cpus:
+        # Clamp the pool to the cores that exist; the parallel code
+        # path (and its chunking) is still exercised — only the pool
+        # size shrinks.
+        workers = cpus
+        if obs.enabled:
+            obs.count("runner.workers_clamped")
+    grid_t0 = time.perf_counter()
+    dispatch_wait = 0.0
+    if requested > 1:
+        dispatch_wait = _run_grid_chunked(
+            result, dags, suites, emulator, algorithms, workers,
+            cache, engine, sched, chunk, obs,
         )
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(cells)) or 1,
-            mp_context=ctx,
-            initializer=_pool_init,
-            initargs=(
-                dags, suites, emulator, obs.enabled, cache, engine,
-                obs.timeline is not None, obs.profiler is not None,
-                sched,
-            ),
-        ) as pool:
-            # ``map`` yields in submission order regardless of
-            # completion order: records and absorbed observability
-            # payloads land deterministically.
-            for record, payload in pool.map(_pool_run_cell, cells):
-                result.records.append(record)
-                if payload is not None:
-                    obs.absorb(payload)
     else:
         for suite in suites:
             simulator = ApplicationSimulator(
@@ -483,6 +863,12 @@ def run_study(
                             simulator=simulator, sched=sched,
                         )
                     )
+    if obs.enabled:
+        # Same two aggregates in both modes (the serial loop's
+        # dispatch wait is genuinely zero), so metrics keep identical
+        # span-name sets and counts across serial/parallel/chunked.
+        obs.timing("study.grid", time.perf_counter() - grid_t0)
+        obs.timing("study.dispatch", dispatch_wait)
     result.manifest = RunManifest.collect(
         seed=emulator.seed,
         cluster=platform,

@@ -142,6 +142,43 @@ def _study_breakdown(records: list[dict]) -> list[list[object]]:
     return rows
 
 
+#: The per-cell pipeline phases whose span totals make up a study
+#: cell's useful work (the remainder of ``study.grid`` is orchestration
+#: and, in parallel sweeps, pool dispatch).
+_STUDY_PHASES = ("study.schedule", "study.simulate", "study.execute")
+
+
+def _study_throughput(counters: dict, spans: dict) -> dict | None:
+    """End-to-end study throughput from the runner's grid timings.
+
+    The study runner times its whole grid sweep as ``study.grid`` and
+    the time spent blocked on pool futures as ``study.dispatch`` (zero
+    for serial sweeps); ``study.runs`` counts the cells.  From those,
+    cells/sec end to end and the dispatch share of the sweep.  The
+    per-phase totals are summed across processes, so in parallel sweeps
+    they can exceed the grid wall-clock — they answer "where did the
+    compute go", not "how long did it take".
+    """
+    grid = spans.get("study.grid")
+    if not grid or not grid.get("total_s"):
+        return None
+    grid_s = float(grid["total_s"])
+    cells = float(counters.get("study.runs", 0))
+    dispatch_s = float(spans.get("study.dispatch", {}).get("total_s", 0.0))
+    phase_s = sum(
+        float(spans.get(name, {}).get("total_s", 0.0))
+        for name in _STUDY_PHASES
+    )
+    return {
+        "cells": cells,
+        "grid_s": grid_s,
+        "cells_per_sec": cells / grid_s,
+        "dispatch_s": dispatch_s,
+        "dispatch_pct": 100.0 * dispatch_s / grid_s,
+        "phase_s": phase_s,
+    }
+
+
 def report_json(
     records: list[dict], manifest: RunManifest | None
 ) -> dict:
@@ -199,6 +236,9 @@ def report_json(
         "spans": spans,
         "timeline": timeline,
         "study": study,
+        # End-to-end cells/sec and pool-dispatch share; None for traces
+        # without a study sweep.
+        "throughput": _study_throughput(counters, spans),
         # Wall-clock profile rollup (span paths + kernel cost table);
         # present only when the run attached a Profiler.
         "profile": (
@@ -339,6 +379,21 @@ def render_report(
                     for kind, value in sorted(timeline_counts.items())
                 ],
             )
+        )
+
+    throughput = _study_throughput(counters, spans)
+    if throughput:
+        lines.append("")
+        lines.append(
+            f"study throughput: {throughput['cells']:g} cells in "
+            f"{throughput['grid_s']:.3f} s = "
+            f"{throughput['cells_per_sec']:.1f} cells/s end to end"
+        )
+        lines.append(
+            f"  pool dispatch: {throughput['dispatch_s']:.3f} s blocked "
+            f"on futures ({throughput['dispatch_pct']:.1f} % of the "
+            f"sweep); pipeline phases: {throughput['phase_s']:.3f} s "
+            "summed across processes"
         )
 
     breakdown = _study_breakdown(records)

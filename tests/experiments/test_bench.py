@@ -83,6 +83,10 @@ class TestBenchRun:
             "study_cold",
             "study_cold_array",
             "study_cold_sched_array",
+            "study_throughput_w1",
+            "study_throughput_w2",
+            "study_throughput_w4",
+            "study_throughput_w4_percell",
             "cached_rerun",
             "obs_overhead_off",
             "obs_overhead_on",
@@ -94,11 +98,46 @@ class TestBenchRun:
         assert payload["config"]["repeat"] == 1
         assert payload["counters"]["engine.steps"] > 0
 
+    def test_payload_stamps_host_metadata(self):
+        from repro.experiments.bench import host_metadata
+
+        payload = run_pipeline_bench(num_dags=1)
+        assert payload["host"] == host_metadata()
+        assert payload["host"]["cpus"] >= 1
+        assert payload["host"]["platform"]
+        assert payload["host"]["python"].count(".") == 2
+
+    def test_study_throughput_helpers(self):
+        from repro.experiments.bench import (
+            study_cells_per_sec,
+            study_throughput_speedup,
+        )
+
+        payload = run_pipeline_bench(num_dags=2)
+        for stage in (
+            "study_throughput_w1",
+            "study_throughput_w2",
+            "study_throughput_w4",
+            "study_throughput_w4_percell",
+        ):
+            info = payload["stages"][stage]
+            assert info["units"] == payload["stages"]["study_cold"]["units"]
+            assert study_cells_per_sec(payload, stage) > 0
+        assert study_throughput_speedup(payload) > 0
+        assert study_throughput_speedup({"stages": {}}) is None
+        assert study_cells_per_sec({"stages": {}}) is None
+
+    def test_chunk_identity_sweep(self):
+        from repro.experiments.bench import assert_chunk_identity
+
+        assert assert_chunk_identity(num_dags=2) == 5
+
     def test_stages_record_their_engine_backend(self):
         payload = run_pipeline_bench(num_dags=2, engine="array")
         assert payload["config"]["engine"] == "array"
         for name in (
             "simulation", "testbed_execution", "study_cold", "cached_rerun",
+            "study_throughput_w4", "study_throughput_w4_percell",
         ):
             assert payload["stages"][name]["engine"] == "array"
         assert payload["stages"]["study_cold_array"]["engine"] == "array"
@@ -108,7 +147,10 @@ class TestBenchRun:
     def test_stages_record_their_sched_backend(self):
         payload = run_pipeline_bench(num_dags=2, sched="array")
         assert payload["config"]["sched"] == "array"
-        for name in ("study_cold", "cached_rerun", "obs_overhead_off"):
+        for name in (
+            "study_cold", "cached_rerun", "obs_overhead_off",
+            "study_throughput_w4", "study_throughput_w4_percell",
+        ):
             assert payload["stages"][name]["sched"] == "array"
         # The allocation-phase pair pins its backends regardless.
         assert payload["stages"]["scheduling"]["sched"] == "object"

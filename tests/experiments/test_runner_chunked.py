@@ -1,0 +1,197 @@
+"""The chunked study executor must be indistinguishable from the serial loop.
+
+The plan-then-execute pipeline (see :mod:`repro.experiments.runner`)
+may regroup the grid into arbitrary chunks, pre-lower layouts in the
+parent, satisfy cached cells before dispatch and ship one compact
+observability payload per chunk — but none of that is allowed to show:
+records, counters, events, timeline lines and profiler structure must
+equal the serial loop's bit for bit at every (workers, chunk, backend)
+combination.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import ResultCache
+from repro.dag.generator import generate_paper_dags
+from repro.experiments import runner as runner_mod
+from repro.experiments.runner import CHUNK_ENV_VAR, resolve_chunk, run_study
+from repro.obs.prof import Profiler
+from repro.obs.recorder import Recorder, recording
+from repro.obs.sinks import MemorySink
+from repro.obs.timeline import Timeline, timeline_lines
+from repro.platform.personalities import bayreuth_cluster
+from repro.profiling.calibration import build_analytical_suite
+from repro.testbed.tgrid import TGridEmulator
+
+
+@pytest.fixture(scope="module")
+def study_inputs():
+    platform = bayreuth_cluster(8)
+    emulator = TGridEmulator(platform, seed=0)
+    suite = build_analytical_suite(platform)
+    dags = generate_paper_dags(seed=0)[:3]
+    return dags, suite, emulator
+
+
+def _observed_study(study_inputs, *, workers, chunk=None, cache=None,
+                    engine=None, sched=None):
+    """One fully-observed study; returns its comparable facets."""
+    dags, suite, emulator = study_inputs
+    sink = MemorySink()
+    rec = Recorder(sink, timeline=Timeline(), profiler=Profiler())
+    with recording(rec):
+        result = run_study(
+            dags, [suite], emulator, workers=workers, chunk=chunk,
+            cache=cache, engine=engine, sched=sched,
+        )
+    # The clamp counter legitimately differs across hosts (it fires
+    # whenever the requested pool exceeds the core count).
+    counters = {
+        k: v
+        for k, v in rec.metrics()["counters"].items()
+        if k != "runner.workers_clamped"
+    }
+    return {
+        "records": result.records,
+        "events": [r for r in sink.records if r.get("type") == "event"],
+        "counters": counters,
+        "span_counts": {
+            name: agg["count"]
+            for name, agg in rec.metrics()["spans"].items()
+        },
+        "timeline": timeline_lines(rec.timeline.records),
+        "profile": rec.profiler.structure(),
+    }
+
+
+@pytest.mark.parametrize("backends", [
+    {"engine": None, "sched": None},
+    {"engine": "array", "sched": "array"},
+], ids=["object", "array"])
+def test_chunked_matches_serial_on_every_facet(study_inputs, backends):
+    serial = _observed_study(study_inputs, workers=1, **backends)
+    assert serial["records"]  # the study actually ran
+    for workers, chunk in [(2, 1), (2, 4), (4, 1), (4, 4), (4, 10**9)]:
+        chunked = _observed_study(
+            study_inputs, workers=workers, chunk=chunk, **backends
+        )
+        for facet in ("records", "events", "counters", "span_counts",
+                      "timeline", "profile"):
+            assert chunked[facet] == serial[facet], (
+                f"{facet} diverged at workers={workers}, chunk={chunk}"
+            )
+
+
+def test_chunked_cold_and_warm_cache_match_serial(study_inputs, tmp_path):
+    serial_cold = _observed_study(
+        study_inputs, workers=1, cache=ResultCache(tmp_path / "serial")
+    )
+    serial_warm = _observed_study(
+        study_inputs, workers=1, cache=ResultCache(tmp_path / "serial")
+    )
+    cold = _observed_study(
+        study_inputs, workers=4, chunk=2,
+        cache=ResultCache(tmp_path / "chunked"),
+    )
+    warm = _observed_study(
+        study_inputs, workers=4, chunk=2,
+        cache=ResultCache(tmp_path / "chunked"),
+    )
+    for label, a, b in (("cold", serial_cold, cold),
+                        ("warm", serial_warm, warm)):
+        for facet in ("records", "events", "counters", "span_counts",
+                      "timeline", "profile"):
+            assert a[facet] == b[facet], f"{facet} diverged on {label} run"
+    # The warm runs replayed every cell from the cache.
+    assert warm["counters"]["cache.hits"] > 0
+    assert warm["counters"].get("cache.misses", 0) == 0
+
+
+def test_warm_study_never_touches_the_pool(study_inputs, tmp_path,
+                                           monkeypatch):
+    dags, suite, emulator = study_inputs
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_study(dags, [suite], emulator, workers=2, cache=cache)
+
+    def _no_pool(*args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("warm study constructed a process pool")
+
+    monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", _no_pool)
+    warm = run_study(dags, [suite], emulator, workers=2, cache=cache)
+    assert warm.records == cold.records
+
+
+def test_empty_grid_parallel(study_inputs):
+    _dags, suite, emulator = study_inputs
+    result = run_study([], [suite], emulator, workers=4, chunk=4)
+    assert result.records == []
+    assert result.manifest is not None
+
+
+def test_single_cell_parallel(study_inputs):
+    dags, suite, emulator = study_inputs
+    serial = run_study(
+        dags[:1], [suite], emulator, algorithms=("hcpa",), workers=1
+    )
+    chunked = run_study(
+        dags[:1], [suite], emulator, algorithms=("hcpa",), workers=4,
+        chunk=4,
+    )
+    assert len(serial.records) == 1
+    assert chunked.records == serial.records
+
+
+def test_workers_clamped_to_cpu_count(study_inputs, monkeypatch):
+    dags, suite, emulator = study_inputs
+    monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 1)
+    rec = Recorder.to_memory()
+    with recording(rec):
+        clamped = run_study(dags[:1], [suite], emulator, workers=8)
+    assert rec.counters["runner.workers_clamped"] == 1
+    serial = run_study(dags[:1], [suite], emulator, workers=1)
+    assert clamped.records == serial.records
+
+
+def test_workers_within_cpu_count_not_clamped(study_inputs, monkeypatch):
+    dags, suite, emulator = study_inputs
+    monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 64)
+    rec = Recorder.to_memory()
+    with recording(rec):
+        run_study(dags[:1], [suite], emulator, workers=2)
+    assert "runner.workers_clamped" not in rec.counters
+
+
+class TestResolveChunk:
+    def test_explicit_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(CHUNK_ENV_VAR, "7")
+        assert resolve_chunk(3) == 3
+        assert resolve_chunk(0) == 0
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(CHUNK_ENV_VAR, "5")
+        assert resolve_chunk(None) == 5
+
+    def test_unset_or_blank_env_means_auto(self, monkeypatch):
+        monkeypatch.delenv(CHUNK_ENV_VAR, raising=False)
+        assert resolve_chunk() == 0
+        monkeypatch.setenv(CHUNK_ENV_VAR, "  ")
+        assert resolve_chunk() == 0
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv(CHUNK_ENV_VAR, "lots")
+        with pytest.raises(ValueError, match="REPRO_CHUNK"):
+            resolve_chunk()
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError, match="chunk size"):
+            resolve_chunk(-1)
+
+
+def test_chunk_env_applies_to_study(study_inputs, monkeypatch):
+    dags, suite, emulator = study_inputs
+    serial = run_study(dags, [suite], emulator, workers=1)
+    monkeypatch.setenv(CHUNK_ENV_VAR, "2")
+    via_env = run_study(dags, [suite], emulator, workers=2)
+    assert via_env.records == serial.records

@@ -48,7 +48,18 @@ def test_parallel_merges_observability_deterministically(study_inputs):
             run_study(dags, [suite], emulator, workers=workers)
         recorders.append(rec)
     serial, parallel = recorders
-    assert serial.metrics()["counters"] == parallel.metrics()["counters"]
+
+    # runner.workers_clamped fires whenever the requested pool exceeds
+    # the host's cores — true for the workers=2 leg on 1-core runners —
+    # and is the one counter allowed to differ between the modes.
+    def counters(rec_obj):
+        return {
+            k: v
+            for k, v in rec_obj.metrics()["counters"].items()
+            if k != "runner.workers_clamped"
+        }
+
+    assert counters(serial) == counters(parallel)
     # The per-record study events arrive in grid submission order in
     # both modes.
     for rec_obj in (serial, parallel):
