@@ -7,7 +7,9 @@ execution — plus a cold/warm full-study pair through the
 content-addressed result cache, cold studies on the array engine and
 array scheduler backends, a study-throughput quartet (the cold study
 through the chunked executor at 1/2/4 workers plus per-cell dispatch
-at 4 workers), a timeline-tracing on/off overhead pair, and
+at 4 workers), a timeline-tracing on/off overhead pair, a
+live-telemetry on/off overhead pair (the two-worker study with the
+streaming progress bus detached vs attached), and
 a scalar-vs-vectorized max-min solver micro-benchmark, and writes the
 aggregate to ``BENCH_pipeline.json`` at the repository root.  This
 seeds the benchmark trajectory every future performance PR measures
@@ -42,6 +44,10 @@ Flags::
                         counter, timeline line or profile structure
                         (per-cell, small and single-chunk sizes, plus
                         a cold/warm cache pair)
+    --assert-live       exit 1 if attaching the live telemetry bus
+                        perturbs any record, event, counter, timeline
+                        line or profile structure (serial and 4-worker
+                        sweeps), or the bus loses cell events
 
 Every payload also carries a ``crossovers`` section: the measured
 scalar/vectorized crossover of the solver, step-scan, critical-path-DP
@@ -65,9 +71,11 @@ if str(REPO_ROOT / "src") not in sys.path:  # script use without install
 from repro.experiments.bench import (  # noqa: E402
     NUM_DAGS,
     assert_chunk_identity,
+    assert_live_identity,
     assert_sched_identity,
     cache_speedup,
     compare_to_baseline,
+    live_overhead,
     obs_overhead,
     render_comparison,
     run_pipeline_bench,
@@ -95,6 +103,7 @@ def test_bench_pipeline():
         "study_throughput_w1", "study_throughput_w2",
         "study_throughput_w4", "study_throughput_w4_percell",
         "cached_rerun", "obs_overhead_off", "obs_overhead_on",
+        "obs_live_overhead_off", "obs_live_overhead_on",
         "solver_dense_scalar", "solver_dense_vectorized",
         "solver_sparse_scalar", "solver_sparse_vectorized",
     }
@@ -118,6 +127,11 @@ def test_bench_pipeline():
     assert payload["counters"]["cache.hits"] > 0
     assert cache_speedup(payload) is not None
     assert obs_overhead(payload) is not None
+    assert live_overhead(payload) is not None
+    # The live pair runs the study stages like every other study stage.
+    for name in ("obs_live_overhead_off", "obs_live_overhead_on"):
+        assert payload["stages"][name]["engine"] == "object"
+        assert payload["stages"][name]["sched"] == "object"
     assert solver_speedup(payload) is not None
     assert solver_speedup(payload, "sparse") is not None
     assert sched_speedup(payload) is not None
@@ -157,6 +171,11 @@ def _print_stages(payload: dict) -> None:
     overhead = obs_overhead(payload)
     if overhead is not None:
         print(f"  timeline tracing overhead: {overhead:.2f}x vs disabled")
+    live_ratio = live_overhead(payload)
+    if live_ratio is not None:
+        print(
+            f"  live telemetry overhead: {live_ratio:.2f}x vs disabled"
+        )
     for instance in ("dense", "sparse"):
         ratio = solver_speedup(payload, instance)
         if ratio is not None:
@@ -237,6 +256,12 @@ def main(argv: list[str] | None = None) -> int:
         help="exit 1 if the chunked study executor diverges from the "
         "serial loop",
     )
+    parser.add_argument(
+        "--assert-live",
+        action="store_true",
+        help="exit 1 if attaching the live telemetry bus perturbs the "
+        "study or loses cell events",
+    )
     args = parser.parse_args(argv)
 
     payload = run_pipeline_bench(
@@ -271,6 +296,20 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"chunk assertion passed: {checked} configurations "
             "bit-identical with the serial loop"
+        )
+        return 0
+
+    def check_live() -> int:
+        if not args.assert_live:
+            return 0
+        try:
+            checked = assert_live_identity(args.dags)
+        except RuntimeError as exc:
+            print(f"live assertion FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"live assertion passed: {checked} configurations "
+            "bit-identical with telemetry detached"
         )
         return 0
 
@@ -346,12 +385,14 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {OUTPUT}")
         if any(c.regressed for c in comparisons):
             return 1
-        return check_solver() or check_sched() or check_chunk()
+        return (
+            check_solver() or check_sched() or check_chunk() or check_live()
+        )
 
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {OUTPUT}")
     _print_stages(payload)
-    return check_solver() or check_sched() or check_chunk()
+    return check_solver() or check_sched() or check_chunk() or check_live()
 
 
 if __name__ == "__main__":

@@ -34,7 +34,7 @@ from importlib import metadata as _metadata
 
 #: Fallback when the package is used straight off PYTHONPATH=src without
 #: installed distribution metadata; kept in sync with pyproject.toml.
-_FALLBACK_VERSION = "1.8.0"
+_FALLBACK_VERSION = "1.9.0"
 
 try:
     __version__ = _metadata.version("repro")

@@ -41,6 +41,13 @@ Commands
 ``cache``
     Inspect or invalidate the content-addressed result cache
     (``info`` / ``clear`` / ``prune``).
+``top``
+    Live per-worker view of a running study: point it at a
+    ``--live-out`` snapshot file or a ``serve-metrics`` ``/state`` URL.
+``serve-metrics``
+    Minimal stdlib HTTP endpoint serving the current OpenMetrics
+    snapshot of a ``--live-out`` / ``--trace-out`` / ``--timeline-out``
+    file (re-read per scrape, so it tracks a running study).
 
 Global observability flags (before the subcommand): ``--trace-out PATH``
 streams typed events to a JSONL file and appends a provenance manifest;
@@ -49,7 +56,10 @@ transfer / allocation / share records) to a JSONL file; ``--metrics``
 prints the counter/span rollup after the command; ``--profile``
 attaches a wall-clock profiler whose span-tree/kernel rollup lands in
 ``--trace-out`` manifests (``repro report --json``) and prints after
-the command.
+the command; ``--progress`` streams a live study status line to stderr
+(cells done, cells/sec, ETA, stragglers); ``--live-out PATH``
+atomically rewrites a live telemetry snapshot JSON every heartbeat —
+the file ``repro top`` and ``repro serve-metrics`` watch.
 
 Caching: ``--cache-dir PATH`` (global, or after ``study``/``figures``/
 ``simulate``) memoises calibrations, schedules and traces on disk so
@@ -185,6 +195,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="persistent result-cache directory; warm re-runs skip "
         "unchanged cells (bit-identical results)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream a live study status line to stderr (cells "
+        "done/total, cells/sec, ETA, straggler/stall flags); results "
+        "are bit-identical with or without it",
+    )
+    parser.add_argument(
+        "--live-out",
+        default="",
+        metavar="PATH",
+        help="atomically rewrite a live telemetry snapshot JSON every "
+        "heartbeat; watch it with 'repro top PATH' or serve it with "
+        "'repro serve-metrics PATH'",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -407,6 +432,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the chunked-executor bit-identity sweep (serial loop "
         "vs chunked dispatch on records, events, counters, timeline, "
         "profile, cold and warm caches); exit 1 on divergence",
+    )
+    p_bench.add_argument(
+        "--assert-live", action="store_true",
+        help="run the live-telemetry bit-identity sweep (records, "
+        "events, counters, timeline, profile equal with telemetry on "
+        "vs off at workers=4); exit 1 on divergence",
+    )
+
+    p_top = sub.add_parser(
+        "top", help="live per-worker view of a running study"
+    )
+    p_top.add_argument(
+        "source",
+        help="a --live-out snapshot file, or the /state URL of a "
+        "'repro serve-metrics' endpoint",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh period in seconds (default 1.0)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="print one view and exit instead of refreshing",
+    )
+
+    p_serve = sub.add_parser(
+        "serve-metrics",
+        help="HTTP /metrics endpoint over a live snapshot or trace file",
+    )
+    p_serve.add_argument(
+        "source",
+        help="a --live-out snapshot (live gauges), or a --trace-out / "
+        "--timeline-out file (post-hoc rollups); re-read per scrape",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=9308,
+        help="bind port (0 = ephemeral; default 9308)",
+    )
+    p_serve.add_argument(
+        "--once", action="store_true",
+        help="print the current /metrics payload to stdout and exit "
+        "instead of serving",
     )
 
     p_cache = sub.add_parser(
@@ -747,6 +817,81 @@ def _cmd_diff(ctx: StudyContext, args: argparse.Namespace) -> int:
     return 0
 
 
+def _fetch_snapshot(source: str) -> dict:
+    """A live snapshot from a file path or a serve-metrics /state URL."""
+    from repro.obs.live import load_snapshot
+
+    if source.startswith(("http://", "https://")):
+        from urllib.request import urlopen
+
+        with urlopen(source, timeout=10) as resp:
+            snap = json.loads(resp.read().decode("utf-8"))
+        if not isinstance(snap, dict):
+            raise ValueError(f"{source}: response is not a snapshot object")
+        return snap
+    return load_snapshot(source)
+
+
+def _cmd_top(ctx: StudyContext, args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.live import render_top
+
+    tty = sys.stdout.isatty()
+    try:
+        while True:
+            try:
+                snap = _fetch_snapshot(args.source)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if tty and not args.once:
+                # Home + clear-to-end keeps the refresh flicker-free.
+                sys.stdout.write("\033[H\033[J")
+            print(render_top(snap))
+            sys.stdout.flush()
+            if args.once or snap.get("phase") == "done":
+                return 0
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_serve_metrics(ctx: StudyContext, args: argparse.Namespace) -> int:
+    from repro.obs.serve import (
+        MetricsServer,
+        ProviderError,
+        file_metrics_provider,
+        file_state_provider,
+    )
+
+    provider = file_metrics_provider(args.source)
+    if args.once:
+        try:
+            text = provider()
+        except ProviderError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(text, end="" if text.endswith("\n") else "\n")
+        return 0
+    server = MetricsServer(
+        provider,
+        file_state_provider(args.source),
+        host=args.host,
+        port=args.port,
+    )
+    print(
+        f"serving {args.source} at {server.metrics_url} "
+        f"(state: {server.url}/state; ctrl-C to stop)"
+    )
+    sys.stdout.flush()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
     from repro.experiments import bench as bench_mod
     from repro.experiments import bench_history
@@ -767,6 +912,9 @@ def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
     overhead = bench_mod.obs_overhead(payload)
     if overhead is not None:
         print(f"  timeline tracing overhead: {overhead:.2f}x vs disabled")
+    live_ratio = bench_mod.live_overhead(payload)
+    if live_ratio is not None:
+        print(f"  live telemetry overhead: {live_ratio:.2f}x vs disabled")
     for instance in ("dense", "sparse"):
         ratio = bench_mod.solver_speedup(payload, instance)
         if ratio is not None:
@@ -829,6 +977,17 @@ def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
                 f"chunk identity: {checked} configurations bit-identical "
                 "with the serial loop"
             )
+    if args.assert_live:
+        try:
+            checked = bench_mod.assert_live_identity(args.dags)
+        except RuntimeError as exc:
+            print(f"live identity: FAILED — {exc}", file=sys.stderr)
+            status = 1
+        else:
+            print(
+                f"live identity: {checked} configurations bit-identical "
+                "with telemetry detached"
+            )
     if args.check:
         try:
             entries = bench_history.load_history(history_path)
@@ -844,14 +1003,21 @@ def _cmd_bench(ctx: StudyContext, args: argparse.Namespace) -> int:
                 f"bench history: no compatible entries in {history_path} "
                 f"(num_dags={config.get('num_dags')}, "
                 f"engine={config.get('engine')}, "
-                f"sched={config.get('sched')}); this run seeds the "
-                "rolling baseline"
+                f"sched={config.get('sched')}, matching host "
+                "fingerprint); this run seeds the rolling baseline"
             )
         else:
+            _, used = bench_history.rolling_baseline(entries, payload)
             print(
                 "rolling-history check "
                 f"(tolerance {args.tolerance:.0%}, {history_path}):"
             )
+            if used < bench_history.DEFAULT_WINDOW:
+                print(
+                    f"  note: only {used} comparable entries for this "
+                    f"host/config (window {bench_history.DEFAULT_WINDOW})"
+                    " — the rolling baseline is still settling"
+                )
             print(bench_mod.render_comparison(comparisons))
             if any(c.regressed for c in comparisons):
                 status = 1
@@ -895,6 +1061,8 @@ _COMMANDS = {
     "diff": _cmd_diff,
     "bench": _cmd_bench,
     "cache": _cmd_cache,
+    "top": _cmd_top,
+    "serve-metrics": _cmd_serve_metrics,
 }
 
 
@@ -939,6 +1107,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             recorder = Recorder(sink, timeline=timeline, profiler=profiler)
         set_recorder(recorder)
+    telemetry = None
+    progress = None
+    if args.progress or args.live_out:
+        from repro.obs.live import LiveTelemetry, ProgressPrinter
+
+        telemetry = LiveTelemetry(
+            snapshot_path=args.live_out or None
+        ).start()
+        if args.progress:
+            progress = ProgressPrinter(telemetry)
     ctx = StudyContext(
         seed=args.seed,
         workers=args.workers,
@@ -946,10 +1124,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         engine=args.engine,
         sched=args.sched,
         chunk=args.chunk_size,
+        telemetry=telemetry,
     )
     try:
         return _COMMANDS[args.command](ctx, args)
     finally:
+        if progress is not None:
+            progress.close()
+        if telemetry is not None:
+            telemetry.close()
         if recorder is not None:
             manifest = RunManifest.collect(
                 seed=args.seed,

@@ -9,7 +9,11 @@ cold run's), a third cold study with the array *scheduler* also
 engaged (``study_cold_sched_array``), a timeline-tracing overhead pair
 (``obs_overhead_off`` / ``obs_overhead_on``: the same uncached study
 with observability disabled vs with a simulated-time timeline
-attached), a study-throughput quartet (``study_throughput_w1`` /
+attached), a live-telemetry overhead pair (``obs_live_overhead_off`` /
+``obs_live_overhead_on``: the same uncached two-worker study with the
+live progress bus of :mod:`repro.obs.live` detached vs attached —
+:func:`live_overhead` is their ratio, :func:`assert_live_identity` the
+``--assert-live`` bit-identity sweep), a study-throughput quartet (``study_throughput_w1`` /
 ``_w2`` / ``_w4`` / ``_w4_percell``: the same cold study dispatched
 through the chunked executor at one, two and four workers plus
 per-cell dispatch at four workers — :func:`study_throughput_speedup`
@@ -59,6 +63,7 @@ from repro.cache import ResultCache
 from repro.dag.generator import generate_paper_dags
 from repro.experiments.runner import run_study
 from repro.obs import Recorder, Timeline, recording
+from repro.obs.live import LiveTelemetry
 from repro.platform.personalities import bayreuth_cluster
 from repro.profiling.calibration import build_analytical_suite
 from repro.scheduling.arena import ARRAY_ALLOCATORS, resolve_sched
@@ -75,11 +80,13 @@ __all__ = [
     "NUM_DAGS",
     "StageComparison",
     "assert_chunk_identity",
+    "assert_live_identity",
     "assert_sched_identity",
     "cache_speedup",
     "compare_to_baseline",
     "default_baseline_path",
     "host_metadata",
+    "live_overhead",
     "measured_crossovers",
     "obs_overhead",
     "render_comparison",
@@ -112,6 +119,8 @@ _STAGE_NAMES = (
     "pipeline.cached_rerun",
     "pipeline.obs_overhead_off",
     "pipeline.obs_overhead_on",
+    "pipeline.obs_live_overhead_off",
+    "pipeline.obs_live_overhead_on",
     "pipeline.solver_dense_scalar",
     "pipeline.solver_dense_vectorized",
     "pipeline.solver_sparse_scalar",
@@ -373,6 +382,44 @@ def _measure(
                 "timeline-traced study diverged from the untraced study"
             )
 
+        # Live-telemetry overhead pair: the same uncached study through
+        # the two-worker chunked executor with the live progress bus
+        # detached vs attached (queue, worker heartbeats, parent drain
+        # thread all engaged — the full streaming path).  The short
+        # heartbeat makes the pair a worst case for emission cost; the
+        # 1.10x acceptance bound lives in the rolling-history check.
+        with recorder.span("pipeline.obs_live_overhead_off"):
+            with recording(Recorder()):
+                live_off = run_study(
+                    dags,
+                    [suite],
+                    emulator,
+                    workers=2,
+                    engine=engine,
+                    sched=sched,
+                    chunk=0,
+                )
+        telemetry = LiveTelemetry(heartbeat_s=0.2).start()
+        try:
+            with recorder.span("pipeline.obs_live_overhead_on"):
+                with recording(Recorder()):
+                    live_on = run_study(
+                        dags,
+                        [suite],
+                        emulator,
+                        workers=2,
+                        engine=engine,
+                        sched=sched,
+                        chunk=0,
+                        telemetry=telemetry,
+                    )
+        finally:
+            telemetry.close()
+        if live_on.records != live_off.records:  # pragma: no cover
+            raise RuntimeError(
+                "live-telemetry study diverged from the detached study"
+            )
+
         # Solver micro-benchmark: the scalar and vectorized max-min
         # kernels on identical synthetic instances.  Results are
         # asserted equal, so the stages time the same computation.
@@ -420,6 +467,8 @@ def _measure(
         "pipeline.cached_rerun": num_cells,
         "pipeline.obs_overhead_off": num_cells,
         "pipeline.obs_overhead_on": num_cells,
+        "pipeline.obs_live_overhead_off": num_cells,
+        "pipeline.obs_live_overhead_on": num_cells,
         "pipeline.solver_dense_scalar": _SOLVER_ITERS,
         "pipeline.solver_dense_vectorized": _SOLVER_ITERS,
         "pipeline.solver_sparse_scalar": _SOLVER_ITERS,
@@ -456,6 +505,8 @@ def _stage_engine(name: str, engine: str) -> str | None:
         "pipeline.cached_rerun",
         "pipeline.obs_overhead_off",
         "pipeline.obs_overhead_on",
+        "pipeline.obs_live_overhead_off",
+        "pipeline.obs_live_overhead_on",
     ):
         return engine
     return None
@@ -480,6 +531,8 @@ def _stage_sched(name: str, sched: str) -> str | None:
         "pipeline.cached_rerun",
         "pipeline.obs_overhead_off",
         "pipeline.obs_overhead_on",
+        "pipeline.obs_live_overhead_off",
+        "pipeline.obs_live_overhead_on",
     ):
         return sched
     return None
@@ -622,6 +675,22 @@ def obs_overhead(payload: dict) -> float | None:
     stages = payload.get("stages", {})
     off = stages.get("obs_overhead_off", {}).get("seconds")
     on = stages.get("obs_overhead_on", {}).get("seconds")
+    if not off or not on:
+        return None
+    return on / off
+
+
+def live_overhead(payload: dict) -> float | None:
+    """Live-telemetry overhead ratio (None if stages are absent).
+
+    ``obs_live_overhead_on / obs_live_overhead_off`` — how much slower
+    the uncached two-worker study runs with the live progress bus
+    attached (queue, heartbeats, drain thread) than detached (1.0
+    means free).
+    """
+    stages = payload.get("stages", {})
+    off = stages.get("obs_live_overhead_off", {}).get("seconds")
+    on = stages.get("obs_live_overhead_on", {}).get("seconds")
     if not off or not on:
         return None
     return on / off
@@ -853,6 +922,81 @@ def assert_chunk_identity(num_dags: int = NUM_DAGS) -> int:
     finally:
         shutil.rmtree(serial_root, ignore_errors=True)
         shutil.rmtree(chunked_root, ignore_errors=True)
+    return checked
+
+
+def assert_live_identity(num_dags: int = NUM_DAGS) -> int:
+    """Bit-identity sweep with live telemetry attached vs detached.
+
+    Runs the bench study grid with no telemetry, then with a started
+    :class:`~repro.obs.live.LiveTelemetry` bus observing — serially
+    (parent-local folding) and through the chunked executor at four
+    workers (queue + heartbeat path) — and compares records,
+    observability events, counters, timeline lines and profiler
+    structure case by case (``runner.workers_clamped`` excluded, as in
+    :func:`assert_chunk_identity`).  Also checks the telemetry's own
+    fold saw every cell.  The channel is strictly observational; any
+    divergence is a bug.  Raises :class:`RuntimeError` on the first
+    divergence; returns the number of configurations compared.  Backs
+    the ``--assert-live`` bench flag.
+    """
+    from repro.obs import MemorySink, Profiler
+    from repro.obs.timeline import timeline_lines
+
+    platform = bayreuth_cluster(32)
+    emulator = TGridEmulator(platform, seed=0)
+    suite = build_analytical_suite(platform)
+    dags = generate_paper_dags(seed=0)[:num_dags]
+    facets = ("records", "events", "counters", "timeline", "profile")
+
+    def _run(workers, telemetry=None):
+        sink = MemorySink()
+        rec = Recorder(sink, timeline=Timeline(), profiler=Profiler())
+        with recording(rec):
+            result = run_study(
+                dags,
+                [suite],
+                emulator,
+                workers=workers,
+                telemetry=telemetry,
+            )
+        counters = {
+            k: v
+            for k, v in rec.metrics()["counters"].items()
+            if k != "runner.workers_clamped"
+        }
+        return (
+            result.records,
+            [r for r in sink.records if r.get("type") == "event"],
+            counters,
+            timeline_lines(rec.timeline.records),
+            rec.profiler.structure(),
+        )
+
+    num_cells = len(dags) * len(ALGORITHMS)
+    checked = 0
+    for workers in (1, 4):
+        detached = _run(workers)
+        telemetry = LiveTelemetry(heartbeat_s=0.2).start()
+        try:
+            attached = _run(workers, telemetry=telemetry)
+        finally:
+            telemetry.close()
+        for facet, x, y in zip(facets, detached, attached):
+            if x != y:
+                raise RuntimeError(
+                    "live telemetry perturbed the study "
+                    f"on {facet} (workers={workers})"
+                )
+        snap = telemetry.snapshot()
+        study = snap["study"]
+        if study["total"] != num_cells or study["done"] != num_cells:
+            raise RuntimeError(
+                "live telemetry lost events: saw "
+                f"{study['done']}/{study['total']} cells, expected "
+                f"{num_cells}/{num_cells} (workers={workers})"
+            )
+        checked += 1
     return checked
 
 

@@ -10,11 +10,16 @@ tracking genuine drift; the configurable tolerance plays the same role
 as the committed-baseline comparison's threshold (see
 ``docs/performance.md``).
 
-Entries are compatible when they measured the same work: equal
-``num_dags``, engine backend and scheduler backend (entries written
-before the scheduler switch existed count as ``object``).
-Incompatible entries are skipped, not errors — the history file
-accumulates across configurations.
+Entries are compatible when they measured the same work on the same
+machine: equal ``num_dags``, engine backend, scheduler backend
+(entries written before the scheduler switch existed count as
+``object``) and host fingerprint (cpus / platform / python, stamped
+into payloads since the host metadata landed; entries and payloads
+both lacking one compare equal, so pre-metadata histories keep
+working).  Cross-host comparisons are exactly the false regressions a
+rolling baseline exists to avoid — a laptop's medians say nothing
+about a CI container.  Incompatible entries are skipped, not errors —
+the history file accumulates across configurations and machines.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ __all__ = [
     "check_against_history",
     "default_history_path",
     "history_entry",
+    "host_fingerprint",
     "load_history",
     "rolling_baseline",
 ]
@@ -108,12 +114,32 @@ def load_history(path: str | Path | None = None) -> list[dict]:
     return entries
 
 
+def host_fingerprint(host: object) -> tuple | None:
+    """A host-metadata dict reduced to its comparable identity.
+
+    ``None`` for entries/payloads without host metadata (written before
+    it existed) — two missing fingerprints compare equal, so old
+    histories still form baselines for old payloads, while an entry
+    from a *different* machine (or from before the metadata existed,
+    against a payload that has it) never does.
+    """
+    if not isinstance(host, dict):
+        return None
+    return (
+        host.get("cpus"),
+        str(host.get("platform")),
+        str(host.get("python")),
+    )
+
+
 def _compatible(entry: dict, payload: dict) -> bool:
     config = payload.get("config", {})
     return (
         entry.get("num_dags") == config.get("num_dags")
         and entry.get("engine") == config.get("engine")
         and entry.get("sched", "object") == config.get("sched", "object")
+        and host_fingerprint(entry.get("host"))
+        == host_fingerprint(payload.get("host"))
     )
 
 

@@ -66,6 +66,11 @@ class StudyContext:
         ``REPRO_CHUNK``; 0 = auto-size to the pool).  Any chunking is
         bit-identical to per-cell dispatch — see
         :func:`repro.experiments.runner.resolve_chunk`.
+    telemetry:
+        Optional :class:`repro.obs.live.LiveTelemetry` bus attached to
+        every study sweep (the ``--progress`` / ``--live-out`` CLI
+        flags).  Strictly observational: results and recorded metrics
+        are bit-identical with or without it.
     """
 
     seed: int = 0
@@ -78,6 +83,7 @@ class StudyContext:
     engine: str | None = None
     sched: str | None = None
     chunk: int | None = None
+    telemetry: object | None = None
     _studies: dict[tuple[str, ...], StudyResult] = field(
         default_factory=dict, repr=False
     )
@@ -170,6 +176,7 @@ class StudyContext:
                     engine=self.engine,
                     sched=self.sched,
                     chunk=self.chunk,
+                    telemetry=self.telemetry,
                 )
                 self._studies[key] = cached
             merged.records.extend(cached.records)

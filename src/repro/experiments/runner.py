@@ -77,6 +77,7 @@ from repro.cache.keys import (
 from repro.cache.result_cache import ResultCache
 from repro.dag.generator import DagParameters
 from repro.dag.graph import TaskGraph
+from repro.obs.live import LiveTelemetry, WorkerEmitter
 from repro.obs.manifest import RunManifest
 from repro.obs.prof import Profiler
 from repro.obs.recorder import Recorder, get_recorder, recording
@@ -390,6 +391,7 @@ def _pool_init(
     timeline_enabled: bool = False,
     profiler_enabled: bool = False,
     sched: str | None = None,
+    live: tuple | None = None,
 ) -> None:
     _POOL_STATE["dags"] = dags
     _POOL_STATE["suites"] = suites
@@ -409,6 +411,16 @@ def _pool_init(
     # algorithms instead of being rebuilt per cell.  (Cost evaluation
     # emits no observability, so the memo cannot change any counter.)
     _POOL_STATE["costs"] = {}
+    # Live telemetry side-channel: ``live`` is (queue, heartbeat_s)
+    # when the parent runs with a LiveTelemetry attached.  The emitter
+    # is strictly observational — it feeds the progress display, never
+    # the Recorder — so results and merged metrics are identical with
+    # or without it.
+    _POOL_STATE["live"] = (
+        WorkerEmitter(live[0], heartbeat_s=live[1])
+        if live is not None
+        else None
+    )
 
 
 def _chunk_cell(cell: tuple[int, int, str], state: dict) -> RunRecord:
@@ -445,8 +457,19 @@ def _chunk_cell(cell: tuple[int, int, str], state: dict) -> RunRecord:
     )
 
 
+def _cell_label(
+    cell: tuple[int, int, str],
+    suites: Sequence[SimulatorSuite],
+    dags: Sequence[tuple[DagParameters, TaskGraph]],
+) -> str:
+    """Human-readable cell name for live telemetry: suite:dag/algorithm."""
+    suite_idx, dag_idx, algorithm = cell
+    return f"{suites[suite_idx].name}:{dags[dag_idx][1].name}/{algorithm}"
+
+
 def _pool_run_chunk(
-    cells: Sequence[tuple[int, int, str]]
+    cells: Sequence[tuple[int, int, str]],
+    positions: Sequence[int] | None = None,
 ) -> tuple[list[RunRecord], dict | None]:
     """Run one chunk of grid cells in a worker.
 
@@ -463,9 +486,24 @@ def _pool_run_chunk(
     """
     state = _POOL_STATE
     records: list[RunRecord] = []
+    emitter = state.get("live")
+    if positions is None:
+        positions = range(len(cells))
+
+    def _traced_cell(k: int, cell: tuple[int, int, str]) -> RunRecord:
+        if emitter is None:
+            return _chunk_cell(cell, state)
+        label = _cell_label(cell, state["suites"], state["dags"])
+        emitter.cell_started(positions[k], label)
+        record = _chunk_cell(cell, state)
+        emitter.cell_finished(positions[k], label)
+        return record
+
+    if emitter is not None:
+        emitter.chunk_claimed(len(cells))
     if not state["obs_enabled"]:
-        for cell in cells:
-            records.append(_chunk_cell(cell, state))
+        for k, cell in enumerate(cells):
+            records.append(_traced_cell(k, cell))
         return records, None
     # A worker timeline numbers its runs from 0; the parent's
     # Timeline.absorb rebases each slice's run ids by its running
@@ -479,8 +517,8 @@ def _pool_run_chunk(
     worker_obs = Recorder(MemorySink(), timeline=tl, profiler=prof)
     marks: list[tuple[int, int, int]] = []
     with recording(worker_obs):
-        for cell in cells:
-            records.append(_chunk_cell(cell, state))
+        for k, cell in enumerate(cells):
+            records.append(_traced_cell(k, cell))
             marks.append(
                 (
                     len(worker_obs.sink.records),
@@ -615,6 +653,7 @@ def _run_grid_chunked(
     sched: str,
     chunk: int | None,
     obs: Recorder,
+    telemetry: LiveTelemetry | None = None,
 ) -> float:
     """Plan, dispatch and merge the parallel grid; returns the seconds
     the parent spent blocked on pool futures (the dispatch wait).
@@ -646,6 +685,10 @@ def _run_grid_chunked(
         misses[i : i + chunk_size]
         for i in range(0, len(misses), chunk_size)
     ]
+    if telemetry is not None:
+        telemetry.begin_study(
+            len(cells), pool_workers if chunks else 0
+        )
 
     # Parent-side memos for inline cache-hit replays, mirroring the
     # serial loop's reuse: one simulator per suite, one SchedulingCosts
@@ -684,6 +727,10 @@ def _run_grid_chunked(
         # Every cell is cached: the warm study never touches the pool.
         for pos in range(len(cells)):
             result.records.append(_parent_cell(pos))
+            if telemetry is not None:
+                telemetry.cache_hit(
+                    pos, _cell_label(cells[pos], suites, dags)
+                )
         return 0.0
 
     # Lower the shared layouts once, parent-side, before the fork:
@@ -707,6 +754,14 @@ def _run_grid_chunked(
         for k, pos in enumerate(chunk_positions):
             where[pos] = (ci, k)
     dispatch_wait = 0.0
+    # The live side-channel queue must come from the pool's own
+    # multiprocessing context so it rides through the initializer args
+    # (queues are inherited, not pickled).
+    live = (
+        (telemetry.connect(ctx), telemetry.heartbeat_s)
+        if telemetry is not None
+        else None
+    )
     with ProcessPoolExecutor(
         max_workers=pool_workers,
         mp_context=ctx,
@@ -714,7 +769,7 @@ def _run_grid_chunked(
         initargs=(
             dags, suites, emulator, obs.enabled, cache, engine,
             obs.timeline is not None, obs.profiler is not None,
-            sched,
+            sched, live,
         ),
     ) as pool:
         # All chunks are submitted up front into the pool's shared
@@ -722,13 +777,21 @@ def _run_grid_chunked(
         # uneven chunks rebalance work-stealing-style.  The merge below
         # still consumes results strictly in grid submission order.
         futures = [
-            pool.submit(_pool_run_chunk, [cells[pos] for pos in positions])
+            pool.submit(
+                _pool_run_chunk,
+                [cells[pos] for pos in positions],
+                positions,
+            )
             for positions in chunks
         ]
         ready: dict[int, tuple[list[RunRecord], dict | None]] = {}
         for pos in range(len(cells)):
             if hits[pos]:
                 result.records.append(_parent_cell(pos))
+                if telemetry is not None:
+                    telemetry.cache_hit(
+                        pos, _cell_label(cells[pos], suites, dags)
+                    )
                 continue
             ci, k = where[pos]
             fetched = ready.get(ci)
@@ -770,6 +833,7 @@ def run_study(
     engine: str | None = None,
     sched: str | None = None,
     chunk: int | None = None,
+    telemetry: LiveTelemetry | None = None,
 ) -> StudyResult:
     """Run the full grid; returns every (DAG, algorithm, suite) record.
 
@@ -807,6 +871,15 @@ def run_study(
     dispatch).  Chunking changes dispatch granularity only — results,
     counters, timelines and profiles are identical for every setting.
 
+    ``telemetry`` attaches a :class:`~repro.obs.live.LiveTelemetry` bus
+    for streaming progress (cell start/finish, cache hits, chunk
+    claims, worker heartbeats — the ``--progress`` display and
+    ``repro serve-metrics``).  The channel is strictly observational:
+    records, counters, timeline lines and profiles are bit-identical
+    with or without it (asserted by the ``obs_live_overhead`` bench
+    pair), and live-only counters such as ``runner.stragglers`` stay
+    in the telemetry state, never the Recorder.
+
     Whatever the path, the recorder's span aggregates gain two
     wall-clock timings per study: ``study.grid`` (end-to-end grid wall
     time, the denominator of cells/sec) and ``study.dispatch`` (time
@@ -836,9 +909,14 @@ def run_study(
     if requested > 1:
         dispatch_wait = _run_grid_chunked(
             result, dags, suites, emulator, algorithms, workers,
-            cache, engine, sched, chunk, obs,
+            cache, engine, sched, chunk, obs, telemetry,
         )
     else:
+        if telemetry is not None and suites and dags and algorithms:
+            telemetry.begin_study(
+                len(suites) * len(dags) * len(algorithms), 0
+            )
+        pos = 0
         for suite in suites:
             simulator = ApplicationSimulator(
                 platform,
@@ -856,6 +934,10 @@ def run_study(
                     redistribution_model=suite.redistribution_model,
                 )
                 for algorithm in algorithms:
+                    if telemetry is not None:
+                        label = f"{suite.name}:{graph.name}/{algorithm}"
+                        telemetry.cell_started(pos, label)
+                        cell_t0 = time.monotonic()
                     result.records.append(
                         _run_cell(
                             suite, params, graph, algorithm, emulator,
@@ -863,6 +945,11 @@ def run_study(
                             simulator=simulator, sched=sched,
                         )
                     )
+                    if telemetry is not None:
+                        telemetry.cell_finished(
+                            pos, label, time.monotonic() - cell_t0
+                        )
+                    pos += 1
     if obs.enabled:
         # Same two aggregates in both modes (the serial loop's
         # dispatch wait is genuinely zero), so metrics keep identical

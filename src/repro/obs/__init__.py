@@ -38,11 +38,21 @@ Usage
 3
 """
 
+from repro.obs.export import validate_openmetrics
 from repro.obs.flame import (
     chrome_profile_events,
     chrome_profile_trace,
     collapsed_stacks,
     parse_collapsed,
+)
+from repro.obs.live import (
+    LiveStudyState,
+    LiveTelemetry,
+    ProgressPrinter,
+    live_openmetrics_lines,
+    load_snapshot,
+    render_progress_line,
+    render_top,
 )
 from repro.obs.manifest import RunManifest, emit_manifest, platform_info
 from repro.obs.prof import CrossoverTable, Profiler, size_bucket
@@ -59,15 +69,26 @@ from repro.obs.report import (
     render_report,
     report_file,
 )
+from repro.obs.serve import MetricsServer, ProviderError
 from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink
 from repro.obs.timeline import Timeline, load_timeline, timeline_lines
 
 __all__ = [
     "CrossoverTable",
+    "LiveStudyState",
+    "LiveTelemetry",
+    "MetricsServer",
+    "ProgressPrinter",
     "Profiler",
+    "ProviderError",
     "Recorder",
     "SpanStats",
     "Timeline",
+    "live_openmetrics_lines",
+    "load_snapshot",
+    "render_progress_line",
+    "render_top",
+    "validate_openmetrics",
     "chrome_profile_events",
     "chrome_profile_trace",
     "collapsed_stacks",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 from pathlib import Path
 from typing import Union
 
@@ -34,6 +35,7 @@ __all__ = [
     "chrome_trace",
     "validate_chrome_trace",
     "openmetrics_lines",
+    "validate_openmetrics",
     "export_file",
     "summarize_file",
 ]
@@ -274,6 +276,119 @@ def openmetrics_lines(path: Union[str, Path]) -> list[str]:
         lines = _openmetrics_from_metrics(manifest.metrics)
     lines.append("# EOF")
     return lines
+
+
+#: Metric/family names per the exposition format.
+_OM_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+#: One sample line: name, optional {labels}, a value (timestamps are
+#: not emitted by our exporters and therefore not accepted).
+_OM_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+#: The full label block: comma-separated name="escaped value" pairs.
+_OM_LABELS_RE = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*")*$'
+)
+_OM_TYPES = frozenset(
+    {
+        "counter",
+        "gauge",
+        "histogram",
+        "gaugehistogram",
+        "summary",
+        "info",
+        "stateset",
+        "unknown",
+    }
+)
+#: Sample-name suffixes accepted per family type.  Slightly lenient on
+#: purpose: our span rollup exposes a ``_count`` next to each counter's
+#: ``_total`` (promtool accepts it as an untyped metric; a strict
+#: OpenMetrics parser would want a summary family).
+_OM_SUFFIXES = {
+    "counter": ("_total", "_count", "_created"),
+    "gauge": ("",),
+    "unknown": ("",),
+}
+
+
+def validate_openmetrics(text: str) -> None:
+    """Raise :class:`ValueError` unless ``text`` is a well-formed
+    OpenMetrics exposition (the flavor our exporters emit).
+
+    Hand-rolled (stdlib only) like :func:`validate_chrome_trace` — the
+    container has no promtool.  Checks: the mandatory final ``# EOF``
+    terminator, comment-line structure (``# TYPE`` / ``# HELP`` /
+    ``# UNIT``), at most one TYPE per family, declared-before-use
+    families with type-appropriate sample-name suffixes, label-block
+    syntax, and finite sample values.
+    """
+
+    def fail(lineno: int, msg: str) -> None:
+        raise ValueError(f"invalid openmetrics (line {lineno}): {msg}")
+
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError(
+            "invalid openmetrics: missing the mandatory '# EOF' terminator"
+        )
+    families: dict[str, str] = {}
+    for lineno, line in enumerate(lines, 1):
+        if line == "# EOF":
+            if lineno != len(lines):
+                fail(lineno, "content after the '# EOF' terminator")
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#":
+                fail(lineno, f"malformed comment line {line!r}")
+            keyword = parts[1]
+            if keyword not in ("TYPE", "HELP", "UNIT"):
+                fail(lineno, f"unknown comment keyword {keyword!r}")
+            name = parts[2]
+            if not _OM_NAME_RE.fullmatch(name):
+                fail(lineno, f"invalid metric family name {name!r}")
+            if keyword == "TYPE":
+                if len(parts) != 4 or parts[3] not in _OM_TYPES:
+                    fail(lineno, f"invalid TYPE declaration {line!r}")
+                if name in families:
+                    fail(lineno, f"duplicate TYPE for family {name!r}")
+                families[name] = parts[3]
+            continue
+        match = _OM_SAMPLE_RE.match(line)
+        if match is None:
+            fail(lineno, f"malformed sample line {line!r}")
+        labels = match.group("labels")
+        if labels is not None and not _OM_LABELS_RE.match(labels):
+            fail(lineno, f"malformed label block {{{labels}}}")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            fail(lineno, f"sample value {match.group('value')!r} "
+                         "is not a number")
+        if not math.isfinite(value):
+            fail(lineno, f"sample value {value!r} is not finite")
+        name = match.group("name")
+        family = None
+        for fam in families:
+            if name == fam or (
+                name.startswith(fam) and name[len(fam):].startswith("_")
+            ):
+                if family is None or len(fam) > len(family):
+                    family = fam
+        if family is None:
+            fail(lineno, f"sample {name!r} has no preceding TYPE family")
+        suffix = name[len(family):]
+        allowed = _OM_SUFFIXES.get(families[family])
+        if allowed is not None and suffix not in allowed:
+            fail(
+                lineno,
+                f"sample suffix {suffix!r} not valid for "
+                f"{families[family]} family {family!r}",
+            )
 
 
 def load_timeline_or_trace(path: Union[str, Path]) -> list[dict]:

@@ -158,13 +158,26 @@ def _study_throughput(counters: dict, spans: dict) -> dict | None:
     per-phase totals are summed across processes, so in parallel sweeps
     they can exceed the grid wall-clock — they answer "where did the
     compute go", not "how long did it take".
+
+    Degenerate sweeps stay renderable instead of raising or vanishing:
+    a zero-cell study (empty grid) or an instantaneous one (a grid
+    wall-clock rounding to zero, or an all-cached replay with a
+    missing/zero ``study.dispatch``) yields ``None`` for the ratios —
+    rendered as a dash — rather than a division by zero.  The section
+    only disappears entirely when the trace recorded no ``study.grid``
+    sweep at all.
     """
     grid = spans.get("study.grid")
-    if not grid or not grid.get("total_s"):
+    if not grid or not grid.get("count"):
         return None
-    grid_s = float(grid["total_s"])
+    grid_s = float(grid.get("total_s") or 0.0)
     cells = float(counters.get("study.runs", 0))
-    dispatch_s = float(spans.get("study.dispatch", {}).get("total_s", 0.0))
+    dispatch = spans.get("study.dispatch")
+    dispatch_s = (
+        float(dispatch.get("total_s") or 0.0)
+        if dispatch and dispatch.get("count")
+        else None
+    )
     phase_s = sum(
         float(spans.get(name, {}).get("total_s", 0.0))
         for name in _STUDY_PHASES
@@ -172,9 +185,13 @@ def _study_throughput(counters: dict, spans: dict) -> dict | None:
     return {
         "cells": cells,
         "grid_s": grid_s,
-        "cells_per_sec": cells / grid_s,
+        "cells_per_sec": cells / grid_s if cells and grid_s else None,
         "dispatch_s": dispatch_s,
-        "dispatch_pct": 100.0 * dispatch_s / grid_s,
+        "dispatch_pct": (
+            100.0 * dispatch_s / grid_s
+            if dispatch_s is not None and grid_s
+            else None
+        ),
         "phase_s": phase_s,
     }
 
@@ -383,17 +400,31 @@ def render_report(
 
     throughput = _study_throughput(counters, spans)
     if throughput:
+        # Ratios are None for degenerate sweeps (zero cells, or a grid
+        # wall-clock that rounded to zero): render a dash, never divide.
+        rate = throughput["cells_per_sec"]
+        rate_s = f"{rate:.1f}" if rate is not None else "-"
         lines.append("")
         lines.append(
             f"study throughput: {throughput['cells']:g} cells in "
             f"{throughput['grid_s']:.3f} s = "
-            f"{throughput['cells_per_sec']:.1f} cells/s end to end"
+            f"{rate_s} cells/s end to end"
         )
+        dispatch_s = throughput["dispatch_s"]
+        dispatch_pct = throughput["dispatch_pct"]
         lines.append(
-            f"  pool dispatch: {throughput['dispatch_s']:.3f} s blocked "
-            f"on futures ({throughput['dispatch_pct']:.1f} % of the "
-            f"sweep); pipeline phases: {throughput['phase_s']:.3f} s "
-            "summed across processes"
+            "  pool dispatch: "
+            + (
+                f"{dispatch_s:.3f} s" if dispatch_s is not None else "-"
+            )
+            + " blocked on futures ("
+            + (
+                f"{dispatch_pct:.1f} %"
+                if dispatch_pct is not None
+                else "-"
+            )
+            + f" of the sweep); pipeline phases: "
+            f"{throughput['phase_s']:.3f} s summed across processes"
         )
 
     breakdown = _study_breakdown(records)

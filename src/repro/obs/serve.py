@@ -1,0 +1,216 @@
+"""`repro serve-metrics`: a minimal stdlib HTTP metrics endpoint.
+
+The first service-shaped surface on the path to the campaign server
+(see ROADMAP): a :class:`MetricsServer` wraps provider callables behind
+``http.server.ThreadingHTTPServer`` and exposes
+
+* ``GET /metrics`` — the current OpenMetrics text exposition,
+* ``GET /state``  — the raw live snapshot JSON (when the source is a
+  :class:`~repro.obs.live.LiveTelemetry` snapshot; ``repro top`` polls
+  this when pointed at a URL),
+* ``GET /``       — a tiny index.
+
+Providers are called *per scrape*, so a file-backed server tracks a
+running study live: point it at the ``--live-out`` snapshot (rewritten
+atomically every heartbeat) or at a ``--trace-out`` / ``--timeline-out``
+stream (re-rolled through :func:`repro.obs.export.openmetrics_lines`
+on every request).  A provider that raises :class:`ProviderError`
+yields a 503 — a scrape racing the first snapshot write is a retry,
+not a crash.
+
+Stdlib only by design: no WSGI framework, no dependencies, one daemon
+thread; ``port=0`` binds an ephemeral port (tests and parallel CI).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, Union
+
+from repro.obs.live import live_openmetrics_lines, load_snapshot
+
+__all__ = [
+    "MetricsServer",
+    "ProviderError",
+    "file_metrics_provider",
+    "file_state_provider",
+]
+
+#: Content type Prometheus-compatible scrapers accept for the text
+#: exposition format.
+_METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ProviderError(RuntimeError):
+    """A provider's source is (temporarily) unavailable — maps to 503."""
+
+
+def file_metrics_provider(
+    path: Union[str, Path]
+) -> Callable[[], str]:
+    """OpenMetrics text from ``path``, re-read on every call.
+
+    Detects the flavor per scrape: a live telemetry snapshot renders
+    through :func:`~repro.obs.live.live_openmetrics_lines`; anything
+    else goes through the post-hoc rollups of
+    :func:`~repro.obs.export.openmetrics_lines` (trace manifests and
+    timeline streams).
+    """
+    from repro.obs.export import openmetrics_lines
+    from repro.obs.report import TraceReadError
+
+    path = Path(path)
+
+    def provide() -> str:
+        if not path.exists():
+            raise ProviderError(
+                f"{path}: no snapshot yet (is the study running with "
+                "--live-out / --trace-out pointing here?)"
+            )
+        try:
+            snap = load_snapshot(path)
+        except ValueError:
+            snap = None
+        if snap is not None:
+            return "\n".join(live_openmetrics_lines(snap)) + "\n"
+        try:
+            return "\n".join(openmetrics_lines(path)) + "\n"
+        except (TraceReadError, ValueError) as exc:
+            raise ProviderError(str(exc)) from None
+
+    return provide
+
+
+def file_state_provider(
+    path: Union[str, Path]
+) -> Callable[[], dict]:
+    """The raw live snapshot dict from ``path`` (503 when not live)."""
+    path = Path(path)
+
+    def provide() -> dict:
+        if not path.exists():
+            raise ProviderError(f"{path}: no snapshot yet")
+        try:
+            return load_snapshot(path)
+        except ValueError as exc:
+            raise ProviderError(str(exc)) from None
+
+    return provide
+
+
+class MetricsServer:
+    """Serve ``/metrics`` (and optionally ``/state``) on a daemon thread."""
+
+    def __init__(
+        self,
+        metrics_provider: Callable[[], str],
+        state_provider: Callable[[], dict] | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # silence stderr chatter
+                pass
+
+            def _send(
+                self, status: int, body: bytes, content_type: str
+            ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        text = server.metrics_provider()
+                        self._send(
+                            200, text.encode(), _METRICS_CONTENT_TYPE
+                        )
+                    elif path == "/state":
+                        if server.state_provider is None:
+                            self._send(
+                                404,
+                                b"no live state behind this server\n",
+                                "text/plain; charset=utf-8",
+                            )
+                            return
+                        state = server.state_provider()
+                        self._send(
+                            200,
+                            (json.dumps(state, indent=1) + "\n").encode(),
+                            "application/json; charset=utf-8",
+                        )
+                    elif path == "/":
+                        self._send(
+                            200,
+                            b"repro metrics endpoint: /metrics /state\n",
+                            "text/plain; charset=utf-8",
+                        )
+                    else:
+                        self._send(
+                            404,
+                            b"unknown path (try /metrics)\n",
+                            "text/plain; charset=utf-8",
+                        )
+                except ProviderError as exc:
+                    self._send(
+                        503,
+                        (str(exc) + "\n").encode(),
+                        "text/plain; charset=utf-8",
+                    )
+                except Exception as exc:  # pragma: no cover - safety net
+                    self._send(
+                        500,
+                        (f"internal error: {exc}\n").encode(),
+                        "text/plain; charset=utf-8",
+                    )
+
+        self.metrics_provider = metrics_provider
+        self.state_provider = state_provider
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def metrics_url(self) -> str:
+        return f"{self.url}/metrics"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        # shutdown() blocks until the serve loop acknowledges — only
+        # meaningful when start() actually spun one up.
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def serve_forever(self) -> None:
+        """Run in the foreground (the ``repro serve-metrics`` loop)."""
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()

@@ -90,6 +90,8 @@ class TestBenchRun:
             "cached_rerun",
             "obs_overhead_off",
             "obs_overhead_on",
+            "obs_live_overhead_off",
+            "obs_live_overhead_on",
             "solver_dense_scalar",
             "solver_dense_vectorized",
             "solver_sparse_scalar",

@@ -12,13 +12,15 @@ from repro.experiments.bench_history import (
     check_against_history,
     default_history_path,
     history_entry,
+    host_fingerprint,
     load_history,
     rolling_baseline,
 )
 
 
-def _payload(stages: dict[str, float], *, num_dags=3, engine="object"):
-    return {
+def _payload(stages: dict[str, float], *, num_dags=3, engine="object",
+             host=None):
+    payload = {
         "created": "2026-08-07T00:00:00+0000",
         "version": "1.6.0",
         "config": {"num_dags": num_dags, "engine": engine, "repeat": 1},
@@ -27,6 +29,13 @@ def _payload(stages: dict[str, float], *, num_dags=3, engine="object"):
             for name, seconds in stages.items()
         },
     }
+    if host is not None:
+        payload["host"] = host
+    return payload
+
+
+_LAPTOP = {"cpus": 8, "platform": "Linux-x86_64", "python": "3.12.1"}
+_CI_BOX = {"cpus": 2, "platform": "Linux-x86_64", "python": "3.12.1"}
 
 
 def test_history_entry_flattens_payload():
@@ -136,6 +145,43 @@ def test_check_returns_none_without_compatible_history(tmp_path):
         _payload({"scheduling": 1.0}, num_dags=3), load_history(path)
     ) is None
     assert check_against_history(_payload({"scheduling": 1.0}), []) is None
+
+
+def test_host_fingerprint_reduces_host_metadata():
+    assert host_fingerprint(_LAPTOP) == (8, "Linux-x86_64", "3.12.1")
+    # Missing metadata (pre-host-field histories) reduces to None —
+    # and two Nones compare equal, so old entries still baseline old
+    # payloads.
+    assert host_fingerprint(None) is None
+    assert host_fingerprint("not a dict") is None
+
+
+def test_rolling_baseline_filters_to_matching_host(tmp_path):
+    """Entries from a different machine never form the baseline."""
+    path = tmp_path / "hist.jsonl"
+    append_history(_payload({"scheduling": 9.0}, host=_CI_BOX), path)
+    append_history(_payload({"scheduling": 1.0}, host=_LAPTOP), path)
+    baseline, used = rolling_baseline(
+        load_history(path), _payload({"scheduling": 1.0}, host=_LAPTOP)
+    )
+    assert (baseline, used) == ({"scheduling": 1.0}, 1)
+
+
+def test_host_vs_hostless_entries_are_incompatible(tmp_path):
+    """A pre-metadata entry cannot baseline a host-stamped payload."""
+    path = tmp_path / "hist.jsonl"
+    append_history(_payload({"scheduling": 9.0}), path)  # no host field
+    entries = load_history(path)
+    assert check_against_history(
+        _payload({"scheduling": 1.0}, host=_LAPTOP), entries
+    ) is None
+    # Symmetrically, a host-stamped entry says nothing about a
+    # hostless payload; both-missing still matches (the legacy case).
+    append_history(_payload({"scheduling": 2.0}, host=_LAPTOP), path)
+    baseline, used = rolling_baseline(
+        load_history(path), _payload({"scheduling": 1.0})
+    )
+    assert (baseline, used) == ({"scheduling": 9.0}, 1)
 
 
 def test_default_history_path_is_in_checkout():

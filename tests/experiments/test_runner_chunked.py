@@ -36,7 +36,7 @@ def study_inputs():
 
 
 def _observed_study(study_inputs, *, workers, chunk=None, cache=None,
-                    engine=None, sched=None):
+                    engine=None, sched=None, telemetry=None):
     """One fully-observed study; returns its comparable facets."""
     dags, suite, emulator = study_inputs
     sink = MemorySink()
@@ -44,7 +44,7 @@ def _observed_study(study_inputs, *, workers, chunk=None, cache=None,
     with recording(rec):
         result = run_study(
             dags, [suite], emulator, workers=workers, chunk=chunk,
-            cache=cache, engine=engine, sched=sched,
+            cache=cache, engine=engine, sched=sched, telemetry=telemetry,
         )
     # The clamp counter legitimately differs across hosts (it fires
     # whenever the requested pool exceeds the core count).
@@ -161,6 +161,133 @@ def test_workers_within_cpu_count_not_clamped(study_inputs, monkeypatch):
     with recording(rec):
         run_study(dags[:1], [suite], emulator, workers=2)
     assert "runner.workers_clamped" not in rec.counters
+
+
+class TestAbsorbEmptyWorkerExport:
+    """A chunk whose cells all hit the cache ships an empty export.
+
+    The planner satisfies cached cells in the parent, so a worker can
+    legitimately return a payload with no records, no counters, no
+    spans and a zero-run timeline slice.  Absorbing it must be a
+    no-op — and must not disturb the run numbering of later slices.
+    """
+
+    @staticmethod
+    def _empty_export():
+        worker = Recorder(
+            MemorySink(), timeline=Timeline(), profiler=Profiler()
+        )
+        return worker.export_state()
+
+    def test_recorder_absorb_empty_export_is_noop(self):
+        rec = Recorder(MemorySink(), timeline=Timeline(), profiler=Profiler())
+        with recording(rec):
+            rec.count("runner.cells", 2)
+            with rec.span("study.cell"):
+                pass
+        before = (
+            list(rec.sink.records),
+            dict(rec.counters),
+            rec.metrics()["spans"],
+            timeline_lines(rec.timeline.records),
+            rec.profiler.structure(),
+        )
+        rec.absorb(self._empty_export())
+        after = (
+            list(rec.sink.records),
+            dict(rec.counters),
+            rec.metrics()["spans"],
+            timeline_lines(rec.timeline.records),
+            rec.profiler.structure(),
+        )
+        assert after == before
+
+    def test_timeline_absorb_empty_slice_keeps_run_numbering(self):
+        parent = Timeline()
+        parent.begin_run(dag="d0", algorithm="hcpa", model="m")
+        parent.end_run(engine="object", makespan=1.0, tasks=0, xfers=0)
+
+        # An all-cache-hit chunk: zero runs, no records.
+        parent.absorb(Timeline().export_state())
+        assert parent._run_seq == 1
+
+        # The next real worker slice still lands at run 1, exactly as
+        # if the empty slice had never been absorbed.
+        worker = Timeline()
+        worker.begin_run(dag="d1", algorithm="mcpa", model="m")
+        worker.end_run(engine="object", makespan=2.0, tasks=0, xfers=0)
+        parent.absorb(worker.export_state())
+        runs = [
+            r["run"] for r in parent.records if r.get("kind") == "run"
+        ]
+        assert runs == [0, 1]
+
+    def test_recorder_absorb_empty_then_full_export(self):
+        rec = Recorder(MemorySink(), timeline=Timeline())
+        with recording(rec):
+            rec.absorb(self._empty_export())
+            worker = Recorder(MemorySink(), timeline=Timeline())
+            worker.count("runner.cells", 1)
+            worker.timeline.begin_run(dag="d", algorithm="hcpa", model="m")
+            worker.timeline.end_run(
+                engine="object", makespan=1.0, tasks=0, xfers=0
+            )
+            rec.absorb(worker.export_state())
+        assert rec.counters["runner.cells"] == 1
+        runs = [r["run"] for r in rec.timeline.records if r.get("kind") == "run"]
+        assert runs == [0]
+
+
+def test_live_telemetry_does_not_perturb_study(study_inputs):
+    """Bit-identity with the live bus attached, serial and pooled.
+
+    The telemetry channel is strictly observational; every comparable
+    facet must equal the detached run's — and the bus itself must have
+    seen every cell (6 cells: 3 dags x 2 algorithms).
+    """
+    from repro.obs.live import LiveTelemetry
+
+    detached = {
+        workers: _observed_study(study_inputs, workers=workers)
+        for workers in (1, 2)
+    }
+    for workers in (1, 2):
+        telemetry = LiveTelemetry(heartbeat_s=0.1).start()
+        try:
+            attached = _observed_study(
+                study_inputs, workers=workers, telemetry=telemetry
+            )
+        finally:
+            telemetry.close()
+        for facet in ("records", "events", "counters", "span_counts",
+                      "timeline", "profile"):
+            assert attached[facet] == detached[workers][facet], (
+                f"{facet} diverged with telemetry at workers={workers}"
+            )
+        snap = telemetry.snapshot()
+        assert snap["study"]["total"] == 6
+        assert snap["study"]["done"] == 6
+        assert snap["phase"] == "done"
+
+
+def test_live_telemetry_counts_cache_hits(study_inputs, tmp_path):
+    from repro.obs.live import LiveTelemetry
+
+    dags, suite, emulator = study_inputs
+    cache = ResultCache(tmp_path / "cache")
+    run_study(dags, [suite], emulator, cache=cache)  # populate
+    telemetry = LiveTelemetry(heartbeat_s=0.1).start()
+    try:
+        warm = run_study(
+            dags, [suite], emulator, workers=2, cache=cache,
+            telemetry=telemetry,
+        )
+    finally:
+        telemetry.close()
+    assert warm.records
+    snap = telemetry.snapshot()
+    assert snap["study"]["done"] == 6
+    assert snap["study"]["cache_hits"] == 6
 
 
 class TestResolveChunk:

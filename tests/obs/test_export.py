@@ -10,6 +10,7 @@ from repro.obs.export import (
     openmetrics_lines,
     summarize_file,
     validate_chrome_trace,
+    validate_openmetrics,
 )
 from repro.obs.recorder import Recorder, recording
 from repro.obs.sinks import JsonlSink
@@ -125,6 +126,90 @@ class TestOpenMetrics:
         path.write_text('{"type": "event", "name": "x"}\n')
         with pytest.raises(TraceReadError):
             openmetrics_lines(path)
+
+
+class TestValidateOpenMetrics:
+    """The hand-rolled exposition checker behind the CI smoke scrape."""
+
+    def test_accepts_both_exporter_flavors(self, tmp_path):
+        # Timeline rollup.
+        path = tmp_path / "tl.jsonl"
+        tl = Timeline.to_file(path)
+        for record in _timeline_records():
+            tl.sink.write(record)
+        tl.close()
+        validate_openmetrics("\n".join(openmetrics_lines(path)) + "\n")
+        # Trace-manifest rollup.
+        from repro.obs.manifest import RunManifest, emit_manifest
+
+        trace = tmp_path / "trace.jsonl"
+        recorder = Recorder(JsonlSink(trace))
+        with recording(recorder):
+            recorder.count("sim.runs", 3)
+            with recorder.span("sched.allocate"):
+                pass
+            emit_manifest(
+                recorder, RunManifest.collect(seed=0, recorder=recorder)
+            )
+        recorder.close()
+        validate_openmetrics("\n".join(openmetrics_lines(trace)) + "\n")
+
+    def test_accepts_minimal_exposition(self):
+        validate_openmetrics(
+            "# TYPE up gauge\n"
+            'up{host="a",note="esc\\"aped"} 1\n'
+            "# TYPE hits counter\n"
+            "hits_total 4\n"
+            "# EOF"
+        )
+
+    def test_rejects_missing_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            validate_openmetrics("# TYPE up gauge\nup 1\n")
+
+    def test_rejects_content_after_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            validate_openmetrics("# TYPE up gauge\nup 1\n# EOF\nup 2\n# EOF")
+
+    def test_rejects_undeclared_family(self):
+        with pytest.raises(ValueError, match="no preceding TYPE"):
+            validate_openmetrics("lonely_metric 1\n# EOF")
+
+    def test_rejects_duplicate_type(self):
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            validate_openmetrics(
+                "# TYPE up gauge\n# TYPE up gauge\nup 1\n# EOF"
+            )
+
+    def test_rejects_bad_type_and_keyword(self):
+        with pytest.raises(ValueError, match="invalid TYPE"):
+            validate_openmetrics("# TYPE up sparkline\nup 1\n# EOF")
+        with pytest.raises(ValueError, match="unknown comment keyword"):
+            validate_openmetrics("# NOTE up gauge\n# EOF")
+
+    def test_rejects_malformed_labels(self):
+        with pytest.raises(ValueError, match="label"):
+            validate_openmetrics(
+                '# TYPE up gauge\nup{host="unclosed} 1\n# EOF'
+            )
+
+    def test_rejects_non_finite_and_non_numeric_values(self):
+        with pytest.raises(ValueError, match="not finite"):
+            validate_openmetrics("# TYPE up gauge\nup nan\n# EOF")
+        with pytest.raises(ValueError, match="not a number"):
+            validate_openmetrics("# TYPE up gauge\nup high\n# EOF")
+
+    def test_rejects_wrong_suffix_for_family_type(self):
+        with pytest.raises(ValueError, match="suffix"):
+            validate_openmetrics(
+                "# TYPE hits counter\nhits_rate 1\n# EOF"
+            )
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ValueError, match="line 3"):
+            validate_openmetrics(
+                "# TYPE up gauge\nup 1\nbogus metric line\n# EOF"
+            )
 
 
 class TestSummary:

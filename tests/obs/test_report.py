@@ -122,6 +122,62 @@ class TestRenderReport:
         assert "c29" in text  # biggest survives the cut
         assert "c1\n" not in text
 
+    @staticmethod
+    def _span(count, total_s):
+        return {
+            "count": count, "total_s": total_s,
+            "mean_s": total_s / count if count else 0.0,
+            "min_s": 0.0, "max_s": total_s,
+        }
+
+    def test_throughput_section_renders_ratios(self):
+        manifest = RunManifest(
+            metrics={
+                "counters": {"study.runs": 6},
+                "spans": {
+                    "study.grid": self._span(1, 3.0),
+                    "study.dispatch": self._span(2, 1.5),
+                },
+            }
+        )
+        text = render_report([], manifest)
+        assert "study throughput: 6 cells in 3.000 s = 2.0 cells/s" in text
+        assert "pool dispatch: 1.500 s blocked on futures (50.0 %" in text
+
+    def test_zero_cell_study_renders_dashes_not_zero_division(self):
+        """Regression: an empty-grid sweep times a 0-cell, ~0 s grid.
+
+        The throughput section must render with dashes instead of
+        raising ZeroDivisionError (or formatting None).
+        """
+        manifest = RunManifest(
+            metrics={
+                "counters": {"study.runs": 0},
+                "spans": {"study.grid": self._span(1, 0.0)},
+            }
+        )
+        text = render_report([], manifest)
+        assert "study throughput: 0 cells in 0.000 s = - cells/s" in text
+        assert "pool dispatch: - blocked on futures (-" in text
+
+    def test_all_cached_serial_replay_renders_dispatch_dash(self):
+        """A warm serial replay has a grid but never touched the pool."""
+        manifest = RunManifest(
+            metrics={
+                "counters": {"study.runs": 6},
+                "spans": {"study.grid": self._span(1, 0.4)},
+            }
+        )
+        text = render_report([], manifest)
+        assert "15.0 cells/s" in text
+        assert "pool dispatch: - blocked on futures" in text
+
+    def test_no_grid_span_means_no_throughput_section(self):
+        manifest = RunManifest(
+            metrics={"counters": {"study.runs": 6}, "spans": {}}
+        )
+        assert "study throughput" not in render_report([], manifest)
+
     def test_report_file_roundtrip(self, tmp_path):
         path = tmp_path / "t.jsonl"
         _write_trace(path, self._study_events(), RunManifest(seed=1))
